@@ -1,0 +1,58 @@
+"""Per-estimator runtime benchmarks on the paper's largest figure graphs.
+
+These benchmarks time each approximation (plus the extensions) on the
+k = 12 Cholesky/LU/QR DAGs, the graphs behind the right-most points of
+Figures 4-12.  They substantiate the paper's claim that the First Order
+approximation is not only more accurate but also much cheaper to compute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimators.registry import get_estimator
+from repro.failures.models import ExponentialErrorModel
+
+PFAIL = 1e-3
+
+#: (registry name, constructor kwargs) of the estimators being timed.
+ESTIMATORS = [
+    ("first-order", {}),
+    ("first-order-naive", {"mode": "naive"}),
+    ("second-order", {}),
+    ("normal", {}),
+    ("normal-correlated", {}),
+    ("dodin", {}),
+    ("monte-carlo-10k", {"trials": 10_000, "seed": 1}),
+]
+
+
+def _build(name: str, options: dict):
+    registry_name = {
+        "first-order-naive": "first-order",
+        "monte-carlo-10k": "monte-carlo",
+    }.get(name, name)
+    return get_estimator(registry_name, **options)
+
+
+@pytest.mark.parametrize("workflow", ["cholesky", "lu", "qr"])
+@pytest.mark.parametrize("spec", ESTIMATORS, ids=[name for name, _ in ESTIMATORS])
+def test_estimator_runtime_k12(benchmark, paper_graphs, workflow, spec):
+    name, options = spec
+    graph = paper_graphs[workflow]
+    model = ExponentialErrorModel.for_graph(graph, PFAIL)
+    estimator = _build(name, options)
+    result = benchmark.pedantic(
+        lambda: estimator.estimate(graph, model), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.expected_makespan >= result.failure_free_makespan - 1e-9
+
+
+@pytest.mark.parametrize("workflow", ["cholesky", "lu", "qr"])
+def test_first_order_fast_mode_runtime(benchmark, paper_graphs, workflow):
+    """The O(V + E) fast mode, timed with several rounds (it is cheap)."""
+    graph = paper_graphs[workflow]
+    model = ExponentialErrorModel.for_graph(graph, PFAIL)
+    estimator = get_estimator("first-order")
+    result = benchmark(lambda: estimator.estimate(graph, model))
+    assert result.expected_makespan > 0

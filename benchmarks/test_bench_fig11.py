@@ -1,0 +1,18 @@
+"""Benchmark regenerating figure11 of the paper: QR factorization DAGs, p_fail = 0.001.
+
+The benchmark runs the full experiment once (Monte Carlo reference at every
+graph size plus the Dodin / Normal / First Order approximations), prints the
+normalised-difference series that the paper plots, archives CSV/text reports
+under ``benchmarks/results/`` and asserts the qualitative shape of the
+figure (which estimator wins, and by how much).
+"""
+
+from _common import assert_paper_shape, run_and_report
+
+FIGURE = "figure11"
+
+
+def test_fig11_regenerate_error_series(benchmark):
+    """Regenerate the error-vs-graph-size series of figure11."""
+    result = benchmark.pedantic(lambda: run_and_report(FIGURE), rounds=1, iterations=1)
+    assert_paper_shape(result)

@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so that the test-suite and the benchmarks can
+run against the checkout even when the package has not been pip-installed
+(e.g. on an offline machine where ``pip install -e .`` cannot resolve build
+dependencies).  When the package *is* installed, the installed copy shadows
+nothing because both point at the same source tree (editable install).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Error analysis across the paper's three DAG families (mini Figures 4-12).
+
+For each factorization (Cholesky, LU, QR) and each failure probability, the
+script compares the Dodin, Normal and First Order approximations against a
+Monte Carlo reference over a range of graph sizes, and prints the same
+error-vs-size series the paper plots, as text tables and ASCII plots.
+
+This is a scaled-down interactive version of the full experiment drivers
+(``python -m repro experiment all``); tweak ``SIZES``, ``PFAILS`` and
+``TRIALS`` below to trade accuracy for runtime.
+
+Run with:  ``python examples/factorization_error_analysis.py``
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    FigureConfig,
+    figure_ascii_plot,
+    figure_table,
+    run_error_vs_size,
+)
+
+#: Graph sizes (number of tile rows/columns k).  The paper uses 4..12.
+SIZES = (4, 6, 8)
+
+#: Failure probabilities of a task of average weight.  The paper uses
+#: 1e-2, 1e-3 and 1e-4.
+PFAILS = (1e-2, 1e-3)
+
+#: Monte Carlo trials for the reference (paper: 300,000).
+TRIALS = 30_000
+
+WORKFLOWS = ("cholesky", "lu", "qr")
+
+
+def main() -> None:
+    for workflow in WORKFLOWS:
+        for pfail in PFAILS:
+            config = FigureConfig(
+                figure=f"{workflow}-pfail{pfail:g}",
+                workflow=workflow,
+                pfail=pfail,
+                sizes=SIZES,
+            )
+            result = run_error_vs_size(config, mc_trials=TRIALS, seed=1)
+            print()
+            print(figure_table(result))
+            print()
+            print(figure_ascii_plot(result))
+            winners = result.winner_per_size()
+            print(f"most accurate estimator per size: {winners}")
+            print("-" * 78)
+
+
+if __name__ == "__main__":
+    main()

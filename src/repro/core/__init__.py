@@ -1,0 +1,146 @@
+"""Task-graph core: data structures, path algorithms and transformations.
+
+The central object is :class:`~repro.core.graph.TaskGraph`, a node-weighted
+directed acyclic graph.  Everything else in the package (failure models,
+makespan estimators, workflow generators, schedulers, experiments) consumes
+task graphs built with this subpackage.
+"""
+
+from .graph import GraphIndex, TaskGraph
+from .task import Task, TaskId, validate_weight
+from .paths import (
+    PathMetrics,
+    batched_makespans,
+    bottom_levels,
+    compute_path_metrics,
+    critical_path,
+    critical_path_length,
+    doubled_task_makespans,
+    downward_lengths,
+    longest_path_through,
+    makespan_with_weights,
+    top_levels,
+    upward_lengths,
+)
+from .validation import ValidationReport, ensure_valid, find_cycle, validate_graph
+from .transform import (
+    SINK_ID,
+    SOURCE_ID,
+    add_source_sink,
+    level_partition,
+    merge_linear_chains,
+    relabel,
+    reversed_graph,
+    scaled_copy,
+    transitive_reduction,
+    with_unit_weights,
+)
+from .serialize import (
+    dumps_json,
+    from_edge_list,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    loads_json,
+    save_dot,
+    save_json,
+    to_dot,
+    to_edge_list,
+)
+from .seriesparallel import (
+    SPLeaf,
+    SPNode,
+    SPParallel,
+    SPSeries,
+    evaluate_sp,
+    is_series_parallel,
+    make_series_parallel_graph,
+    sp_decomposition,
+    sp_leaf_tasks,
+)
+from .analysis import GraphProfile, analyze_graph, count_critical_paths, parallelism_profile
+from .generators import (
+    chain_graph,
+    diamond_mesh,
+    erdos_renyi_dag,
+    fork_join,
+    independent_tasks,
+    layered_random_dag,
+    random_out_tree,
+    random_series_parallel,
+    random_weights,
+)
+
+__all__ = [
+    # graph & task
+    "TaskGraph",
+    "GraphIndex",
+    "Task",
+    "TaskId",
+    "validate_weight",
+    # paths
+    "PathMetrics",
+    "compute_path_metrics",
+    "critical_path",
+    "critical_path_length",
+    "makespan_with_weights",
+    "batched_makespans",
+    "upward_lengths",
+    "downward_lengths",
+    "top_levels",
+    "bottom_levels",
+    "longest_path_through",
+    "doubled_task_makespans",
+    # validation
+    "ValidationReport",
+    "validate_graph",
+    "ensure_valid",
+    "find_cycle",
+    # transforms
+    "add_source_sink",
+    "SOURCE_ID",
+    "SINK_ID",
+    "scaled_copy",
+    "with_unit_weights",
+    "relabel",
+    "reversed_graph",
+    "transitive_reduction",
+    "merge_linear_chains",
+    "level_partition",
+    # serialisation
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_json",
+    "load_json",
+    "dumps_json",
+    "loads_json",
+    "to_dot",
+    "save_dot",
+    "to_edge_list",
+    "from_edge_list",
+    # series-parallel
+    "SPLeaf",
+    "SPSeries",
+    "SPParallel",
+    "SPNode",
+    "sp_decomposition",
+    "is_series_parallel",
+    "evaluate_sp",
+    "sp_leaf_tasks",
+    "make_series_parallel_graph",
+    # analysis
+    "GraphProfile",
+    "analyze_graph",
+    "count_critical_paths",
+    "parallelism_profile",
+    # generators
+    "chain_graph",
+    "independent_tasks",
+    "fork_join",
+    "diamond_mesh",
+    "layered_random_dag",
+    "erdos_renyi_dag",
+    "random_out_tree",
+    "random_series_parallel",
+    "random_weights",
+]

@@ -1,0 +1,162 @@
+"""Structural analysis of task graphs.
+
+The accuracy of the expected-makespan approximations depends on structural
+properties of the DAG: how parallel it is, how many near-critical paths it
+contains, how far from series-parallel it is.  This module computes the
+descriptive statistics used by the experiment reports and by the examples:
+
+* depth (number of tasks on a longest chain), width (largest level), and
+  the average parallelism ``total work / critical path``;
+* the parallelism profile (work available per level);
+* the number of *critical tasks* (tasks that lengthen the makespan when
+  doubled — exactly the tasks whose failures matter at first order) and the
+  number of distinct critical paths;
+* a crude distance-from-series-parallel indicator (how many node
+  duplications Dodin-style reduction needs, normalised by the task count);
+* degree statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .graph import GraphIndex, TaskGraph
+from .paths import compute_path_metrics
+from .seriesparallel import is_series_parallel
+from .transform import level_partition
+
+__all__ = ["GraphProfile", "analyze_graph", "count_critical_paths", "parallelism_profile"]
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Summary statistics of a task graph."""
+
+    name: str
+    num_tasks: int
+    num_edges: int
+    total_work: float
+    critical_path_length: float
+    critical_path_tasks: int
+    num_critical_tasks: int
+    num_critical_paths: int
+    depth: int
+    width: int
+    average_parallelism: float
+    max_in_degree: int
+    max_out_degree: int
+    mean_degree: float
+    series_parallel: bool
+
+    def as_dict(self) -> Dict[str, Union[int, float, str, bool]]:
+        """Plain-dictionary view (for CSV/JSON reporting)."""
+        return {
+            "name": self.name,
+            "num_tasks": self.num_tasks,
+            "num_edges": self.num_edges,
+            "total_work": self.total_work,
+            "critical_path_length": self.critical_path_length,
+            "critical_path_tasks": self.critical_path_tasks,
+            "num_critical_tasks": self.num_critical_tasks,
+            "num_critical_paths": self.num_critical_paths,
+            "depth": self.depth,
+            "width": self.width,
+            "average_parallelism": self.average_parallelism,
+            "max_in_degree": self.max_in_degree,
+            "max_out_degree": self.max_out_degree,
+            "mean_degree": self.mean_degree,
+            "series_parallel": self.series_parallel,
+        }
+
+
+def count_critical_paths(graph: Union[TaskGraph, GraphIndex], *, tol: float = 1e-12) -> int:
+    """Number of distinct maximum-length (critical) paths.
+
+    Counted by dynamic programming over the tasks: ``paths(i)`` is the number
+    of longest paths ending at ``i``; the total is the sum over tasks whose
+    ``up(i)`` equals the critical length and that are path-maximal (no
+    successor continues a longest path through them).
+
+    The count can be exponential in adversarial graphs; it is returned as a
+    Python ``int`` (unbounded) and is intended for the moderate-size graphs
+    of the experiments.
+    """
+    idx = graph.index() if isinstance(graph, TaskGraph) else graph
+    if idx.num_tasks == 0:
+        return 0
+    metrics = compute_path_metrics(idx)
+    up = metrics.up
+    weights = idx.weights
+    counts: List[int] = [0] * idx.num_tasks
+    indptr, indices = idx.pred_indptr, idx.pred_indices
+    for i in idx.topo_order:
+        preds = indices[indptr[i] : indptr[i + 1]]
+        if preds.size == 0:
+            counts[i] = 1
+            continue
+        best = up[preds].max()
+        if abs(up[i] - (weights[i] + best)) > tol:
+            # up(i) was not achieved through a predecessor (cannot happen for
+            # non-negative weights, kept for safety).
+            counts[i] = 1
+            continue
+        counts[i] = int(
+            sum(counts[int(p)] for p in preds if abs(up[int(p)] - best) <= tol)
+        )
+    total = 0
+    down = metrics.down
+    for i in range(idx.num_tasks):
+        # A longest path ends at i iff up(i) == d(G) and no successor extends
+        # it, i.e. down(i) == weights[i].
+        if abs(up[i] - metrics.critical_length) <= tol and abs(down[i] - weights[i]) <= tol:
+            total += counts[i]
+    return total
+
+
+def parallelism_profile(graph: TaskGraph) -> Dict[int, float]:
+    """Work (sum of weights) available at each precedence level."""
+    levels = level_partition(graph)
+    return {
+        level: float(sum(graph.weight(t) for t in tasks))
+        for level, tasks in sorted(levels.items())
+    }
+
+
+def analyze_graph(graph: TaskGraph, *, check_series_parallel: bool = True) -> GraphProfile:
+    """Compute a :class:`GraphProfile` for a task graph."""
+    if graph.num_tasks == 0:
+        raise GraphError("cannot analyse an empty graph")
+    idx = graph.index()
+    metrics = compute_path_metrics(idx)
+    levels = level_partition(graph)
+    depth = 1 + max(levels)
+    width = max(len(tasks) for tasks in levels.values())
+    critical_tasks = int(np.count_nonzero(metrics.slack <= 1e-12))
+    in_degrees = [graph.in_degree(t) for t in graph.task_ids()]
+    out_degrees = [graph.out_degree(t) for t in graph.task_ids()]
+    total_work = graph.total_weight()
+    d = metrics.critical_length
+
+    from .paths import critical_path
+
+    return GraphProfile(
+        name=graph.name,
+        num_tasks=graph.num_tasks,
+        num_edges=graph.num_edges,
+        total_work=total_work,
+        critical_path_length=d,
+        critical_path_tasks=len(critical_path(idx)),
+        num_critical_tasks=critical_tasks,
+        num_critical_paths=count_critical_paths(idx),
+        depth=depth,
+        width=width,
+        average_parallelism=total_work / d if d > 0 else float(graph.num_tasks),
+        max_in_degree=max(in_degrees),
+        max_out_degree=max(out_degrees),
+        mean_degree=float(np.mean(in_degrees)) if in_degrees else 0.0,
+        series_parallel=is_series_parallel(graph) if check_series_parallel else False,
+    )

@@ -1,0 +1,339 @@
+"""Random and structured task-graph generators.
+
+The paper's evaluation uses the tiled Cholesky/LU/QR DAGs (implemented in
+:mod:`repro.workflows`).  The generators here provide additional graph
+families used by the test suite, the property-based tests and the extra
+examples: chains, fork-joins, diamonds, layered random DAGs, Erdős–Rényi
+DAGs, random out-trees and random series-parallel graphs.
+
+All generators accept either a :class:`numpy.random.Generator`, an integer
+seed, or ``None`` (fresh entropy) through the ``rng`` argument, and return a
+fully validated :class:`~repro.core.graph.TaskGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .graph import TaskGraph
+
+__all__ = [
+    "as_rng",
+    "chain_graph",
+    "independent_tasks",
+    "fork_join",
+    "diamond_mesh",
+    "layered_random_dag",
+    "erdos_renyi_dag",
+    "random_out_tree",
+    "random_series_parallel",
+    "random_weights",
+]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Normalise ``None`` / seed / Generator inputs into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def random_weights(
+    n: int,
+    *,
+    low: float = 0.05,
+    high: float = 0.30,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw ``n`` task weights uniformly in ``[low, high)``.
+
+    The default range brackets the paper's average task weight of 0.15 s.
+    """
+    if n < 0:
+        raise GraphError("number of weights must be non-negative")
+    if low < 0 or high <= low:
+        raise GraphError("weight range must satisfy 0 <= low < high")
+    return as_rng(rng).uniform(low, high, size=n)
+
+
+def _apply_weights(
+    graph: TaskGraph,
+    n: int,
+    weight: Union[float, Sequence[float], Callable[[int], float], None],
+    rng: RngLike,
+) -> list:
+    """Resolve the many accepted forms of the ``weight`` argument."""
+    if weight is None:
+        values = random_weights(n, rng=rng)
+    elif callable(weight):
+        values = [float(weight(i)) for i in range(n)]
+    elif np.isscalar(weight):
+        values = [float(weight)] * n
+    else:
+        values = [float(w) for w in weight]
+        if len(values) != n:
+            raise GraphError(f"expected {n} weights, got {len(values)}")
+    return list(values)
+
+
+def chain_graph(
+    n: int,
+    *,
+    weight: Union[float, Sequence[float], None] = None,
+    rng: RngLike = None,
+    name: str = "chain",
+) -> TaskGraph:
+    """A linear chain ``t0 -> t1 -> ... -> t(n-1)``."""
+    if n <= 0:
+        raise GraphError("a chain needs at least one task")
+    weights = _apply_weights(TaskGraph(), n, weight, rng)
+    graph = TaskGraph(name=f"{name}-{n}")
+    for i in range(n):
+        graph.add_task(f"t{i}", weights[i])
+    for i in range(n - 1):
+        graph.add_edge(f"t{i}", f"t{i + 1}")
+    return graph
+
+
+def independent_tasks(
+    n: int,
+    *,
+    weight: Union[float, Sequence[float], None] = None,
+    rng: RngLike = None,
+    name: str = "independent",
+) -> TaskGraph:
+    """``n`` tasks with no precedence constraints (pure parallel bag)."""
+    if n <= 0:
+        raise GraphError("need at least one task")
+    weights = _apply_weights(TaskGraph(), n, weight, rng)
+    graph = TaskGraph(name=f"{name}-{n}")
+    for i in range(n):
+        graph.add_task(f"t{i}", weights[i])
+    return graph
+
+
+def fork_join(
+    width: int,
+    *,
+    stages: int = 1,
+    weight: Union[float, Sequence[float], None] = None,
+    rng: RngLike = None,
+    name: str = "forkjoin",
+) -> TaskGraph:
+    """A fork-join graph: fork task, ``width`` parallel tasks, join task.
+
+    With ``stages > 1`` the pattern is repeated, the join of stage ``s``
+    acting as the fork of stage ``s + 1`` — the bulk-synchronous structure of
+    many HPC applications.
+    """
+    if width <= 0 or stages <= 0:
+        raise GraphError("width and stages must be positive")
+    n = stages * (width + 1) + 1
+    weights = _apply_weights(TaskGraph(), n, weight, rng)
+    it = iter(weights)
+    graph = TaskGraph(name=f"{name}-{width}x{stages}")
+    graph.add_task("fork_0", next(it))
+    previous_join = "fork_0"
+    for s in range(stages):
+        middle = []
+        for i in range(width):
+            tid = f"work_{s}_{i}"
+            graph.add_task(tid, next(it))
+            graph.add_edge(previous_join, tid)
+            middle.append(tid)
+        join = f"join_{s}"
+        graph.add_task(join, next(it))
+        for tid in middle:
+            graph.add_edge(tid, join)
+        previous_join = join
+    return graph
+
+
+def diamond_mesh(
+    width: int,
+    depth: int,
+    *,
+    weight: Union[float, Sequence[float], None] = None,
+    rng: RngLike = None,
+    name: str = "diamond",
+) -> TaskGraph:
+    """A 2-D dependency mesh (wavefront): task ``(r, c)`` depends on
+    ``(r-1, c)`` and ``(r, c-1)``.
+
+    This is the dependency pattern of dynamic-programming sweeps and of
+    stencil pipelines; it is far from series-parallel, like the
+    factorization DAGs of the paper.
+    """
+    if width <= 0 or depth <= 0:
+        raise GraphError("width and depth must be positive")
+    n = width * depth
+    weights = _apply_weights(TaskGraph(), n, weight, rng)
+    graph = TaskGraph(name=f"{name}-{depth}x{width}")
+    k = 0
+    for r in range(depth):
+        for c in range(width):
+            graph.add_task((r, c), weights[k])
+            k += 1
+    for r in range(depth):
+        for c in range(width):
+            if r > 0:
+                graph.add_edge((r - 1, c), (r, c))
+            if c > 0:
+                graph.add_edge((r, c - 1), (r, c))
+    return graph
+
+
+def layered_random_dag(
+    num_layers: int,
+    layer_width: int,
+    *,
+    edge_probability: float = 0.35,
+    weight: Union[float, Sequence[float], None] = None,
+    rng: RngLike = None,
+    name: str = "layered",
+) -> TaskGraph:
+    """A layered random DAG.
+
+    Tasks are organised into ``num_layers`` layers of ``layer_width`` tasks;
+    each task of layer ``l + 1`` independently depends on each task of layer
+    ``l`` with probability ``edge_probability`` (and on one uniformly chosen
+    task of layer ``l`` if it would otherwise have no predecessor, so the
+    graph stays connected layer to layer).
+    """
+    if num_layers <= 0 or layer_width <= 0:
+        raise GraphError("num_layers and layer_width must be positive")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise GraphError("edge_probability must be in [0, 1]")
+    generator = as_rng(rng)
+    n = num_layers * layer_width
+    weights = _apply_weights(TaskGraph(), n, weight, generator)
+    graph = TaskGraph(name=f"{name}-{num_layers}x{layer_width}")
+    k = 0
+    for layer in range(num_layers):
+        for j in range(layer_width):
+            graph.add_task(f"L{layer}_{j}", weights[k])
+            k += 1
+    for layer in range(1, num_layers):
+        for j in range(layer_width):
+            dst = f"L{layer}_{j}"
+            mask = generator.random(layer_width) < edge_probability
+            if not mask.any():
+                mask[int(generator.integers(layer_width))] = True
+            for i in np.nonzero(mask)[0]:
+                graph.add_edge(f"L{layer - 1}_{int(i)}", dst)
+    return graph
+
+
+def erdos_renyi_dag(
+    n: int,
+    edge_probability: float,
+    *,
+    weight: Union[float, Sequence[float], None] = None,
+    rng: RngLike = None,
+    name: str = "gnp-dag",
+) -> TaskGraph:
+    """A random DAG: each pair ``i < j`` is an edge with given probability.
+
+    The orientation from lower to higher index guarantees acyclicity (this
+    is the standard way of sampling DAGs from the G(n, p) model).
+    """
+    if n <= 0:
+        raise GraphError("need at least one task")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise GraphError("edge_probability must be in [0, 1]")
+    generator = as_rng(rng)
+    weights = _apply_weights(TaskGraph(), n, weight, generator)
+    graph = TaskGraph(name=f"{name}-{n}")
+    for i in range(n):
+        graph.add_task(f"t{i}", weights[i])
+    if n > 1:
+        upper = np.triu(generator.random((n, n)) < edge_probability, k=1)
+        for i, j in zip(*np.nonzero(upper)):
+            graph.add_edge(f"t{int(i)}", f"t{int(j)}")
+    return graph
+
+
+def random_out_tree(
+    n: int,
+    *,
+    max_children: int = 3,
+    weight: Union[float, Sequence[float], None] = None,
+    rng: RngLike = None,
+    name: str = "outtree",
+) -> TaskGraph:
+    """A random rooted out-tree with ``n`` tasks (every task but the root has
+    exactly one predecessor).  Out-trees are always series-parallel."""
+    if n <= 0:
+        raise GraphError("need at least one task")
+    if max_children <= 0:
+        raise GraphError("max_children must be positive")
+    generator = as_rng(rng)
+    weights = _apply_weights(TaskGraph(), n, weight, generator)
+    graph = TaskGraph(name=f"{name}-{n}")
+    graph.add_task("t0", weights[0])
+    children_count = {0: 0}
+    eligible = [0]
+    for i in range(1, n):
+        parent_pos = int(generator.integers(len(eligible)))
+        parent = eligible[parent_pos]
+        graph.add_task(f"t{i}", weights[i])
+        graph.add_edge(f"t{parent}", f"t{i}")
+        children_count[parent] += 1
+        if children_count[parent] >= max_children:
+            eligible.pop(parent_pos)
+        children_count[i] = 0
+        eligible.append(i)
+    return graph
+
+
+def random_series_parallel(
+    num_leaves: int,
+    *,
+    series_probability: float = 0.5,
+    weight: Union[float, Sequence[float], None] = None,
+    rng: RngLike = None,
+    name: str = "sp",
+) -> TaskGraph:
+    """A random two-terminal series-parallel task graph with ``num_leaves``
+    weighted tasks.
+
+    The graph is built by recursively splitting the leaf count and choosing
+    series or parallel composition at random; it is series-parallel by
+    construction, which the property tests exploit to cross-check the
+    recogniser and the exact SP evaluation.
+    """
+    if num_leaves <= 0:
+        raise GraphError("need at least one leaf task")
+    if not (0.0 <= series_probability <= 1.0):
+        raise GraphError("series_probability must be in [0, 1]")
+    generator = as_rng(rng)
+    weights = _apply_weights(TaskGraph(), num_leaves, weight, generator)
+
+    graph = TaskGraph(name=f"{name}-{num_leaves}")
+    counter = [0]
+
+    def build(count: int):
+        """Return (sources, sinks) lists of the generated component."""
+        if count == 1:
+            tid = f"t{counter[0]}"
+            graph.add_task(tid, weights[counter[0]])
+            counter[0] += 1
+            return [tid], [tid]
+        left_count = int(generator.integers(1, count))
+        right_count = count - left_count
+        left_sources, left_sinks = build(left_count)
+        right_sources, right_sinks = build(right_count)
+        if generator.random() < series_probability:
+            for s in left_sinks:
+                for t in right_sources:
+                    graph.add_edge(s, t)
+            return left_sources, right_sinks
+        return left_sources + right_sources, left_sinks + right_sinks
+
+    build(num_leaves)
+    return graph

@@ -1,0 +1,188 @@
+"""Serialisation of task graphs: JSON, DOT (Graphviz) and edge lists.
+
+The JSON format is the package's native interchange format; the DOT output
+reproduces the task labels of Figures 1-3 of the paper so the factorization
+DAGs can be rendered with Graphviz for visual comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, TextIO, Union
+
+from ..exceptions import SerializationError
+from .graph import TaskGraph
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_json",
+    "load_json",
+    "dumps_json",
+    "loads_json",
+    "to_dot",
+    "save_dot",
+    "to_edge_list",
+    "from_edge_list",
+]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Return a JSON-serialisable dictionary describing the graph."""
+    return {
+        "format": "repro-taskgraph",
+        "version": _FORMAT_VERSION,
+        "name": graph.name,
+        "tasks": [task.to_dict() for task in graph.tasks()],
+        "edges": [
+            {"src": src, "dst": dst, **graph.edge_attributes(src, dst)}
+            for src, dst in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> TaskGraph:
+    """Rebuild a :class:`TaskGraph` from :func:`graph_to_dict` output."""
+    if not isinstance(payload, dict):
+        raise SerializationError("task graph payload must be a mapping")
+    if payload.get("format") not in (None, "repro-taskgraph"):
+        raise SerializationError(f"unexpected format tag {payload.get('format')!r}")
+    graph = TaskGraph(name=payload.get("name", "taskgraph"))
+    try:
+        for task_payload in payload["tasks"]:
+            graph.add_task(
+                task_payload["id"],
+                task_payload["weight"],
+                kernel=task_payload.get("kernel"),
+                metadata=task_payload.get("metadata", {}),
+            )
+        for edge_payload in payload.get("edges", []):
+            attrs = {
+                k: v for k, v in edge_payload.items() if k not in ("src", "dst")
+            }
+            graph.add_edge(edge_payload["src"], edge_payload["dst"], **attrs)
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed task graph payload: {exc}") from exc
+    return graph
+
+
+def dumps_json(graph: TaskGraph, *, indent: Optional[int] = 2) -> str:
+    """Serialise a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=False)
+
+
+def loads_json(text: str) -> TaskGraph:
+    """Parse a graph from a JSON string produced by :func:`dumps_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return graph_from_dict(payload)
+
+
+def save_json(graph: TaskGraph, path: Union[str, Path]) -> Path:
+    """Write a graph to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(dumps_json(graph), encoding="utf-8")
+    return path
+
+
+def load_json(path: Union[str, Path]) -> TaskGraph:
+    """Read a graph from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such file: {path}")
+    return loads_json(path.read_text(encoding="utf-8"))
+
+
+def _dot_escape(value: Any) -> str:
+    return str(value).replace('"', '\\"')
+
+
+def to_dot(
+    graph: TaskGraph,
+    *,
+    rankdir: str = "TB",
+    show_weights: bool = False,
+    highlight: Optional[Iterable] = None,
+) -> str:
+    """Render the graph in Graphviz DOT syntax.
+
+    Parameters
+    ----------
+    rankdir:
+        Layout direction (``"TB"`` as in the paper's figures, or ``"LR"``).
+    show_weights:
+        Append the task weight to each label.
+    highlight:
+        Optional iterable of task identifiers drawn with a filled style
+        (used by the examples to emphasise the critical path).
+    """
+    highlighted = set(highlight or ())
+    lines = [f'digraph "{_dot_escape(graph.name)}" {{', f"  rankdir={rankdir};"]
+    lines.append('  node [shape=box, fontsize=10];')
+    for task in graph.tasks():
+        label = str(task.task_id)
+        if show_weights:
+            label += f"\\n{task.weight:.3g}s"
+        attrs = [f'label="{_dot_escape(label)}"']
+        if task.task_id in highlighted:
+            attrs.append('style=filled')
+            attrs.append('fillcolor="#ffd27f"')
+        lines.append(f'  "{_dot_escape(task.task_id)}" [{", ".join(attrs)}];')
+    for src, dst in graph.edges():
+        lines.append(f'  "{_dot_escape(src)}" -> "{_dot_escape(dst)}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_dot(graph: TaskGraph, path: Union[str, Path], **kwargs: Any) -> Path:
+    """Write the DOT rendering of the graph to a file."""
+    path = Path(path)
+    path.write_text(to_dot(graph, **kwargs), encoding="utf-8")
+    return path
+
+
+def to_edge_list(graph: TaskGraph, stream: Optional[TextIO] = None) -> str:
+    """Serialise the graph as a simple text edge list.
+
+    Format: one ``task <id> <weight>`` line per task followed by one
+    ``edge <src> <dst>`` line per edge.  Identifiers must not contain
+    whitespace for this format to round-trip.
+    """
+    lines = []
+    for task in graph.tasks():
+        lines.append(f"task {task.task_id} {task.weight!r}")
+    for src, dst in graph.edges():
+        lines.append(f"edge {src} {dst}")
+    text = "\n".join(lines) + "\n"
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def from_edge_list(text: str, *, name: str = "taskgraph") -> TaskGraph:
+    """Parse the edge-list format produced by :func:`to_edge_list`."""
+    graph = TaskGraph(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "task":
+            if len(parts) != 3:
+                raise SerializationError(f"line {lineno}: expected 'task <id> <weight>'")
+            try:
+                graph.add_task(parts[1], float(parts[2]))
+            except ValueError as exc:
+                raise SerializationError(f"line {lineno}: bad weight {parts[2]!r}") from exc
+        elif parts[0] == "edge":
+            if len(parts) != 3:
+                raise SerializationError(f"line {lineno}: expected 'edge <src> <dst>'")
+            graph.add_edge(parts[1], parts[2])
+        else:
+            raise SerializationError(f"line {lineno}: unknown record {parts[0]!r}")
+    return graph

@@ -1,0 +1,137 @@
+"""Task objects: the vertices of a task graph.
+
+A :class:`Task` carries an identifier, a failure-free execution time
+(*weight*, written ``a_i`` in the paper), and optional metadata such as the
+BLAS kernel name it corresponds to in the tiled factorization DAGs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Mapping, Optional
+
+from ..exceptions import InvalidWeightError
+
+__all__ = ["Task", "TaskId", "validate_weight"]
+
+#: Type alias used throughout the package for task identifiers.  Any hashable
+#: object is accepted; the linear-algebra generators use strings such as
+#: ``"POTRF_3"`` or ``"GEMM_4_2_1"``.
+TaskId = Hashable
+
+
+def validate_weight(weight: float, *, allow_zero: bool = True) -> float:
+    """Validate and normalise a task weight.
+
+    Parameters
+    ----------
+    weight:
+        The candidate failure-free execution time.
+    allow_zero:
+        Whether a weight of exactly zero is acceptable (zero-weight tasks are
+        used for the artificial source/sink vertices added by
+        :func:`repro.core.transform.add_source_sink`).
+
+    Returns
+    -------
+    float
+        The weight as a ``float``.
+
+    Raises
+    ------
+    InvalidWeightError
+        If the weight is negative, NaN, infinite or (when ``allow_zero`` is
+        false) zero.
+    """
+    try:
+        w = float(weight)
+    except (TypeError, ValueError) as exc:
+        raise InvalidWeightError(f"weight must be a real number, got {weight!r}") from exc
+    if math.isnan(w):
+        raise InvalidWeightError("weight must not be NaN")
+    if math.isinf(w):
+        raise InvalidWeightError("weight must be finite")
+    if w < 0:
+        raise InvalidWeightError(f"weight must be non-negative, got {w}")
+    if not allow_zero and w == 0.0:
+        raise InvalidWeightError("weight must be strictly positive")
+    return w
+
+
+@dataclass(frozen=True)
+class Task:
+    """A single task (vertex) of a task graph.
+
+    Attributes
+    ----------
+    task_id:
+        Unique, hashable identifier of the task within its graph.
+    weight:
+        Failure-free execution time ``a_i`` (seconds by convention).
+    kernel:
+        Optional name of the computational kernel this task performs
+        (e.g. ``"GEMM"``); used by the tiled factorization generators and by
+        heterogeneous scheduling.
+    metadata:
+        Free-form mapping of additional attributes (tile indices, flop
+        counts, ...).  The mapping is copied at construction time so tasks
+        remain value objects.
+    """
+
+    task_id: TaskId
+    weight: float
+    kernel: Optional[str] = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weight", validate_weight(self.weight))
+        # Freeze the metadata into a plain dict copy so mutation of the
+        # caller's mapping does not silently change the task afterwards.
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors / transforms
+    # ------------------------------------------------------------------
+    def with_weight(self, weight: float) -> "Task":
+        """Return a copy of this task with a different weight."""
+        return Task(self.task_id, weight, kernel=self.kernel, metadata=self.metadata)
+
+    def scaled(self, factor: float) -> "Task":
+        """Return a copy of this task with its weight multiplied by ``factor``."""
+        return self.with_weight(self.weight * factor)
+
+    def doubled(self) -> "Task":
+        """Return a copy of this task with doubled weight.
+
+        Doubling the weight of a single task is exactly the perturbation used
+        by the first-order approximation: it models the task failing its
+        first execution attempt and being re-executed once from scratch.
+        """
+        return self.scaled(2.0)
+
+    # ------------------------------------------------------------------
+    # Serialisation helpers
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-serialisable representation of the task."""
+        payload: Dict[str, Any] = {"id": self.task_id, "weight": self.weight}
+        if self.kernel is not None:
+            payload["kernel"] = self.kernel
+        if self.metadata:
+            payload["metadata"] = dict(self.metadata)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Task":
+        """Build a task from the output of :meth:`to_dict`."""
+        return cls(
+            task_id=payload["id"],
+            weight=payload["weight"],
+            kernel=payload.get("kernel"),
+            metadata=payload.get("metadata", {}),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kernel = f" [{self.kernel}]" if self.kernel else ""
+        return f"Task({self.task_id}{kernel}, a={self.weight:g})"

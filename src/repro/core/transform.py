@@ -1,0 +1,243 @@
+"""Graph transformations.
+
+These helpers produce *new* :class:`~repro.core.graph.TaskGraph` objects and
+never mutate their input (except :func:`relabel` when ``inplace=True``).
+
+The most important transform for the paper is
+:func:`add_source_sink`: Section III computes ``d(G)`` after adding a
+zero-weight unique source and a zero-weight unique sink; the estimators in
+this package do not require that augmentation (they handle multiple entry
+and exit tasks directly) but the scheduler and several classical algorithms
+(Dodin's arc-network construction, series-parallel recognition) do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple
+
+from ..exceptions import GraphError
+from .graph import TaskGraph
+from .task import TaskId
+
+__all__ = [
+    "add_source_sink",
+    "SOURCE_ID",
+    "SINK_ID",
+    "scaled_copy",
+    "with_unit_weights",
+    "relabel",
+    "reversed_graph",
+    "transitive_reduction",
+    "transitive_closure_edges",
+    "merge_linear_chains",
+    "level_partition",
+]
+
+#: Default identifiers of the artificial source and sink tasks.
+SOURCE_ID = "__SOURCE__"
+SINK_ID = "__SINK__"
+
+
+def add_source_sink(
+    graph: TaskGraph,
+    *,
+    source_id: TaskId = SOURCE_ID,
+    sink_id: TaskId = SINK_ID,
+    weight: float = 0.0,
+) -> TaskGraph:
+    """Return a copy of ``graph`` with a unique zero-weight source and sink.
+
+    The new source precedes every entry task and the new sink succeeds every
+    exit task, exactly as in Section III of the paper.  If the graph already
+    has a unique source/sink the artificial vertex is still added (callers
+    that need idempotence should check first); the longest path length is
+    unchanged because the added weight is zero.
+    """
+    if source_id in graph or sink_id in graph:
+        raise GraphError(
+            f"graph already contains a task named {source_id!r} or {sink_id!r}"
+        )
+    augmented = graph.copy(name=f"{graph.name}[st]")
+    entries = augmented.sources()
+    exits = augmented.sinks()
+    augmented.add_task(source_id, weight, kernel="SOURCE")
+    augmented.add_task(sink_id, weight, kernel="SINK")
+    for tid in entries:
+        augmented.add_edge(source_id, tid)
+    for tid in exits:
+        augmented.add_edge(tid, sink_id)
+    if not entries:  # empty original graph: connect source directly to sink
+        augmented.add_edge(source_id, sink_id)
+    elif not exits:  # unreachable in a DAG with tasks, kept for safety
+        augmented.add_edge(source_id, sink_id)
+    return augmented
+
+
+def scaled_copy(graph: TaskGraph, factor: float) -> TaskGraph:
+    """Return a copy of the graph with every weight multiplied by ``factor``."""
+    clone = graph.copy(name=f"{graph.name}[x{factor:g}]")
+    clone.scale_weights(factor)
+    return clone
+
+
+def with_unit_weights(graph: TaskGraph) -> TaskGraph:
+    """Return a copy where every task has weight 1 (pure structure)."""
+    clone = graph.copy(name=f"{graph.name}[unit]")
+    for tid in clone.task_ids():
+        clone.set_weight(tid, 1.0)
+    return clone
+
+
+def relabel(
+    graph: TaskGraph,
+    mapping: Optional[Dict[TaskId, Hashable]] = None,
+    *,
+    function: Optional[Callable[[TaskId], Hashable]] = None,
+) -> TaskGraph:
+    """Return a copy of the graph with task identifiers renamed.
+
+    Exactly one of ``mapping`` and ``function`` must be provided.  The
+    renaming must be injective.
+    """
+    if (mapping is None) == (function is None):
+        raise GraphError("provide exactly one of 'mapping' or 'function'")
+    rename: Callable[[TaskId], Hashable]
+    if mapping is not None:
+        rename = lambda tid: mapping.get(tid, tid)  # noqa: E731
+    else:
+        rename = function  # type: ignore[assignment]
+
+    new_ids = [rename(tid) for tid in graph.task_ids()]
+    if len(set(new_ids)) != len(new_ids):
+        raise GraphError("relabelling is not injective")
+
+    clone = TaskGraph(name=graph.name)
+    for tid, new_id in zip(graph.task_ids(), new_ids):
+        task = graph.task(tid)
+        clone.add_task(new_id, task.weight, kernel=task.kernel, metadata=task.metadata)
+    for src, dst in graph.edges():
+        clone.add_edge(rename(src), rename(dst), **graph.edge_attributes(src, dst))
+    return clone
+
+
+def reversed_graph(graph: TaskGraph) -> TaskGraph:
+    """Return the graph with every edge reversed (same tasks and weights)."""
+    clone = TaskGraph(name=f"{graph.name}[rev]")
+    for task in graph.tasks():
+        clone.add_task_object(task)
+    for src, dst in graph.edges():
+        clone.add_edge(dst, src, **graph.edge_attributes(src, dst))
+    return clone
+
+
+def transitive_closure_edges(graph: TaskGraph) -> set:
+    """Return the set of ordered pairs ``(u, v)`` such that ``v`` is reachable
+    from ``u`` by a non-empty path."""
+    order = graph.topological_order()
+    reach: Dict[TaskId, set] = {tid: set() for tid in order}
+    for tid in reversed(order):
+        for succ in graph.successors(tid):
+            reach[tid].add(succ)
+            reach[tid] |= reach[succ]
+    return {(u, v) for u, vs in reach.items() for v in vs}
+
+
+def transitive_reduction(graph: TaskGraph) -> TaskGraph:
+    """Return the transitive reduction of the graph.
+
+    The transitive reduction removes every edge ``(u, v)`` for which a longer
+    path from ``u`` to ``v`` exists.  Critical-path lengths are unchanged
+    because task weights are non-negative, but the reduced graph is smaller,
+    which speeds up every traversal-based estimator.
+    """
+    order = graph.topological_order()
+    reach: Dict[TaskId, set] = {tid: set() for tid in order}
+    # reach[u] = vertices reachable from u via paths of length >= 1
+    for tid in reversed(order):
+        for succ in graph.successors(tid):
+            reach[tid].add(succ)
+            reach[tid] |= reach[succ]
+
+    reduced = TaskGraph(name=f"{graph.name}[tr]")
+    for task in graph.tasks():
+        reduced.add_task_object(task)
+    for u in order:
+        succs = graph.successors(u)
+        for v in succs:
+            # (u, v) is redundant if v is reachable from some other successor
+            # of u.
+            redundant = any(v in reach[w] for w in succs if w != v)
+            if not redundant:
+                reduced.add_edge(u, v, **graph.edge_attributes(u, v))
+    return reduced
+
+
+def merge_linear_chains(graph: TaskGraph) -> Tuple[TaskGraph, Dict[TaskId, Tuple[TaskId, ...]]]:
+    """Collapse maximal linear chains of tasks into single tasks.
+
+    A *linear chain* is a maximal path ``t1 -> t2 -> ... -> tk`` where every
+    interior vertex has exactly one predecessor and one successor.  The
+    merged task's weight is the sum of the chain weights, so deterministic
+    longest-path lengths are preserved.  (Expected makespans under failures
+    are *not* preserved in general — merging changes the failure granularity
+    — which is why estimators never call this silently; it is exposed for
+    model-reduction studies.)
+
+    Returns
+    -------
+    (TaskGraph, dict)
+        The collapsed graph, and a mapping from each merged task identifier
+        to the tuple of original identifiers it replaces (singleton tuples
+        for unmerged tasks).
+    """
+    order = graph.topological_order()
+    visited = set()
+    chains = []
+    for tid in order:
+        if tid in visited:
+            continue
+        chain = [tid]
+        visited.add(tid)
+        current = tid
+        while True:
+            succs = graph.successors(current)
+            if len(succs) != 1:
+                break
+            nxt = succs[0]
+            if graph.in_degree(nxt) != 1 or nxt in visited:
+                break
+            chain.append(nxt)
+            visited.add(nxt)
+            current = nxt
+        chains.append(tuple(chain))
+
+    rep: Dict[TaskId, TaskId] = {}
+    members: Dict[TaskId, Tuple[TaskId, ...]] = {}
+    merged = TaskGraph(name=f"{graph.name}[chains]")
+    for chain in chains:
+        head = chain[0]
+        total = sum(graph.weight(t) for t in chain)
+        head_task = graph.task(head)
+        merged.add_task(head, total, kernel=head_task.kernel, metadata={"chain": list(chain)})
+        members[head] = chain
+        for t in chain:
+            rep[t] = head
+    for src, dst in graph.edges():
+        a, b = rep[src], rep[dst]
+        if a != b and not merged.has_edge(a, b):
+            merged.add_edge(a, b)
+    return merged, members
+
+
+def level_partition(graph: TaskGraph) -> Dict[int, list]:
+    """Partition tasks into levels: level 0 = sources, level ``l`` = tasks all
+    of whose predecessors live in levels ``< l`` with at least one in
+    ``l - 1``.  Useful for layered drawings and synthetic workloads."""
+    levels: Dict[TaskId, int] = {}
+    for tid in graph.topological_order():
+        preds = graph.predecessors(tid)
+        levels[tid] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    partition: Dict[int, list] = {}
+    for tid, lvl in levels.items():
+        partition.setdefault(lvl, []).append(tid)
+    return partition

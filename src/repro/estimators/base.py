@@ -1,0 +1,156 @@
+"""Estimator interface and result object.
+
+Every makespan-estimation technique in the package (First Order, Dodin,
+Sculli/Normal, Monte Carlo, exact enumeration, bounds) implements the same
+small interface: ``estimate(graph, model) -> EstimateResult``.  The result
+carries the expected-makespan estimate, the failure-free makespan (the
+deterministic lower bound of Section III), the wall-clock time spent — the
+paper's Table I compares execution times — and method-specific details.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.graph import TaskGraph
+from ..core.paths import critical_path_length
+from ..core.validation import ensure_valid
+from ..exceptions import EstimationError
+from ..failures.models import ErrorModel
+
+__all__ = ["EstimateResult", "MakespanEstimator", "relative_error", "normalized_difference"]
+
+
+def normalized_difference(estimate: float, reference: float) -> float:
+    """Signed normalised difference ``(estimate − reference) / reference``.
+
+    This is the quantity plotted in Figures 4–12 and reported in Table I of
+    the paper ("normalized difference with Monte-Carlo"): negative values
+    are underestimations, positive values overestimations.
+    """
+    if reference == 0:
+        raise EstimationError("reference makespan is zero; normalised difference undefined")
+    return (estimate - reference) / reference
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """Absolute value of the normalised difference."""
+    return abs(normalized_difference(estimate, reference))
+
+
+@dataclass
+class EstimateResult:
+    """Outcome of one expected-makespan estimation.
+
+    Attributes
+    ----------
+    method:
+        Registry name of the estimator (e.g. ``"first-order"``).
+    expected_makespan:
+        The estimate of ``E(G)``.
+    failure_free_makespan:
+        ``d(G)``, the deterministic longest-path length (always a lower
+        bound on the expected makespan).
+    wall_time:
+        Wall-clock seconds spent producing the estimate.
+    graph_name / num_tasks / num_edges:
+        Description of the input graph, for reporting.
+    error_rate:
+        The ``λ`` of the error model (``None`` for models without a rate).
+    std_error:
+        Standard error of the estimate (Monte Carlo only).
+    confidence_interval:
+        Confidence interval on the estimate (Monte Carlo only).
+    details:
+        Estimator-specific extras (e.g. variance for the normal methods,
+        number of duplications for Dodin, number of trials for Monte Carlo).
+    """
+
+    method: str
+    expected_makespan: float
+    failure_free_makespan: float
+    wall_time: float
+    graph_name: str = ""
+    num_tasks: int = 0
+    num_edges: int = 0
+    error_rate: Optional[float] = None
+    std_error: Optional[float] = None
+    confidence_interval: Optional[Tuple[float, float]] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def slowdown(self) -> float:
+        """Expected makespan divided by the failure-free makespan."""
+        if self.failure_free_makespan == 0:
+            return float("inf")
+        return self.expected_makespan / self.failure_free_makespan
+
+    def normalized_difference_with(self, reference: float) -> float:
+        """Signed normalised difference against a reference value."""
+        return normalized_difference(self.expected_makespan, reference)
+
+    def relative_error_with(self, reference: float) -> float:
+        """Absolute normalised difference against a reference value."""
+        return relative_error(self.expected_makespan, reference)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        extra = ""
+        if self.std_error is not None:
+            extra = f" ± {self.std_error:.3g}"
+        return (
+            f"{self.method}: E[makespan] = {self.expected_makespan:.6g}{extra} "
+            f"(d(G) = {self.failure_free_makespan:.6g}, {self.wall_time * 1e3:.2f} ms)"
+        )
+
+
+class MakespanEstimator(abc.ABC):
+    """Abstract base class of all expected-makespan estimators.
+
+    Subclasses implement :meth:`_estimate`; the public :meth:`estimate`
+    template method validates the input, measures wall-clock time and fills
+    the common fields of :class:`EstimateResult`.
+    """
+
+    #: Registry name of the estimator; subclasses must override.
+    name: str = "abstract"
+
+    def __init__(self, *, validate: bool = True) -> None:
+        self._validate = validate
+
+    @abc.abstractmethod
+    def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
+        """Produce the estimate (wall_time and graph description may be left
+        at their defaults; :meth:`estimate` overwrites them)."""
+
+    def estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
+        """Estimate the expected makespan of ``graph`` under ``model``."""
+        if graph.num_tasks == 0:
+            raise EstimationError("cannot estimate the makespan of an empty graph")
+        if self._validate:
+            ensure_valid(graph)
+        start = time.perf_counter()
+        result = self._estimate(graph, model)
+        elapsed = time.perf_counter() - start
+
+        result.method = self.name
+        result.wall_time = elapsed
+        result.graph_name = graph.name
+        result.num_tasks = graph.num_tasks
+        result.num_edges = graph.num_edges
+        if result.failure_free_makespan == 0.0 and graph.num_tasks:
+            result.failure_free_makespan = critical_path_length(graph)
+        rate = getattr(model, "error_rate", None)
+        if result.error_rate is None and rate is not None:
+            result.error_rate = float(rate)
+        return result
+
+    # Convenience: estimators can be called like functions.
+    def __call__(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
+        return self.estimate(graph, model)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,99 @@
+"""Deterministic bounds on the expected makespan.
+
+These closed-form bounds are cheap sanity brackets used by the tests and by
+the experiment reports:
+
+* **Lower bound** — the failure-free makespan ``d(G)`` (Section III calls it
+  "a clear lower bound"); a slightly tighter variant evaluates the longest
+  path with every task weight replaced by its *expected* execution time,
+  which is also a lower bound by Jensen's inequality (the expectation of a
+  maximum dominates the maximum of expectations).
+* **Upper bound** — the longest path with every weight set to the
+  worst-case two-state value ``2 a_i`` bounds every scenario's makespan from
+  above, hence also the expectation.  A second upper bound adds the total
+  expected re-executed work ``λ Σ_i a_i²`` to ``d(G)`` (every failure delays
+  the makespan by at most the re-executed task's weight).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import TaskGraph
+from ..core.paths import critical_path_length, makespan_with_weights
+from ..exceptions import EstimationError
+from ..failures.models import ErrorModel
+from .base import EstimateResult, MakespanEstimator
+
+__all__ = ["LowerBoundEstimator", "UpperBoundEstimator", "makespan_bounds"]
+
+
+class LowerBoundEstimator(MakespanEstimator):
+    """Lower bound: longest path of the per-task *expected* execution times."""
+
+    name = "lower-bound"
+
+    def __init__(self, *, reexecution_factor: float = 2.0, validate: bool = True) -> None:
+        super().__init__(validate=validate)
+        if reexecution_factor < 1.0:
+            raise EstimationError("re-execution factor must be >= 1")
+        self.reexecution_factor = reexecution_factor
+
+    def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
+        index = graph.index()
+        weights = index.weights
+        q = np.asarray(model.failure_probabilities(weights), dtype=np.float64)
+        expected_weights = weights * (1.0 + (self.reexecution_factor - 1.0) * q)
+        bound = makespan_with_weights(index, expected_weights)
+        d_g = critical_path_length(index)
+        return EstimateResult(
+            method=self.name,
+            expected_makespan=max(bound, d_g),
+            failure_free_makespan=d_g,
+            wall_time=0.0,
+            details={"failure_free_bound": d_g, "expected_weight_bound": bound},
+        )
+
+
+class UpperBoundEstimator(MakespanEstimator):
+    """Upper bound on the expected makespan (two-state model).
+
+    The reported value is the tighter of two bounds:
+
+    * ``d(G) + Σ_i q_i (r−1) a_i`` — every task failure delays the makespan
+      by at most the re-executed work of that task, and expectations add;
+    * the all-failures makespan ``d(G')`` with every weight set to ``r·a_i``
+      (a trivial but sometimes tighter bound for very high failure rates).
+    """
+
+    name = "upper-bound"
+
+    def __init__(self, *, reexecution_factor: float = 2.0, validate: bool = True) -> None:
+        super().__init__(validate=validate)
+        if reexecution_factor < 1.0:
+            raise EstimationError("re-execution factor must be >= 1")
+        self.reexecution_factor = reexecution_factor
+
+    def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
+        index = graph.index()
+        weights = index.weights
+        q = np.asarray(model.failure_probabilities(weights), dtype=np.float64)
+        d_g = critical_path_length(index)
+        extra = float(np.dot(q, (self.reexecution_factor - 1.0) * weights))
+        additive_bound = d_g + extra
+        worst_case = makespan_with_weights(index, self.reexecution_factor * weights)
+        bound = min(additive_bound, worst_case)
+        return EstimateResult(
+            method=self.name,
+            expected_makespan=bound,
+            failure_free_makespan=d_g,
+            wall_time=0.0,
+            details={"additive_bound": additive_bound, "worst_case_bound": worst_case},
+        )
+
+
+def makespan_bounds(graph: TaskGraph, model: ErrorModel) -> tuple:
+    """Convenience helper returning ``(lower, upper)`` expected-makespan bounds."""
+    low = LowerBoundEstimator().estimate(graph, model).expected_makespan
+    high = UpperBoundEstimator().estimate(graph, model).expected_makespan
+    return low, high

@@ -1,0 +1,135 @@
+"""Sculli's method: the paper's "Normal" competitor.
+
+Section II-A3: each task execution time (the 2-state law taking value
+``a_i`` with probability ``p_i`` and ``2 a_i`` with probability ``1 - p_i``)
+is replaced by a normal variable of identical mean and variance.  Completion
+times are then propagated through the DAG:
+
+* the completion time of a task is its own (normal) execution time plus the
+  maximum of its predecessors' completion times;
+* sums of normals stay normal (means and variances add — independence is
+  assumed);
+* the maximum of two normals is *approximated* by a normal whose first two
+  moments are given by Clark's formulas; Sculli's classical method takes the
+  two operands to be independent (correlation 0).
+
+The expected makespan estimate is the mean of the (approximately normal)
+completion time of the whole graph, i.e. of the maximum over exit tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.graph import TaskGraph
+from ..core.paths import critical_path_length
+from ..exceptions import EstimationError
+from ..failures.models import ErrorModel
+from ..failures.twostate import TwoStateDistribution
+from ..rv.normal import NormalRV, clark_max
+from .base import EstimateResult, MakespanEstimator
+
+__all__ = ["SculliEstimator"]
+
+
+class SculliEstimator(MakespanEstimator):
+    """Normal-propagation approximation of the expected makespan.
+
+    Parameters
+    ----------
+    reexecution_factor:
+        Execution-time multiplier of a failed task (2 = full re-execution,
+        as in the paper).
+    """
+
+    name = "normal"
+
+    def __init__(self, *, reexecution_factor: float = 2.0, validate: bool = True) -> None:
+        super().__init__(validate=validate)
+        if reexecution_factor < 1.0:
+            raise EstimationError("re-execution factor must be >= 1")
+        self.reexecution_factor = reexecution_factor
+
+    def _task_normal(self, weight: float, model: ErrorModel) -> NormalRV:
+        """Normal moment-match of the task's 2-state execution-time law."""
+        law = TwoStateDistribution.from_model(
+            weight, model, reexecution_factor=self.reexecution_factor
+        )
+        return NormalRV(law.mean, law.variance)
+
+    def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
+        index = graph.index()
+        n = index.num_tasks
+        weights = index.weights
+
+        # Completion-time normal approximation per task, in topological order.
+        completion_mean = np.zeros(n, dtype=np.float64)
+        completion_var = np.zeros(n, dtype=np.float64)
+        indptr, indices = index.pred_indptr, index.pred_indices
+
+        for i in index.topo_order:
+            task_rv = self._task_normal(float(weights[i]), model)
+            preds = indices[indptr[i] : indptr[i + 1]]
+            if preds.size == 0:
+                ready = NormalRV.degenerate(0.0)
+            else:
+                ready = NormalRV(completion_mean[preds[0]], completion_var[preds[0]])
+                for p in preds[1:]:
+                    ready = clark_max(
+                        ready, NormalRV(completion_mean[p], completion_var[p]), 0.0
+                    )
+            total = ready.add_independent(task_rv)
+            completion_mean[i] = total.mean
+            completion_var[i] = total.variance
+
+        sinks = index.sink_indices()
+        makespan = NormalRV(completion_mean[sinks[0]], completion_var[sinks[0]])
+        for s in sinks[1:]:
+            makespan = clark_max(makespan, NormalRV(completion_mean[s], completion_var[s]), 0.0)
+
+        return EstimateResult(
+            method=self.name,
+            expected_makespan=makespan.mean,
+            failure_free_makespan=critical_path_length(index),
+            wall_time=0.0,
+            details={
+                "makespan_variance": makespan.variance,
+                "makespan_std": makespan.std,
+                "reexecution_factor": self.reexecution_factor,
+            },
+        )
+
+    def completion_time_moments(
+        self, graph: TaskGraph, model: ErrorModel
+    ) -> Dict:
+        """Per-task (mean, variance) of the approximated completion times.
+
+        Exposed for the silent-error-aware scheduling heuristics, which rank
+        tasks by expected bottom level.
+        """
+        index = graph.index()
+        n = index.num_tasks
+        weights = index.weights
+        completion_mean = np.zeros(n, dtype=np.float64)
+        completion_var = np.zeros(n, dtype=np.float64)
+        indptr, indices = index.pred_indptr, index.pred_indices
+        for i in index.topo_order:
+            task_rv = self._task_normal(float(weights[i]), model)
+            preds = indices[indptr[i] : indptr[i + 1]]
+            if preds.size == 0:
+                ready = NormalRV.degenerate(0.0)
+            else:
+                ready = NormalRV(completion_mean[preds[0]], completion_var[preds[0]])
+                for p in preds[1:]:
+                    ready = clark_max(
+                        ready, NormalRV(completion_mean[p], completion_var[p]), 0.0
+                    )
+            total = ready.add_independent(task_rv)
+            completion_mean[i] = total.mean
+            completion_var[i] = total.variance
+        return {
+            tid: (float(completion_mean[j]), float(completion_var[j]))
+            for j, tid in enumerate(index.task_ids)
+        }

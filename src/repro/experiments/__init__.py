@@ -1,0 +1,48 @@
+"""Experiment drivers regenerating every figure and table of the paper."""
+
+from .config import (
+    PAPER_FIGURES,
+    PAPER_MC_TRIALS,
+    TABLE1,
+    FigureConfig,
+    ScalabilityConfig,
+    monte_carlo_trials,
+)
+from .error_vs_size import ErrorPoint, FigureResult, run_error_vs_size, run_figure
+from .scalability import ScalabilityResult, ScalabilityRow, run_scalability, run_table1
+from .reporting import (
+    ascii_semilog_plot,
+    figure_ascii_plot,
+    figure_table,
+    format_table,
+    scalability_table,
+    write_csv,
+)
+from .runner import run_all_figures, run_everything, summarize_figure, summarize_table1
+
+__all__ = [
+    "FigureConfig",
+    "ScalabilityConfig",
+    "PAPER_FIGURES",
+    "TABLE1",
+    "PAPER_MC_TRIALS",
+    "monte_carlo_trials",
+    "ErrorPoint",
+    "FigureResult",
+    "run_error_vs_size",
+    "run_figure",
+    "ScalabilityRow",
+    "ScalabilityResult",
+    "run_scalability",
+    "run_table1",
+    "format_table",
+    "figure_table",
+    "scalability_table",
+    "ascii_semilog_plot",
+    "figure_ascii_plot",
+    "write_csv",
+    "run_all_figures",
+    "run_everything",
+    "summarize_figure",
+    "summarize_table1",
+]

@@ -1,0 +1,165 @@
+"""Reporting helpers: text tables, CSV files and ASCII log-scale plots.
+
+The paper presents its results as semi-log plots (Figures 4-12) and one
+table (Table I).  The helpers here render the same content as plain text so
+that every experiment can be inspected from a terminal and archived as CSV
+without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..exceptions import ExperimentError
+from .error_vs_size import FigureResult
+from .scalability import ScalabilityResult
+
+__all__ = [
+    "format_table",
+    "figure_table",
+    "scalability_table",
+    "ascii_semilog_plot",
+    "figure_ascii_plot",
+    "write_csv",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *, title: str = "") -> str:
+    """Render a list of rows as a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def figure_table(result: FigureResult) -> str:
+    """Text table of one figure: one row per graph size, one column per estimator."""
+    estimators = result.estimators()
+    headers = ["k", "tasks", "MC mean"] + [f"{e} diff" for e in estimators]
+    rows = []
+    for size in sorted({p.size for p in result.points}):
+        at_size = {p.estimator: p for p in result.points if p.size == size}
+        any_point = next(iter(at_size.values()))
+        row = [size, any_point.num_tasks, f"{any_point.reference:.6g}"]
+        for e in estimators:
+            p = at_size.get(e)
+            row.append(f"{p.normalized_difference:+.3e}" if p else "-")
+        rows.append(row)
+    title = (
+        f"{result.config.figure}: {result.config.workflow}, "
+        f"p_fail = {result.config.pfail:g} (normalised difference with Monte Carlo)"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def scalability_table(result: ScalabilityResult) -> str:
+    """Text rendering of Table I."""
+    headers = ["estimator", "normalised difference", "execution time (s)"]
+    rows = [
+        [r.estimator, f"{r.normalized_difference:+.3e}", f"{r.wall_time:.3f}"]
+        for r in result.rows
+    ]
+    title = (
+        f"Table I: {result.config.workflow} k={result.config.size} "
+        f"({result.num_tasks} tasks), p_fail = {result.config.pfail:g}, "
+        f"MC reference = {result.reference:.6g} "
+        f"({result.mc_trials} trials, {result.reference_wall_time:.1f}s)"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def ascii_semilog_plot(
+    series: Dict[str, List[tuple]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "graph size",
+    ylabel: str = "|normalised difference|",
+) -> str:
+    """Plot named series of ``(x, y)`` points with a log-scale y axis.
+
+    Values ``y <= 0`` are clamped to the smallest positive value of the
+    plot.  Each series is drawn with a distinct marker.
+    """
+    markers = "ox+*#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ExperimentError("nothing to plot")
+    xs = sorted({x for x, _ in points})
+    positive = [y for _, y in points if y > 0]
+    if not positive:
+        raise ExperimentError("all values are zero; cannot draw a log-scale plot")
+    y_min = min(positive)
+    y_max = max(positive)
+    if y_max == y_min:
+        y_max = y_min * 10.0
+    log_min, log_max = math.log10(y_min), math.log10(y_max)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(x: float) -> int:
+        if len(xs) == 1:
+            return width // 2
+        return int(round((x - xs[0]) / (xs[-1] - xs[0]) * (width - 1)))
+
+    def row_of(y: float) -> int:
+        y = max(y, y_min)
+        frac = (math.log10(y) - log_min) / (log_max - log_min)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            grid[row_of(abs(y) if y != 0 else y_min)][col_of(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  {ylabel} (log scale), top = {y_max:.1e}, bottom = {y_min:.1e}")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {xlabel}: {xs[0]} .. {xs[-1]}")
+    legend = "   legend: " + ", ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def figure_ascii_plot(result: FigureResult, **kwargs) -> str:
+    """ASCII rendering of one figure (absolute normalised differences)."""
+    series = {
+        name: [(p.size, p.relative_error) for p in result.series(name)]
+        for name in result.estimators()
+    }
+    title = kwargs.pop(
+        "title",
+        f"{result.config.figure}: {result.config.workflow}, p_fail={result.config.pfail:g}",
+    )
+    return ascii_semilog_plot(series, title=title, **kwargs)
+
+
+def write_csv(rows: List[Dict], path: Union[str, Path]) -> Path:
+    """Write a list of homogeneous dictionaries to a CSV file."""
+    if not rows:
+        raise ExperimentError("no rows to write")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(rows[0].keys())
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

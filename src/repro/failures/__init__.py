@@ -1,0 +1,25 @@
+"""Silent-error models: exponential arrivals, calibration, DVFS, 2-state laws."""
+
+from .models import (
+    ErrorModel,
+    ExponentialErrorModel,
+    FixedProbabilityModel,
+    calibrate_lambda,
+    pfail_from_lambda,
+)
+from .twostate import TwoStateDistribution, geometric_expected_time, two_state_table
+from .dvfs import DvfsErrorModel, EnergyModel, speed_sweep
+
+__all__ = [
+    "ErrorModel",
+    "ExponentialErrorModel",
+    "FixedProbabilityModel",
+    "calibrate_lambda",
+    "pfail_from_lambda",
+    "TwoStateDistribution",
+    "two_state_table",
+    "geometric_expected_time",
+    "DvfsErrorModel",
+    "EnergyModel",
+    "speed_sweep",
+]

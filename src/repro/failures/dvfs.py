@@ -1,0 +1,142 @@
+"""DVFS-dependent silent-error rates and a simple energy model.
+
+Section II-B of the paper recalls the widely used exponential error-rate
+model under Dynamic Voltage and Frequency Scaling (Eq. (1)):
+
+.. math::
+
+    \\lambda(s) = \\lambda_0 \\cdot 10^{\\,d\\,(s_{max} - s) / (s_{max} - s_{min})}
+
+where ``λ0`` is the error rate at maximum speed ``s_max``, ``d > 0`` measures
+the sensitivity of the error rate to voltage/frequency scaling and ``s_min``
+is the minimum speed.  Lowering the speed saves dynamic energy but increases
+both execution time and the silent-error rate — the trade-off explored by
+the ``examples/dvfs_tradeoff.py`` scenario.
+
+This module implements that model together with the standard cubic dynamic
+power model ``P(s) = P_static + κ·s³`` so the example can report
+energy/expected-makespan fronts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .models import ExponentialErrorModel
+
+__all__ = ["DvfsErrorModel", "EnergyModel", "speed_sweep"]
+
+
+@dataclass(frozen=True)
+class DvfsErrorModel:
+    """Error rate as a function of the processor speed (Eq. (1) of the paper).
+
+    Attributes
+    ----------
+    lambda0:
+        Error rate at maximum speed ``s_max``.
+    sensitivity:
+        The constant ``d > 0``: each full swing from ``s_max`` down to
+        ``s_min`` multiplies the error rate by ``10^d``.
+    smin, smax:
+        Minimum and maximum processor speeds (arbitrary consistent units,
+        e.g. GHz or a normalised fraction).
+    """
+
+    lambda0: float
+    sensitivity: float
+    smin: float
+    smax: float
+
+    def __post_init__(self) -> None:
+        if self.lambda0 < 0:
+            raise ModelError("lambda0 must be non-negative")
+        if self.sensitivity <= 0:
+            raise ModelError("the sensitivity d must be positive")
+        if not (0 < self.smin < self.smax):
+            raise ModelError("speeds must satisfy 0 < smin < smax")
+
+    def _check_speed(self, speed: float) -> None:
+        if not (self.smin <= speed <= self.smax):
+            raise ModelError(
+                f"speed {speed} outside the DVFS range [{self.smin}, {self.smax}]"
+            )
+
+    def error_rate(self, speed: float) -> float:
+        """The silent-error rate ``λ(s)`` at the given speed."""
+        self._check_speed(speed)
+        exponent = self.sensitivity * (self.smax - speed) / (self.smax - self.smin)
+        return self.lambda0 * 10.0**exponent
+
+    def error_rates(self, speeds: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`error_rate`."""
+        s = np.asarray(speeds, dtype=np.float64)
+        if np.any((s < self.smin) | (s > self.smax)):
+            raise ModelError("some speeds fall outside the DVFS range")
+        exponent = self.sensitivity * (self.smax - s) / (self.smax - self.smin)
+        return self.lambda0 * 10.0**exponent
+
+    def model_at(self, speed: float) -> ExponentialErrorModel:
+        """Return the :class:`ExponentialErrorModel` in effect at ``speed``."""
+        return ExponentialErrorModel(self.error_rate(speed))
+
+    def slowdown(self, speed: float) -> float:
+        """Execution-time multiplier relative to full speed (``s_max / s``)."""
+        self._check_speed(speed)
+        return self.smax / speed
+
+    def max_rate(self) -> float:
+        """The worst-case rate, reached at minimum speed."""
+        return self.error_rate(self.smin)
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Dynamic + static power model ``P(s) = static_power + kappa · s³``.
+
+    Energy of a computation of duration ``t`` at speed ``s`` (relative to the
+    nominal duration at ``s_max``) is ``P(s) · t · (s_max / s)``.
+    """
+
+    static_power: float
+    kappa: float
+    smax: float
+
+    def __post_init__(self) -> None:
+        if self.static_power < 0 or self.kappa < 0:
+            raise ModelError("power coefficients must be non-negative")
+        if self.smax <= 0:
+            raise ModelError("smax must be positive")
+
+    def power(self, speed: float) -> float:
+        """Instantaneous power draw at the given speed."""
+        if speed <= 0:
+            raise ModelError("speed must be positive")
+        return self.static_power + self.kappa * speed**3
+
+    def energy(self, work_time_at_smax: float, speed: float) -> float:
+        """Energy to execute work that takes ``work_time_at_smax`` seconds at
+        full speed, when run at ``speed`` instead."""
+        if work_time_at_smax < 0:
+            raise ModelError("work time must be non-negative")
+        duration = work_time_at_smax * self.smax / speed
+        return self.power(speed) * duration
+
+
+def speed_sweep(
+    dvfs: DvfsErrorModel,
+    num_points: int = 10,
+) -> List[Tuple[float, float]]:
+    """Return ``(speed, error_rate)`` pairs over the DVFS range.
+
+    Convenience helper for the DVFS example and its tests.
+    """
+    if num_points < 2:
+        raise ModelError("need at least two sweep points")
+    speeds = np.linspace(dvfs.smin, dvfs.smax, num_points)
+    return [(float(s), dvfs.error_rate(float(s))) for s in speeds]

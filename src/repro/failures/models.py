@@ -1,0 +1,222 @@
+"""Silent-error (failure) models.
+
+The paper assumes that silent errors strike task executions according to a
+Poisson process of rate ``λ`` (exponentially distributed inter-arrival
+times, MTBF ``1/λ``): task ``i`` fails its first execution attempt with
+probability ``1 - e^{-λ a_i}`` and must then be re-executed from scratch
+because the verification only runs at the end of the task.
+
+Two model classes are provided:
+
+* :class:`ExponentialErrorModel` — the paper's model, parameterised by the
+  rate ``λ`` (or equivalently by the MTBF).  The helper
+  :meth:`ExponentialErrorModel.from_pfail` performs the calibration used in
+  Section V-C: given a target probability ``p_fail`` that a task of
+  *average* weight fails, it solves ``p_fail = 1 - e^{-λ ā}`` for ``λ``.
+* :class:`FixedProbabilityModel` — every task fails its first attempt with
+  the same probability regardless of its weight.  This is useful for unit
+  tests and for modelling per-task verification outcomes that do not scale
+  with execution time.
+
+Both classes expose the same interface (:class:`ErrorModel`), so estimators
+are agnostic to the choice.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..core.graph import TaskGraph
+from ..exceptions import ModelError
+
+__all__ = [
+    "ErrorModel",
+    "ExponentialErrorModel",
+    "FixedProbabilityModel",
+    "calibrate_lambda",
+    "pfail_from_lambda",
+]
+
+
+def calibrate_lambda(pfail: float, mean_weight: float) -> float:
+    """Solve ``pfail = 1 - exp(-λ·ā)`` for ``λ`` (the paper's calibration).
+
+    Parameters
+    ----------
+    pfail:
+        Target failure probability of a task of average weight; must lie in
+        ``[0, 1)``.
+    mean_weight:
+        The average task weight ``ā`` of the graph under study.
+    """
+    if not (0.0 <= pfail < 1.0):
+        raise ModelError(f"pfail must be in [0, 1), got {pfail}")
+    if mean_weight <= 0:
+        raise ModelError(f"mean task weight must be positive, got {mean_weight}")
+    if pfail == 0.0:
+        return 0.0
+    return -math.log1p(-pfail) / mean_weight
+
+
+def pfail_from_lambda(error_rate: float, weight: float) -> float:
+    """Probability that a task of the given weight fails its first attempt."""
+    if error_rate < 0:
+        raise ModelError(f"error rate must be non-negative, got {error_rate}")
+    if weight < 0:
+        raise ModelError(f"weight must be non-negative, got {weight}")
+    return -math.expm1(-error_rate * weight)
+
+
+class ErrorModel(abc.ABC):
+    """Abstract interface of a silent-error model.
+
+    An error model answers a single question: *with what probability does a
+    task of weight ``a`` fail one execution attempt?*  Everything else (how
+    many re-executions, two-state versus geometric behaviour) is decided by
+    the estimator or simulator consuming the model.
+    """
+
+    @abc.abstractmethod
+    def failure_probability(self, weight: float) -> float:
+        """Probability that a single execution attempt of a task of the
+        given weight produces a corrupted (detected) result."""
+
+    def failure_probabilities(self, weights: np.ndarray) -> np.ndarray:
+        """Vectorised version of :meth:`failure_probability`."""
+        w = np.asarray(weights, dtype=np.float64)
+        return np.vectorize(self.failure_probability, otypes=[np.float64])(w)
+
+    def success_probability(self, weight: float) -> float:
+        """Probability that a single attempt succeeds (``p_i`` in the paper)."""
+        return 1.0 - self.failure_probability(weight)
+
+    def expected_executions(self, weight: float) -> float:
+        """Expected number of executions until success (geometric model)."""
+        p_success = self.success_probability(weight)
+        if p_success <= 0.0:
+            raise ModelError("task can never succeed under this model")
+        return 1.0 / p_success
+
+    def expected_task_time(self, weight: float, *, max_reexecutions: Union[int, None] = 1) -> float:
+        """Expected execution time of a single task under the model.
+
+        With ``max_reexecutions=1`` (the paper's two-state abstraction) the
+        task runs for ``a`` or ``2a``; with ``max_reexecutions=None`` the
+        number of executions is geometric and the expectation is
+        ``a / p_success``.
+        """
+        q = self.failure_probability(weight)
+        if max_reexecutions is None:
+            return weight / (1.0 - q)
+        if max_reexecutions < 0:
+            raise ModelError("max_reexecutions must be >= 0 or None")
+        # Truncated geometric: attempts capped at max_reexecutions + 1, the
+        # last attempt is assumed successful (the first-order abstraction).
+        expected = 0.0
+        for k in range(max_reexecutions + 1):
+            # k failures then (assumed) success -> (k + 1) executions.
+            prob = (q**k) * (1.0 - q) if k < max_reexecutions else q**k
+            expected += prob * (k + 1) * weight
+        return expected
+
+
+@dataclass(frozen=True)
+class ExponentialErrorModel(ErrorModel):
+    """Silent errors arriving as a Poisson process of rate ``error_rate``.
+
+    Attributes
+    ----------
+    error_rate:
+        The rate ``λ`` (errors per unit of work time).  The platform MTBF is
+        ``1 / λ``.
+    """
+
+    error_rate: float
+
+    def __post_init__(self) -> None:
+        if self.error_rate < 0 or math.isnan(self.error_rate) or math.isinf(self.error_rate):
+            raise ModelError(f"error rate must be finite and >= 0, got {self.error_rate}")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_mtbf(cls, mtbf: float) -> "ExponentialErrorModel":
+        """Build the model from a Mean Time Between Failures ``µ = 1/λ``."""
+        if mtbf <= 0:
+            raise ModelError(f"MTBF must be positive, got {mtbf}")
+        return cls(error_rate=1.0 / mtbf)
+
+    @classmethod
+    def from_pfail(cls, pfail: float, mean_weight: float) -> "ExponentialErrorModel":
+        """Calibrate ``λ`` so a task of weight ``mean_weight`` fails with
+        probability ``pfail`` (Section V-C of the paper)."""
+        return cls(error_rate=calibrate_lambda(pfail, mean_weight))
+
+    @classmethod
+    def for_graph(cls, graph: TaskGraph, pfail: float) -> "ExponentialErrorModel":
+        """Calibrate against the average task weight of a graph."""
+        return cls.from_pfail(pfail, graph.mean_weight())
+
+    # -- interface -------------------------------------------------------
+    @property
+    def mtbf(self) -> float:
+        """Mean time between failures ``µ = 1/λ`` (infinite when ``λ = 0``)."""
+        return math.inf if self.error_rate == 0.0 else 1.0 / self.error_rate
+
+    def failure_probability(self, weight: float) -> float:
+        return pfail_from_lambda(self.error_rate, weight)
+
+    def failure_probabilities(self, weights: np.ndarray) -> np.ndarray:
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0):
+            raise ModelError("weights must be non-negative")
+        return -np.expm1(-self.error_rate * w)
+
+    def scaled(self, factor: float) -> "ExponentialErrorModel":
+        """Return a model with the error rate multiplied by ``factor``
+        (e.g. to emulate running on ``factor`` times more processors)."""
+        if factor < 0:
+            raise ModelError("scaling factor must be non-negative")
+        return ExponentialErrorModel(self.error_rate * factor)
+
+    def per_processor_mtbf(self, num_processors: int) -> float:
+        """Individual-processor MTBF if the aggregate rate is spread over
+        ``num_processors`` identical processors (``µ_ind = N · µ``).
+
+        The paper uses this conversion to argue that ``p_fail = 0.01`` on a
+        100,000-processor machine corresponds to an unrealistically poor
+        individual MTBF of about 17 days.
+        """
+        if num_processors <= 0:
+            raise ModelError("number of processors must be positive")
+        return self.mtbf * num_processors
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialErrorModel(λ={self.error_rate:.6g}, MTBF={self.mtbf:.6g})"
+
+
+@dataclass(frozen=True)
+class FixedProbabilityModel(ErrorModel):
+    """Every execution attempt fails with the same probability ``pfail``,
+    independently of the task weight."""
+
+    pfail: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.pfail < 1.0):
+            raise ModelError(f"pfail must be in [0, 1), got {self.pfail}")
+
+    def failure_probability(self, weight: float) -> float:
+        if weight < 0:
+            raise ModelError("weight must be non-negative")
+        return self.pfail if weight > 0 else 0.0
+
+    def failure_probabilities(self, weights: np.ndarray) -> np.ndarray:
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0):
+            raise ModelError("weights must be non-negative")
+        return np.where(w > 0, self.pfail, 0.0)

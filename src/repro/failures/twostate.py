@@ -1,0 +1,152 @@
+"""Two-state task execution-time distributions.
+
+The paper's evaluation model is a *probabilistic 2-state DAG*: neglecting
+``O(λ²)`` terms, a task of weight ``a`` either runs for ``a`` (no error,
+probability ``e^{-λa}``) or for ``2a`` (one error detected at the end of the
+first attempt followed by a successful re-execution, probability
+``1 - e^{-λa}``).
+
+:class:`TwoStateDistribution` captures one such per-task law, provides its
+exact moments (used by the Sculli/Normal estimator) and converts to the
+finite discrete random variables of :mod:`repro.rv` (used by Dodin's and the
+exact series-parallel estimators).  :func:`two_state_table` builds the
+per-task table for an entire graph in one vectorised pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..core.graph import TaskGraph
+from ..core.task import TaskId
+from ..exceptions import ModelError
+from .models import ErrorModel, ExponentialErrorModel
+
+__all__ = ["TwoStateDistribution", "two_state_table", "geometric_expected_time"]
+
+
+@dataclass(frozen=True)
+class TwoStateDistribution:
+    """Execution time of one task under the two-state abstraction.
+
+    Attributes
+    ----------
+    nominal:
+        The failure-free execution time ``a``.
+    reexecuted:
+        The execution time when the first attempt fails (``2a`` for full
+        re-execution from scratch; a different value can model partial
+        recomputation or a cheaper verified retry).
+    pfail:
+        Probability of the re-executed state (the first attempt fails).
+    """
+
+    nominal: float
+    reexecuted: float
+    pfail: float
+
+    def __post_init__(self) -> None:
+        if self.nominal < 0 or self.reexecuted < 0:
+            raise ModelError("execution times must be non-negative")
+        if self.reexecuted < self.nominal:
+            raise ModelError("the re-executed time cannot be smaller than the nominal time")
+        if not (0.0 <= self.pfail <= 1.0):
+            raise ModelError(f"pfail must be in [0, 1], got {self.pfail}")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_model(cls, weight: float, model: ErrorModel, *, reexecution_factor: float = 2.0):
+        """Build the distribution of a task of the given weight under an
+        error model.  ``reexecution_factor`` defaults to 2 (full re-run)."""
+        if reexecution_factor < 1.0:
+            raise ModelError("re-execution factor must be >= 1")
+        return cls(
+            nominal=weight,
+            reexecuted=reexecution_factor * weight,
+            pfail=model.failure_probability(weight),
+        )
+
+    # -- moments -----------------------------------------------------------
+    @property
+    def psuccess(self) -> float:
+        """Probability of the nominal state."""
+        return 1.0 - self.pfail
+
+    @property
+    def mean(self) -> float:
+        """Expected execution time."""
+        return self.psuccess * self.nominal + self.pfail * self.reexecuted
+
+    @property
+    def variance(self) -> float:
+        """Variance of the execution time."""
+        delta = self.reexecuted - self.nominal
+        return self.pfail * self.psuccess * delta * delta
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the execution time."""
+        return math.sqrt(self.variance)
+
+    @property
+    def second_moment(self) -> float:
+        """``E[X²]`` (used by the correlated-normal estimator)."""
+        return self.psuccess * self.nominal**2 + self.pfail * self.reexecuted**2
+
+    def support(self) -> np.ndarray:
+        """The (at most two) values the execution time can take."""
+        if self.pfail == 0.0:
+            return np.array([self.nominal])
+        if self.pfail == 1.0:
+            return np.array([self.reexecuted])
+        return np.array([self.nominal, self.reexecuted])
+
+    def probabilities(self) -> np.ndarray:
+        """Probabilities aligned with :meth:`support`."""
+        if self.pfail == 0.0 or self.pfail == 1.0:
+            return np.array([1.0])
+        return np.array([self.psuccess, self.pfail])
+
+    def to_discrete(self):
+        """Convert to a :class:`repro.rv.DiscreteRV`."""
+        from ..rv.discrete import DiscreteRV
+
+        return DiscreteRV(self.support(), self.probabilities())
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> np.ndarray:
+        """Draw execution times from the distribution."""
+        draws = rng.random(size)
+        return np.where(draws < self.pfail, self.reexecuted, self.nominal)
+
+
+def two_state_table(
+    graph: TaskGraph,
+    model: ErrorModel,
+    *,
+    reexecution_factor: float = 2.0,
+) -> Dict[TaskId, TwoStateDistribution]:
+    """Per-task two-state distributions for every task of a graph."""
+    table: Dict[TaskId, TwoStateDistribution] = {}
+    for task in graph.tasks():
+        table[task.task_id] = TwoStateDistribution.from_model(
+            task.weight, model, reexecution_factor=reexecution_factor
+        )
+    return table
+
+
+def geometric_expected_time(weight: float, model: ErrorModel) -> float:
+    """Expected time of a task when re-execution repeats until success.
+
+    Each attempt takes ``weight`` and fails independently with probability
+    ``q``; the number of attempts is geometric, so the expectation is
+    ``weight / (1 - q)``.  This is the *exact* per-task expectation the
+    two-state abstraction truncates at first order.
+    """
+    q = model.failure_probability(weight)
+    if q >= 1.0:
+        raise ModelError("task can never succeed under this model")
+    return weight / (1.0 - q)

@@ -1,0 +1,25 @@
+"""Random-variable algebra: finite discrete laws, normal laws (Clark), empirical samples."""
+
+from .discrete import DiscreteRV
+from .normal import (
+    NormalRV,
+    clark_correlation_with_third,
+    clark_max,
+    clark_max_moments,
+    norm_cdf,
+    norm_pdf,
+)
+from .empirical import EmpiricalDistribution, RunningMoments, mean_confidence_interval
+
+__all__ = [
+    "DiscreteRV",
+    "NormalRV",
+    "clark_max",
+    "clark_max_moments",
+    "clark_correlation_with_third",
+    "norm_cdf",
+    "norm_pdf",
+    "EmpiricalDistribution",
+    "RunningMoments",
+    "mean_confidence_interval",
+]

@@ -1,0 +1,30 @@
+"""List scheduling under silent errors: platforms, CP scheduling, HEFT, execution simulation."""
+
+from .platform import Platform, Processor
+from .schedule import Schedule, ScheduledTask
+from .priorities import (
+    deterministic_bottom_levels,
+    expected_bottom_levels_first_order,
+    expected_bottom_levels_sculli,
+    upward_ranks,
+)
+from .list_scheduling import PriorityScheme, cp_schedule
+from .heft import heft_schedule
+from .simulation import ExecutionTrace, execute_schedule, expected_schedule_makespan
+
+__all__ = [
+    "Platform",
+    "Processor",
+    "Schedule",
+    "ScheduledTask",
+    "deterministic_bottom_levels",
+    "expected_bottom_levels_first_order",
+    "expected_bottom_levels_sculli",
+    "upward_ranks",
+    "cp_schedule",
+    "PriorityScheme",
+    "heft_schedule",
+    "ExecutionTrace",
+    "execute_schedule",
+    "expected_schedule_makespan",
+]

@@ -1,0 +1,117 @@
+"""HEFT: Heterogeneous Earliest Finish Time (Topcuoglu et al., 2002).
+
+HEFT is the heterogeneous extension of CP scheduling cited in the paper's
+introduction.  Tasks are sorted by *upward rank* (average execution time
+plus the maximum upward rank of the successors) and each task is placed on
+the processor minimising its earliest finish time, allowing insertion into
+idle gaps of a processor's timeline.
+
+The silent-error-aware variant inflates the execution times used for the
+ranks (and optionally for the placement decision) by their expected value
+under the two-state failure model, which is where the paper's first-order
+machinery plugs into a production scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.graph import TaskGraph
+from ..core.task import TaskId
+from ..exceptions import SchedulingError
+from ..failures.models import ErrorModel
+from .platform import Platform
+from .priorities import upward_ranks
+from .schedule import Schedule
+
+__all__ = ["heft_schedule"]
+
+
+def _find_slot(
+    timeline: List[Tuple[float, float]], ready: float, duration: float, allow_insertion: bool
+) -> float:
+    """Earliest start time on a processor whose busy intervals are ``timeline``.
+
+    ``timeline`` is a sorted list of (start, finish) busy intervals.
+    """
+    if not allow_insertion:
+        last_finish = timeline[-1][1] if timeline else 0.0
+        return max(ready, last_finish)
+    # Try to insert into a gap.
+    previous_finish = 0.0
+    for start, finish in timeline:
+        gap_start = max(ready, previous_finish)
+        if gap_start + duration <= start + 1e-15:
+            return gap_start
+        previous_finish = max(previous_finish, finish)
+    return max(ready, previous_finish)
+
+
+def heft_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    *,
+    model: Optional[ErrorModel] = None,
+    error_aware_placement: bool = False,
+    reexecution_factor: float = 2.0,
+    allow_insertion: bool = True,
+) -> Schedule:
+    """Schedule a task graph with HEFT.
+
+    Parameters
+    ----------
+    graph, platform:
+        Inputs of the scheduling problem.
+    model:
+        When given, upward ranks use failure-inflated expected execution
+        times (silent-error-aware prioritisation).
+    error_aware_placement:
+        When true, the placement step also uses the inflated execution
+        times (conservative placement); otherwise placement uses
+        failure-free times, as a scheduler betting on the absence of errors.
+    allow_insertion:
+        Enable HEFT's insertion-based policy (place tasks in idle gaps).
+
+    Returns
+    -------
+    Schedule
+        A complete, validated schedule.
+    """
+    if graph.num_tasks == 0:
+        raise SchedulingError("cannot schedule an empty graph")
+    ranks = upward_ranks(graph, platform, model=model, reexecution_factor=reexecution_factor)
+    order = sorted(graph.task_ids(), key=lambda t: (-ranks[t], str(t)))
+
+    schedule = Schedule(graph, platform)
+    busy: Dict[int, List[Tuple[float, float]]] = {p.proc_id: [] for p in platform.processors}
+    finish_time: Dict[TaskId, float] = {}
+
+    for tid in order:
+        task = graph.task(tid)
+        preds = graph.predecessors(tid)
+        if any(p not in finish_time for p in preds):
+            # Upward-rank order is always a valid topological order because a
+            # task's rank strictly exceeds each successor's rank.
+            raise SchedulingError(
+                f"internal error: task {tid!r} considered before a predecessor"
+            )
+        ready = max((finish_time[p] for p in preds), default=0.0)
+
+        best = None  # (finish, proc, start)
+        for proc in platform.processors:
+            duration = proc.execution_time(task)
+            if error_aware_placement and model is not None:
+                q = model.failure_probability(task.weight)
+                duration *= 1.0 + (reexecution_factor - 1.0) * q
+            start = _find_slot(busy[proc.proc_id], ready, duration, allow_insertion)
+            finish = start + duration
+            if best is None or finish < best[0] - 1e-15:
+                best = (finish, proc.proc_id, start)
+        finish, proc_id, start = best
+        schedule.place(tid, proc_id, start, finish)
+        busy[proc_id].append((start, finish))
+        busy[proc_id].sort()
+        finish_time[tid] = finish
+
+    schedule.validate()
+    return schedule

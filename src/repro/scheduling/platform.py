@@ -1,0 +1,134 @@
+"""Platform models for list scheduling.
+
+The paper motivates its approximation by the needs of list-scheduling
+heuristics (CP scheduling, HEFT).  This module models the compute platform
+those heuristics schedule onto:
+
+* :class:`Processor` — a single processing element with a speed factor and,
+  optionally, per-kernel speed factors (to model accelerators that run some
+  kernels much faster than others);
+* :class:`Platform` — a collection of processors, homogeneous or
+  heterogeneous, with helpers to compute per-processor execution times.
+
+Communication costs are deliberately out of scope (the paper's model has
+none); the schedulers only use computation times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.task import Task
+from ..exceptions import SchedulingError
+
+__all__ = ["Processor", "Platform"]
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A processing element.
+
+    Attributes
+    ----------
+    proc_id:
+        Unique identifier within the platform.
+    speed:
+        Relative speed: a task of weight ``a`` runs in ``a / speed`` on this
+        processor.
+    kernel_speed:
+        Optional per-kernel speed overrides (e.g. ``{"GEMM": 8.0}`` for an
+        accelerator that runs GEMM eight times faster than the reference).
+    """
+
+    proc_id: int
+    speed: float = 1.0
+    kernel_speed: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise SchedulingError(f"processor speed must be positive, got {self.speed}")
+        for kernel, s in self.kernel_speed.items():
+            if s <= 0:
+                raise SchedulingError(f"speed of kernel {kernel!r} must be positive")
+
+    def execution_time(self, task: Task) -> float:
+        """Time to execute ``task`` on this processor (failure-free)."""
+        speed = self.speed
+        if task.kernel and task.kernel in self.kernel_speed:
+            speed = self.kernel_speed[task.kernel]
+        return task.weight / speed
+
+
+class Platform:
+    """A set of processors.
+
+    Parameters
+    ----------
+    processors:
+        The processing elements.  Use :meth:`homogeneous` for the common
+        case of ``p`` identical processors.
+    """
+
+    def __init__(self, processors: Sequence[Processor]) -> None:
+        if not processors:
+            raise SchedulingError("a platform needs at least one processor")
+        ids = [p.proc_id for p in processors]
+        if len(set(ids)) != len(ids):
+            raise SchedulingError("processor identifiers must be unique")
+        self.processors: List[Processor] = list(processors)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def homogeneous(cls, num_processors: int, *, speed: float = 1.0) -> "Platform":
+        """``num_processors`` identical processors."""
+        if num_processors <= 0:
+            raise SchedulingError("number of processors must be positive")
+        return cls([Processor(i, speed=speed) for i in range(num_processors)])
+
+    @classmethod
+    def heterogeneous(cls, speeds: Sequence[float]) -> "Platform":
+        """One processor per entry of ``speeds``."""
+        return cls([Processor(i, speed=s) for i, s in enumerate(speeds)])
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def num_processors(self) -> int:
+        """Number of processors."""
+        return len(self.processors)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether all processors have identical speed profiles."""
+        first = self.processors[0]
+        return all(
+            p.speed == first.speed and dict(p.kernel_speed) == dict(first.kernel_speed)
+            for p in self.processors
+        )
+
+    def processor(self, proc_id: int) -> Processor:
+        """Return the processor with the given identifier."""
+        for p in self.processors:
+            if p.proc_id == proc_id:
+                return p
+        raise SchedulingError(f"no processor with id {proc_id}")
+
+    def execution_times(self, task: Task) -> Dict[int, float]:
+        """Execution time of a task on every processor."""
+        return {p.proc_id: p.execution_time(task) for p in self.processors}
+
+    def average_execution_time(self, task: Task) -> float:
+        """Average execution time over the processors (used by HEFT ranks)."""
+        times = self.execution_times(task)
+        return sum(times.values()) / len(times)
+
+    def fastest_processor(self, task: Optional[Task] = None) -> Processor:
+        """The processor minimising the execution time of ``task`` (or the
+        fastest overall when no task is given)."""
+        if task is None:
+            return max(self.processors, key=lambda p: p.speed)
+        return min(self.processors, key=lambda p: p.execution_time(task))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "homogeneous" if self.is_homogeneous else "heterogeneous"
+        return f"Platform({self.num_processors} processors, {kind})"

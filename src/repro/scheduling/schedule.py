@@ -1,0 +1,158 @@
+"""Schedule representation and validity checking.
+
+A :class:`Schedule` maps every task of a graph to a processor and a start
+time.  The schedulers in this package produce schedules; the discrete-event
+simulator of :mod:`repro.scheduling.simulation` executes them under injected
+silent errors and reports the achieved makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.graph import TaskGraph
+from ..core.task import TaskId
+from ..exceptions import SchedulingError
+from .platform import Platform
+
+__all__ = ["ScheduledTask", "Schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """Placement of one task: processor, start time and (planned) finish time."""
+
+    task_id: TaskId
+    processor: int
+    start: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if self.finish < self.start:
+            raise SchedulingError(
+                f"task {self.task_id!r} finishes before it starts "
+                f"({self.finish} < {self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Planned execution duration."""
+        return self.finish - self.start
+
+
+class Schedule:
+    """A complete mapping of tasks to processors and time slots."""
+
+    def __init__(self, graph: TaskGraph, platform: Platform) -> None:
+        self.graph = graph
+        self.platform = platform
+        self._entries: Dict[TaskId, ScheduledTask] = {}
+
+    # -- construction ------------------------------------------------------
+    def place(self, task_id: TaskId, processor: int, start: float, finish: float) -> ScheduledTask:
+        """Record the placement of a task."""
+        if task_id not in self.graph:
+            raise SchedulingError(f"task {task_id!r} is not part of the graph")
+        if task_id in self._entries:
+            raise SchedulingError(f"task {task_id!r} is already scheduled")
+        entry = ScheduledTask(task_id, processor, start, finish)
+        self._entries[task_id] = entry
+        return entry
+
+    # -- queries -----------------------------------------------------------
+    def __contains__(self, task_id: TaskId) -> bool:
+        return task_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, task_id: TaskId) -> ScheduledTask:
+        """The placement of a task."""
+        try:
+            return self._entries[task_id]
+        except KeyError:
+            raise SchedulingError(f"task {task_id!r} is not scheduled") from None
+
+    def entries(self) -> List[ScheduledTask]:
+        """All placements, sorted by start time (ties by processor)."""
+        return sorted(self._entries.values(), key=lambda e: (e.start, e.processor))
+
+    def processor_timeline(self, processor: int) -> List[ScheduledTask]:
+        """Placements on one processor, sorted by start time."""
+        return sorted(
+            (e for e in self._entries.values() if e.processor == processor),
+            key=lambda e: e.start,
+        )
+
+    @property
+    def makespan(self) -> float:
+        """Largest finish time (0 for an empty schedule)."""
+        if not self._entries:
+            return 0.0
+        return max(e.finish for e in self._entries.values())
+
+    def is_complete(self) -> bool:
+        """Whether every task of the graph has been placed."""
+        return len(self._entries) == self.graph.num_tasks
+
+    def utilisation(self) -> float:
+        """Total busy time divided by ``makespan × num_processors``."""
+        if not self._entries or self.makespan == 0:
+            return 0.0
+        busy = sum(e.duration for e in self._entries.values())
+        return busy / (self.makespan * self.platform.num_processors)
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> None:
+        """Check completeness, precedence feasibility and processor exclusivity.
+
+        Raises
+        ------
+        SchedulingError
+            With a message describing the first violation found.
+        """
+        if not self.is_complete():
+            missing = [t for t in self.graph.task_ids() if t not in self._entries]
+            raise SchedulingError(
+                f"schedule is incomplete: {len(missing)} unplaced task(s), e.g. {missing[:3]}"
+            )
+        # Precedence constraints.
+        for src, dst in self.graph.edges():
+            if self._entries[dst].start + 1e-12 < self._entries[src].finish:
+                raise SchedulingError(
+                    f"precedence violated: {dst!r} starts at {self._entries[dst].start} "
+                    f"before {src!r} finishes at {self._entries[src].finish}"
+                )
+        # Processor exclusivity.
+        for proc in self.platform.processors:
+            timeline = self.processor_timeline(proc.proc_id)
+            for before, after in zip(timeline, timeline[1:]):
+                if after.start + 1e-12 < before.finish:
+                    raise SchedulingError(
+                        f"overlap on processor {proc.proc_id}: {before.task_id!r} "
+                        f"and {after.task_id!r}"
+                    )
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation of the schedule."""
+        return {
+            "graph": self.graph.name,
+            "processors": self.platform.num_processors,
+            "makespan": self.makespan,
+            "tasks": [
+                {
+                    "id": e.task_id,
+                    "processor": e.processor,
+                    "start": e.start,
+                    "finish": e.finish,
+                }
+                for e in self.entries()
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self.graph.name!r}, {len(self._entries)}/{self.graph.num_tasks} tasks, "
+            f"makespan={self.makespan:.4g})"
+        )

@@ -1,0 +1,28 @@
+"""Monte Carlo simulation: sampling, batched longest paths, streaming stats."""
+
+from .sampler import SamplingMode, sample_failure_mask, sample_task_times
+from .engine import (
+    DEFAULT_BATCH,
+    DEFAULT_TRIALS,
+    MonteCarloEngine,
+    MonteCarloResult,
+    simulate_expected_makespan,
+)
+from .longest_path import batch_makespans_with_details, streaming_makespans
+from .stats import ConvergenceTracker, relative_half_width, required_trials
+
+__all__ = [
+    "sample_failure_mask",
+    "sample_task_times",
+    "SamplingMode",
+    "MonteCarloEngine",
+    "MonteCarloResult",
+    "simulate_expected_makespan",
+    "DEFAULT_TRIALS",
+    "DEFAULT_BATCH",
+    "batch_makespans_with_details",
+    "streaming_makespans",
+    "ConvergenceTracker",
+    "relative_half_width",
+    "required_trials",
+]

@@ -1,0 +1,71 @@
+"""Vectorised longest-path evaluation for Monte Carlo batches.
+
+The actual recurrence lives in :func:`repro.core.paths.batched_makespans`
+(one topological sweep shared by all trials of a batch).  This module adds
+two conveniences used by the simulator and by a few benchmarks:
+
+* :func:`batch_makespans_with_details` also returns, for every trial, the
+  index of a sink task realising the makespan — handy to study which exit
+  task dominates under failures;
+* :func:`streaming_makespans` is a generator that yields makespan batches
+  for an unbounded sequence of weight-matrix batches, used to pipe sampled
+  batches straight into statistics accumulators without materialising the
+  whole sample.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple, Union
+
+import numpy as np
+
+from ..core.graph import GraphIndex, TaskGraph
+from ..core.paths import batched_makespans
+from ..exceptions import GraphError
+
+__all__ = ["batch_makespans_with_details", "streaming_makespans"]
+
+
+def _index(graph: Union[TaskGraph, GraphIndex]) -> GraphIndex:
+    return graph.index() if isinstance(graph, TaskGraph) else graph
+
+
+def batch_makespans_with_details(
+    graph: Union[TaskGraph, GraphIndex], weight_matrix: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Makespan of every trial plus the index of a task that realises it.
+
+    Returns
+    -------
+    (makespans, argmax_task)
+        ``makespans`` has shape ``(trials,)``; ``argmax_task[t]`` is the
+        integer index of a task whose completion time equals the makespan of
+        trial ``t`` (the first one in index order when there are ties).
+    """
+    idx = _index(graph)
+    w = np.asarray(weight_matrix, dtype=np.float64)
+    if w.ndim != 2 or w.shape[1] != idx.num_tasks:
+        raise GraphError(
+            f"weight matrix has shape {w.shape}, expected (trials, {idx.num_tasks})"
+        )
+    trials = w.shape[0]
+    completion = np.zeros((trials, idx.num_tasks), dtype=np.float64)
+    indptr, indices = idx.pred_indptr, idx.pred_indices
+    for i in idx.topo_order:
+        preds = indices[indptr[i] : indptr[i + 1]]
+        if preds.size:
+            completion[:, i] = w[:, i] + completion[:, preds].max(axis=1)
+        else:
+            completion[:, i] = w[:, i]
+    makespans = completion.max(axis=1)
+    argmax_task = completion.argmax(axis=1)
+    return makespans, argmax_task
+
+
+def streaming_makespans(
+    graph: Union[TaskGraph, GraphIndex], weight_batches: Iterable[np.ndarray]
+) -> Iterator[np.ndarray]:
+    """Yield the makespans of each weight-matrix batch in turn."""
+    idx = _index(graph)
+    for batch in weight_batches:
+        yield batched_makespans(idx, batch)

@@ -1,0 +1,94 @@
+"""Convergence diagnostics for Monte Carlo estimation.
+
+The paper uses a very large number of trials (300,000, and a ten-hour run
+for the largest graph) so that the Monte Carlo mean can serve as ground
+truth.  When running with fewer trials it is important to know how much
+Monte Carlo noise remains; the helpers here quantify it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import EstimationError
+from ..rv.empirical import RunningMoments, mean_confidence_interval
+
+__all__ = ["ConvergenceTracker", "required_trials", "relative_half_width"]
+
+
+def relative_half_width(moments: RunningMoments, confidence: float = 0.95) -> float:
+    """Half-width of the confidence interval divided by the mean."""
+    if moments.count == 0 or moments.mean == 0.0:
+        return math.inf
+    low, high = moments.confidence_interval(confidence)
+    return (high - low) / 2.0 / abs(moments.mean)
+
+
+def required_trials(
+    std: float,
+    mean: float,
+    target_relative_error: float,
+    confidence: float = 0.95,
+) -> int:
+    """Number of trials needed for a given relative confidence half-width.
+
+    Solves ``z·σ/(√n·µ) <= target`` for ``n`` using the normal quantile
+    ``z`` at the requested confidence level.
+    """
+    if target_relative_error <= 0:
+        raise EstimationError("target relative error must be positive")
+    if mean == 0:
+        raise EstimationError("mean must be non-zero")
+    from scipy.stats import norm
+
+    z = float(norm.ppf(0.5 + confidence / 2.0))
+    n = (z * std / (target_relative_error * abs(mean))) ** 2
+    return max(1, int(math.ceil(n)))
+
+
+@dataclass
+class ConvergenceTracker:
+    """Records the running mean after every batch of trials.
+
+    The trace lets callers (and the tests) check that the Monte Carlo
+    estimate stabilises and estimate how many trials a target accuracy
+    requires.
+    """
+
+    confidence: float = 0.95
+    target_relative_half_width: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.moments = RunningMoments()
+        self.history: List[Tuple[int, float]] = []
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold in one batch of makespan samples."""
+        self.moments.update(np.asarray(batch, dtype=np.float64))
+        self.history.append((self.moments.count, self.moments.mean))
+
+    @property
+    def converged(self) -> bool:
+        """True once the confidence half-width meets the target (if any)."""
+        if self.target_relative_half_width is None:
+            return False
+        if self.moments.count < 2:
+            return False
+        return relative_half_width(self.moments, self.confidence) <= self.target_relative_half_width
+
+    def summary(self) -> dict:
+        """Dictionary summary (mean, std, CI, history length)."""
+        ci = self.moments.confidence_interval(self.confidence)
+        return {
+            "trials": self.moments.count,
+            "mean": self.moments.mean,
+            "std": self.moments.std,
+            "standard_error": self.moments.standard_error(),
+            "confidence_interval": ci,
+            "relative_half_width": relative_half_width(self.moments, self.confidence),
+            "batches": len(self.history),
+        }

@@ -1,0 +1,47 @@
+"""Workflow DAG generators: tiled Cholesky/LU/QR plus synthetic families."""
+
+from .kernels import DEFAULT_TILE_SIZE, DEFAULT_TIMINGS, KernelTimings, default_timings, kernel_flops
+from .cholesky import cholesky_dag, cholesky_task_count
+from .gemm import gemm_dag, gemm_task_count
+from .lu import lu_dag, lu_task_count
+from .qr import qr_dag, qr_task_count
+from .synthetic import (
+    map_reduce,
+    reduction_tree,
+    stencil_sweep,
+    strassen_like_recursion,
+    wavefront,
+)
+from .registry import (
+    PAPER_SIZES,
+    PAPER_WORKFLOWS,
+    available_workflows,
+    build_dag,
+    get_workflow,
+)
+
+__all__ = [
+    "KernelTimings",
+    "DEFAULT_TIMINGS",
+    "DEFAULT_TILE_SIZE",
+    "default_timings",
+    "kernel_flops",
+    "cholesky_dag",
+    "cholesky_task_count",
+    "gemm_dag",
+    "gemm_task_count",
+    "lu_dag",
+    "lu_task_count",
+    "qr_dag",
+    "qr_task_count",
+    "stencil_sweep",
+    "reduction_tree",
+    "map_reduce",
+    "wavefront",
+    "strassen_like_recursion",
+    "available_workflows",
+    "get_workflow",
+    "build_dag",
+    "PAPER_WORKFLOWS",
+    "PAPER_SIZES",
+]

@@ -1,0 +1,122 @@
+"""Tiled Cholesky factorization DAG (Figure 1 of the paper).
+
+The right-looking tiled Cholesky factorization of a ``k × k`` tiled
+symmetric positive-definite matrix executes, at step ``j``:
+
+* ``POTRF_j``        — Cholesky factorization of the diagonal tile ``(j, j)``;
+* ``TRSM_i_j``       — triangular solve updating tile ``(i, j)`` for ``i > j``;
+* ``SYRK_i_j``       — symmetric rank-``b`` update of diagonal tile ``(i, i)``
+  with the panel tile ``(i, j)``, for ``i > j``;
+* ``GEMM_i_l_j``     — general update of tile ``(i, l)`` with panel tiles
+  ``(i, j)`` and ``(l, j)``, for ``i > l > j``.
+
+Task names match the labels of Figure 1 (e.g. ``GEMM_4_2_1``,
+``TRSM_4_2``, ``SYRK_3_0``, ``POTRF_2``).  Dependencies follow the
+data-flow of the factorization with the usual sequential accumulation of
+the updates applied to a given tile (the same convention StarPU uses when
+it builds the DAG):
+
+* ``POTRF_j``     after ``SYRK_j_{j-1}``;
+* ``TRSM_i_j``    after ``POTRF_j`` and ``GEMM_i_j_{j-1}``;
+* ``SYRK_i_j``    after ``TRSM_i_j`` and ``SYRK_i_{j-1}``;
+* ``GEMM_i_l_j``  after ``TRSM_i_j``, ``TRSM_l_j`` and ``GEMM_i_l_{j-1}``.
+
+The task count is ``k + 2·k(k−1)/2 + k(k−1)(k−2)/6 = k³/6 + O(k²)``
+(e.g. 364 tasks for ``k = 12``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.graph import TaskGraph
+from ..exceptions import GraphError
+from .kernels import DEFAULT_TIMINGS, KernelTimings
+
+__all__ = ["cholesky_dag", "cholesky_task_count"]
+
+
+def cholesky_task_count(k: int) -> int:
+    """Number of tasks of the tiled Cholesky DAG for a ``k × k`` tiled matrix."""
+    if k < 1:
+        raise GraphError("the number of tiles k must be at least 1")
+    return k + 2 * (k * (k - 1) // 2) + k * (k - 1) * (k - 2) // 6
+
+
+def cholesky_dag(k: int, timings: Optional[KernelTimings] = None) -> TaskGraph:
+    """Build the tiled Cholesky factorization DAG for a ``k × k`` tiled matrix.
+
+    Parameters
+    ----------
+    k:
+        Number of tile rows/columns (the paper's "graph size").
+    timings:
+        Kernel timing model; defaults to the substitute model of
+        :mod:`repro.workflows.kernels`.
+
+    Returns
+    -------
+    TaskGraph
+        The factorization DAG, with task metadata recording the kernel and
+        the tile indices.
+    """
+    if k < 1:
+        raise GraphError("the number of tiles k must be at least 1")
+    t = timings or DEFAULT_TIMINGS
+    graph = TaskGraph(name=f"cholesky-k{k}")
+
+    def potrf(j: int) -> str:
+        return f"POTRF_{j}"
+
+    def trsm(i: int, j: int) -> str:
+        return f"TRSM_{i}_{j}"
+
+    def syrk(i: int, j: int) -> str:
+        return f"SYRK_{i}_{j}"
+
+    def gemm(i: int, l: int, j: int) -> str:
+        return f"GEMM_{i}_{l}_{j}"
+
+    # Tasks.
+    for j in range(k):
+        graph.add_task(potrf(j), t.time("POTRF"), kernel="POTRF", metadata={"j": j, "k": k})
+        for i in range(j + 1, k):
+            graph.add_task(
+                trsm(i, j), t.time("TRSM"), kernel="TRSM", metadata={"i": i, "j": j, "k": k}
+            )
+        for i in range(j + 1, k):
+            graph.add_task(
+                syrk(i, j), t.time("SYRK"), kernel="SYRK", metadata={"i": i, "j": j, "k": k}
+            )
+            for l in range(j + 1, i):
+                graph.add_task(
+                    gemm(i, l, j),
+                    t.time("GEMM"),
+                    kernel="GEMM",
+                    metadata={"i": i, "l": l, "j": j, "k": k},
+                )
+
+    # Dependencies.
+    for j in range(k):
+        if j > 0:
+            graph.add_edge(syrk(j, j - 1), potrf(j))
+        for i in range(j + 1, k):
+            graph.add_edge(potrf(j), trsm(i, j))
+            if j > 0:
+                graph.add_edge(gemm(i, j, j - 1), trsm(i, j))
+        for i in range(j + 1, k):
+            graph.add_edge(trsm(i, j), syrk(i, j))
+            if j > 0:
+                graph.add_edge(syrk(i, j - 1), syrk(i, j))
+            for l in range(j + 1, i):
+                graph.add_edge(trsm(i, j), gemm(i, l, j))
+                graph.add_edge(trsm(l, j), gemm(i, l, j))
+                if j > 0:
+                    graph.add_edge(gemm(i, l, j - 1), gemm(i, l, j))
+
+    expected = cholesky_task_count(k)
+    if graph.num_tasks != expected:
+        raise GraphError(
+            f"internal error: Cholesky DAG has {graph.num_tasks} tasks, expected {expected}"
+        )
+    return graph

@@ -1,0 +1,57 @@
+"""Tiled matrix-multiplication (GEMM) DAG generator.
+
+An additional dense linear-algebra workload beyond the paper's three
+factorizations: the blocked update ``C ← C + A·B`` on ``k × k`` tiled
+matrices.  Each tile ``C[i][j]`` accumulates ``k`` products
+``A[i][l]·B[l][j]``; with the usual sequential accumulation per output tile
+the DAG is a set of ``k²`` independent chains of ``k`` GEMM tasks — a
+maximally regular, series-parallel workload that complements the highly
+irregular factorization DAGs in the examples and tests (it is the regime
+where *all* estimators do well, which makes it a useful control).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.graph import TaskGraph
+from ..exceptions import GraphError
+from .kernels import DEFAULT_TIMINGS, KernelTimings
+
+__all__ = ["gemm_dag", "gemm_task_count"]
+
+
+def gemm_task_count(k: int) -> int:
+    """Number of tasks of the tiled GEMM DAG (``k³``)."""
+    if k < 1:
+        raise GraphError("the number of tiles k must be at least 1")
+    return k * k * k
+
+
+def gemm_dag(k: int, timings: Optional[KernelTimings] = None) -> TaskGraph:
+    """Build the tiled matrix-multiplication DAG for ``k × k`` tiled operands.
+
+    Task ``GEMM_i_j_l`` computes ``C[i][j] += A[i][l] · B[l][j]`` and depends
+    on ``GEMM_i_j_{l-1}`` (accumulation order on the output tile).
+    """
+    if k < 1:
+        raise GraphError("the number of tiles k must be at least 1")
+    t = timings or DEFAULT_TIMINGS
+    graph = TaskGraph(name=f"gemm-k{k}")
+    for i in range(k):
+        for j in range(k):
+            for l in range(k):
+                graph.add_task(
+                    f"GEMM_{i}_{j}_{l}",
+                    t.time("GEMM"),
+                    kernel="GEMM",
+                    metadata={"i": i, "j": j, "l": l, "k": k},
+                )
+                if l > 0:
+                    graph.add_edge(f"GEMM_{i}_{j}_{l - 1}", f"GEMM_{i}_{j}_{l}")
+    expected = gemm_task_count(k)
+    if graph.num_tasks != expected:
+        raise GraphError(
+            f"internal error: GEMM DAG has {graph.num_tasks} tasks, expected {expected}"
+        )
+    return graph

@@ -1,0 +1,153 @@
+"""BLAS kernel timing model for the tiled factorization DAGs.
+
+The paper weighs the tasks of its Cholesky/LU/QR DAGs with kernel execution
+times measured by StarPU on an NVIDIA Tesla M2070 GPU with tiles of size
+``b = 960`` ([44] in the paper), and reports only one aggregate number: the
+average task weight over its experiments is ``ā ≈ 0.15`` seconds.
+
+Because the original per-kernel measurements are not published in the paper,
+this module provides a **substitute timing model** (documented in
+DESIGN.md): per-kernel times proportional to the kernels' floating-point
+operation counts for ``b = 960``, scaled by a single throughput constant
+chosen so that the average task weight across the paper's fifteen DAGs
+(Cholesky/LU/QR, k = 4…12) is ≈ 0.15 s.  The model preserves the two
+properties the evaluation depends on: realistic *relative* kernel costs
+(e.g. QR update kernels ≈ 2× their LU counterparts, as stated in §V-B) and
+the absolute scale that the ``p_fail`` calibration converts into error
+rates.
+
+Users reproducing the experiments on their own measurements can pass any
+``{kernel name: seconds}`` mapping to the DAG generators instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..exceptions import ModelError
+
+__all__ = [
+    "KernelTimings",
+    "DEFAULT_TILE_SIZE",
+    "DEFAULT_TIMINGS",
+    "kernel_flops",
+    "default_timings",
+]
+
+#: Tile size used by the paper (b = 960).
+DEFAULT_TILE_SIZE = 960
+
+#: Effective throughput (in flop/s) used to convert flop counts into the
+#: substitute kernel times.  The value is calibrated so that the average
+#: task weight over the paper's fifteen DAGs is ≈ 0.15 s, the figure quoted
+#: in Section V-C.
+_EFFECTIVE_FLOPS = 1.35e10
+
+
+def kernel_flops(kernel: str, tile_size: int = DEFAULT_TILE_SIZE) -> float:
+    """Floating-point operation count of one tiled kernel invocation.
+
+    Standard dense linear-algebra counts for a ``b × b`` tile (see e.g. the
+    PLASMA/DPLASMA documentation):
+
+    ==========  =============  ==========================================
+    kernel      flops          role
+    ==========  =============  ==========================================
+    POTRF       b³/3           Cholesky factorization of a diagonal tile
+    TRSM        b³             triangular solve (Cholesky update)
+    SYRK        b³             symmetric rank-b update
+    GEMM        2·b³           general matrix-matrix update
+    GETRF       2·b³/3         LU factorization of a diagonal tile
+    TRSML/U     b³             triangular solves below/right of the pivot
+    GEQRT       4·b³/3         QR factorization of a diagonal tile
+    TSQRT       2·b³           triangular-on-top-of-square QR
+    UNMQR       2·b³           apply Householder reflectors (Q update)
+    TSMQR       4·b³           apply TS reflectors (trailing update)
+    ==========  =============  ==========================================
+    """
+    b3 = float(tile_size) ** 3
+    table = {
+        "POTRF": b3 / 3.0,
+        "TRSM": b3,
+        "SYRK": b3,
+        "GEMM": 2.0 * b3,
+        "GETRF": 2.0 * b3 / 3.0,
+        "TRSML": b3,
+        "TRSMU": b3,
+        "GEQRT": 4.0 * b3 / 3.0,
+        "TSQRT": 2.0 * b3,
+        "UNMQR": 2.0 * b3,
+        "TSMQR": 4.0 * b3,
+    }
+    try:
+        return table[kernel.upper()]
+    except KeyError:
+        raise ModelError(f"unknown BLAS kernel {kernel!r}") from None
+
+
+def default_timings(
+    tile_size: int = DEFAULT_TILE_SIZE, effective_flops: float = _EFFECTIVE_FLOPS
+) -> Dict[str, float]:
+    """Per-kernel execution times (seconds) of the substitute timing model."""
+    if tile_size <= 0:
+        raise ModelError("tile size must be positive")
+    if effective_flops <= 0:
+        raise ModelError("effective throughput must be positive")
+    kernels = [
+        "POTRF",
+        "TRSM",
+        "SYRK",
+        "GEMM",
+        "GETRF",
+        "TRSML",
+        "TRSMU",
+        "GEQRT",
+        "TSQRT",
+        "UNMQR",
+        "TSMQR",
+    ]
+    return {k: kernel_flops(k, tile_size) / effective_flops for k in kernels}
+
+
+@dataclass(frozen=True)
+class KernelTimings:
+    """Immutable mapping kernel name -> execution time in seconds."""
+
+    timings: Mapping[str, float]
+    tile_size: int = DEFAULT_TILE_SIZE
+
+    def __post_init__(self) -> None:
+        clean = {}
+        for kernel, seconds in self.timings.items():
+            if seconds <= 0:
+                raise ModelError(f"kernel {kernel!r} has non-positive time {seconds}")
+            clean[kernel.upper()] = float(seconds)
+        object.__setattr__(self, "timings", clean)
+
+    @classmethod
+    def default(cls, tile_size: int = DEFAULT_TILE_SIZE) -> "KernelTimings":
+        """The substitute timing model described in the module docstring."""
+        return cls(default_timings(tile_size), tile_size=tile_size)
+
+    def time(self, kernel: str) -> float:
+        """Execution time of a kernel, in seconds."""
+        try:
+            return self.timings[kernel.upper()]
+        except KeyError:
+            raise ModelError(f"no timing registered for kernel {kernel!r}") from None
+
+    def scaled(self, factor: float) -> "KernelTimings":
+        """All kernel times multiplied by ``factor``."""
+        if factor <= 0:
+            raise ModelError("scaling factor must be positive")
+        return KernelTimings(
+            {k: v * factor for k, v in self.timings.items()}, tile_size=self.tile_size
+        )
+
+    def __contains__(self, kernel: str) -> bool:
+        return kernel.upper() in self.timings
+
+
+#: Module-level default instance used by the DAG generators.
+DEFAULT_TIMINGS = KernelTimings.default()

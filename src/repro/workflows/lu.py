@@ -1,0 +1,109 @@
+"""Tiled LU factorization DAG (Figure 2 of the paper).
+
+The right-looking tiled LU factorization (without pivoting across tiles) of
+a ``k × k`` tiled matrix executes, at step ``l``:
+
+* ``GETRF_l``       — LU factorization of the diagonal tile ``(l, l)``;
+* ``TRSML_i_l``     — triangular solve with the ``L`` factor, updating the
+  sub-diagonal tile ``(i, l)`` for ``i > l``;
+* ``TRSMU_l_j``     — triangular solve with the ``U`` factor, updating the
+  super-diagonal tile ``(l, j)`` for ``j > l``;
+* ``GEMM_i_j_l``    — trailing-matrix update of tile ``(i, j)`` for
+  ``i > l`` and ``j > l``.
+
+Task names match the labels of Figure 2 (e.g. ``GETRF_2``, ``TRSML_4_1``,
+``TRSMU_1_3``, ``GEMM_3_4_2``).  Dependencies follow the factorization's
+data-flow with sequential accumulation of the updates to a given tile:
+
+* ``GETRF_l``      after ``GEMM_l_l_{l-1}``;
+* ``TRSML_i_l``    after ``GETRF_l`` and ``GEMM_i_l_{l-1}``;
+* ``TRSMU_l_j``    after ``GETRF_l`` and ``GEMM_l_j_{l-1}``;
+* ``GEMM_i_j_l``   after ``TRSML_i_l``, ``TRSMU_l_j`` and ``GEMM_i_j_{l-1}``.
+
+The task count is ``k + k(k−1) + (k−1)k(2k−1)/6 = k³/3 + O(k²)``; for
+``k = 12`` this gives the 650 tasks quoted in Section V-B, and ``k = 20``
+gives the 2,870 tasks of the scalability experiment (Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.graph import TaskGraph
+from ..exceptions import GraphError
+from .kernels import DEFAULT_TIMINGS, KernelTimings
+
+__all__ = ["lu_dag", "lu_task_count"]
+
+
+def lu_task_count(k: int) -> int:
+    """Number of tasks of the tiled LU DAG for a ``k × k`` tiled matrix."""
+    if k < 1:
+        raise GraphError("the number of tiles k must be at least 1")
+    return k + k * (k - 1) + (k - 1) * k * (2 * k - 1) // 6
+
+
+def lu_dag(k: int, timings: Optional[KernelTimings] = None) -> TaskGraph:
+    """Build the tiled LU factorization DAG for a ``k × k`` tiled matrix."""
+    if k < 1:
+        raise GraphError("the number of tiles k must be at least 1")
+    t = timings or DEFAULT_TIMINGS
+    graph = TaskGraph(name=f"lu-k{k}")
+
+    def getrf(l: int) -> str:
+        return f"GETRF_{l}"
+
+    def trsml(i: int, l: int) -> str:
+        return f"TRSML_{i}_{l}"
+
+    def trsmu(l: int, j: int) -> str:
+        return f"TRSMU_{l}_{j}"
+
+    def gemm(i: int, j: int, l: int) -> str:
+        return f"GEMM_{i}_{j}_{l}"
+
+    # Tasks.
+    for l in range(k):
+        graph.add_task(getrf(l), t.time("GETRF"), kernel="GETRF", metadata={"l": l, "k": k})
+        for i in range(l + 1, k):
+            graph.add_task(
+                trsml(i, l), t.time("TRSML"), kernel="TRSML", metadata={"i": i, "l": l, "k": k}
+            )
+        for j in range(l + 1, k):
+            graph.add_task(
+                trsmu(l, j), t.time("TRSMU"), kernel="TRSMU", metadata={"j": j, "l": l, "k": k}
+            )
+        for i in range(l + 1, k):
+            for j in range(l + 1, k):
+                graph.add_task(
+                    gemm(i, j, l),
+                    t.time("GEMM"),
+                    kernel="GEMM",
+                    metadata={"i": i, "j": j, "l": l, "k": k},
+                )
+
+    # Dependencies.
+    for l in range(k):
+        if l > 0:
+            graph.add_edge(gemm(l, l, l - 1), getrf(l))
+        for i in range(l + 1, k):
+            graph.add_edge(getrf(l), trsml(i, l))
+            if l > 0:
+                graph.add_edge(gemm(i, l, l - 1), trsml(i, l))
+        for j in range(l + 1, k):
+            graph.add_edge(getrf(l), trsmu(l, j))
+            if l > 0:
+                graph.add_edge(gemm(l, j, l - 1), trsmu(l, j))
+        for i in range(l + 1, k):
+            for j in range(l + 1, k):
+                graph.add_edge(trsml(i, l), gemm(i, j, l))
+                graph.add_edge(trsmu(l, j), gemm(i, j, l))
+                if l > 0:
+                    graph.add_edge(gemm(i, j, l - 1), gemm(i, j, l))
+
+    expected = lu_task_count(k)
+    if graph.num_tasks != expected:
+        raise GraphError(
+            f"internal error: LU DAG has {graph.num_tasks} tasks, expected {expected}"
+        )
+    return graph

@@ -1,0 +1,116 @@
+"""Tiled QR factorization DAG (Figure 3 of the paper).
+
+The tiled QR factorization with a flat reduction tree executes, at step
+``l`` of a ``k × k`` tiled matrix:
+
+* ``GEQRT_l``        — QR factorization of the diagonal tile ``(l, l)``;
+* ``UNMQR_l_j``      — application of the diagonal tile's reflectors to tile
+  ``(l, j)`` for ``j > l``;
+* ``TSQRT_i_l``      — QR factorization of the diagonal tile stacked on top
+  of the sub-diagonal tile ``(i, l)`` for ``i > l`` (chained down the
+  column in the flat-tree variant);
+* ``TSMQR_i_j_l``    — application of the ``TSQRT`` reflectors to the pair
+  of tiles ``(l, j)`` / ``(i, j)`` for ``i > l`` and ``j > l``.
+
+Task names match the labels of Figure 3 (e.g. ``GEQRT_2``, ``TSQRT_3_1``,
+``UNMQR_1_3``, ``TSMQR_3_4_2``).  Dependencies (flat tree, sequential
+accumulation per tile):
+
+* ``GEQRT_l``       after ``TSMQR_l_l_{l-1}``;
+* ``UNMQR_l_j``     after ``GEQRT_l`` and ``TSMQR_l_j_{l-1}``;
+* ``TSQRT_i_l``     after ``GEQRT_l`` (``i = l+1``) or ``TSQRT_{i-1}_l``
+  (``i > l+1``), and ``TSMQR_i_l_{l-1}``;
+* ``TSMQR_i_j_l``   after ``TSQRT_i_l``, after ``UNMQR_l_j`` (``i = l+1``)
+  or ``TSMQR_{i-1}_j_l`` (``i > l+1``), and after ``TSMQR_i_j_{l-1}``.
+
+The task count equals that of LU (650 tasks for ``k = 12``), but the QR
+update kernels perform roughly twice as many floating-point operations as
+their LU counterparts, as noted in Section V-B.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.graph import TaskGraph
+from ..exceptions import GraphError
+from .kernels import DEFAULT_TIMINGS, KernelTimings
+
+__all__ = ["qr_dag", "qr_task_count"]
+
+
+def qr_task_count(k: int) -> int:
+    """Number of tasks of the tiled QR DAG for a ``k × k`` tiled matrix."""
+    if k < 1:
+        raise GraphError("the number of tiles k must be at least 1")
+    return k + k * (k - 1) + (k - 1) * k * (2 * k - 1) // 6
+
+
+def qr_dag(k: int, timings: Optional[KernelTimings] = None) -> TaskGraph:
+    """Build the tiled QR factorization DAG (flat tree) for ``k × k`` tiles."""
+    if k < 1:
+        raise GraphError("the number of tiles k must be at least 1")
+    t = timings or DEFAULT_TIMINGS
+    graph = TaskGraph(name=f"qr-k{k}")
+
+    def geqrt(l: int) -> str:
+        return f"GEQRT_{l}"
+
+    def tsqrt(i: int, l: int) -> str:
+        return f"TSQRT_{i}_{l}"
+
+    def unmqr(l: int, j: int) -> str:
+        return f"UNMQR_{l}_{j}"
+
+    def tsmqr(i: int, j: int, l: int) -> str:
+        return f"TSMQR_{i}_{j}_{l}"
+
+    # Tasks.
+    for l in range(k):
+        graph.add_task(geqrt(l), t.time("GEQRT"), kernel="GEQRT", metadata={"l": l, "k": k})
+        for j in range(l + 1, k):
+            graph.add_task(
+                unmqr(l, j), t.time("UNMQR"), kernel="UNMQR", metadata={"j": j, "l": l, "k": k}
+            )
+        for i in range(l + 1, k):
+            graph.add_task(
+                tsqrt(i, l), t.time("TSQRT"), kernel="TSQRT", metadata={"i": i, "l": l, "k": k}
+            )
+            for j in range(l + 1, k):
+                graph.add_task(
+                    tsmqr(i, j, l),
+                    t.time("TSMQR"),
+                    kernel="TSMQR",
+                    metadata={"i": i, "j": j, "l": l, "k": k},
+                )
+
+    # Dependencies.
+    for l in range(k):
+        if l > 0:
+            graph.add_edge(tsmqr(l, l, l - 1), geqrt(l))
+        for j in range(l + 1, k):
+            graph.add_edge(geqrt(l), unmqr(l, j))
+            if l > 0:
+                graph.add_edge(tsmqr(l, j, l - 1), unmqr(l, j))
+        for i in range(l + 1, k):
+            if i == l + 1:
+                graph.add_edge(geqrt(l), tsqrt(i, l))
+            else:
+                graph.add_edge(tsqrt(i - 1, l), tsqrt(i, l))
+            if l > 0:
+                graph.add_edge(tsmqr(i, l, l - 1), tsqrt(i, l))
+            for j in range(l + 1, k):
+                graph.add_edge(tsqrt(i, l), tsmqr(i, j, l))
+                if i == l + 1:
+                    graph.add_edge(unmqr(l, j), tsmqr(i, j, l))
+                else:
+                    graph.add_edge(tsmqr(i - 1, j, l), tsmqr(i, j, l))
+                if l > 0:
+                    graph.add_edge(tsmqr(i, j, l - 1), tsmqr(i, j, l))
+
+    expected = qr_task_count(k)
+    if graph.num_tasks != expected:
+        raise GraphError(
+            f"internal error: QR DAG has {graph.num_tasks} tasks, expected {expected}"
+        )
+    return graph

@@ -1,0 +1,58 @@
+"""Workflow (DAG family) registry.
+
+The experiment drivers refer to the paper's DAG families by name
+(``"cholesky"``, ``"lu"``, ``"qr"``) with the tile count ``k`` as parameter.
+Synthetic families are also registered so that the CLI can generate them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.graph import TaskGraph
+from ..exceptions import GraphError
+from .cholesky import cholesky_dag
+from .gemm import gemm_dag
+from .lu import lu_dag
+from .qr import qr_dag
+from . import synthetic
+
+__all__ = ["available_workflows", "get_workflow", "build_dag", "PAPER_WORKFLOWS", "PAPER_SIZES"]
+
+#: The three DAG families of the paper's evaluation (Section V-B).
+PAPER_WORKFLOWS = ("cholesky", "lu", "qr")
+
+#: The five graph sizes of Figures 4-12.
+PAPER_SIZES = (4, 6, 8, 10, 12)
+
+_REGISTRY: Dict[str, Callable[..., TaskGraph]] = {
+    "cholesky": cholesky_dag,
+    "lu": lu_dag,
+    "qr": qr_dag,
+    "gemm": gemm_dag,
+    "stencil": lambda k, **kw: synthetic.stencil_sweep(k, k, **kw),
+    "reduction": lambda k, **kw: synthetic.reduction_tree(k, **kw),
+    "mapreduce": lambda k, **kw: synthetic.map_reduce(k, **kw),
+    "wavefront": lambda k, **kw: synthetic.wavefront(k, k, **kw),
+}
+
+
+def available_workflows() -> List[str]:
+    """Names of all registered workflow families."""
+    return sorted(_REGISTRY)
+
+
+def get_workflow(name: str) -> Callable[..., TaskGraph]:
+    """Return the generator function of a workflow family."""
+    key = name.strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise GraphError(
+            f"unknown workflow {name!r}; available: {', '.join(available_workflows())}"
+        ) from None
+
+
+def build_dag(name: str, size: int, **kwargs) -> TaskGraph:
+    """Build a DAG of the given family and size."""
+    return get_workflow(name)(size, **kwargs)

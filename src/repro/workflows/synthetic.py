@@ -1,0 +1,177 @@
+"""Additional synthetic scientific-workflow generators.
+
+The paper's evaluation focuses on the three dense factorization DAGs; the
+generators here provide further realistic workload shapes (used by the
+extra examples, the scheduling scenarios and the property-based tests):
+
+* :func:`stencil_sweep` — a 1-D stencil iterated over time steps (each
+  point depends on its neighbours at the previous step), the structure of
+  explicit PDE solvers;
+* :func:`reduction_tree` — a binary (or n-ary) reduction, the structure of
+  dot products, norms and all-reduce phases;
+* :func:`map_reduce` — a map stage followed by a reduction tree, the shape
+  of many data-analytic workflows;
+* :func:`wavefront` — a 2-D wavefront (same dependency pattern as dynamic
+  programming and as the LU panel updates), re-exported from
+  :func:`repro.core.generators.diamond_mesh`;
+* :func:`strassen_like_recursion` — a recursive divide-and-conquer task
+  graph parameterised by fan-out and depth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.generators import RngLike, as_rng, diamond_mesh
+from ..core.graph import TaskGraph
+from ..exceptions import GraphError
+
+__all__ = [
+    "stencil_sweep",
+    "reduction_tree",
+    "map_reduce",
+    "wavefront",
+    "strassen_like_recursion",
+]
+
+
+def stencil_sweep(
+    width: int,
+    steps: int,
+    *,
+    task_time: float = 0.15,
+    halo: int = 1,
+    name: str = "stencil",
+) -> TaskGraph:
+    """A 1-D stencil of ``width`` points iterated for ``steps`` time steps.
+
+    Task ``(s, p)`` (step ``s``, point ``p``) depends on tasks
+    ``(s-1, p-halo) ... (s-1, p+halo)`` clipped to the domain.
+    """
+    if width <= 0 or steps <= 0:
+        raise GraphError("width and steps must be positive")
+    if halo < 0:
+        raise GraphError("halo must be non-negative")
+    graph = TaskGraph(name=f"{name}-{width}x{steps}")
+    for s in range(steps):
+        for p in range(width):
+            graph.add_task(
+                f"S{s}_{p}", task_time, kernel="STENCIL", metadata={"step": s, "point": p}
+            )
+    for s in range(1, steps):
+        for p in range(width):
+            for q in range(max(0, p - halo), min(width, p + halo + 1)):
+                graph.add_edge(f"S{s - 1}_{q}", f"S{s}_{p}")
+    return graph
+
+
+def reduction_tree(
+    num_leaves: int,
+    *,
+    arity: int = 2,
+    leaf_time: float = 0.15,
+    combine_time: float = 0.05,
+    name: str = "reduction",
+) -> TaskGraph:
+    """An ``arity``-ary reduction tree over ``num_leaves`` leaf tasks."""
+    if num_leaves <= 0:
+        raise GraphError("need at least one leaf")
+    if arity < 2:
+        raise GraphError("arity must be at least 2")
+    graph = TaskGraph(name=f"{name}-{num_leaves}")
+    current = []
+    for i in range(num_leaves):
+        tid = f"leaf_{i}"
+        graph.add_task(tid, leaf_time, kernel="LEAF")
+        current.append(tid)
+    level = 0
+    while len(current) > 1:
+        nxt = []
+        for start in range(0, len(current), arity):
+            group = current[start : start + arity]
+            if len(group) == 1:
+                nxt.append(group[0])
+                continue
+            tid = f"combine_{level}_{start // arity}"
+            graph.add_task(tid, combine_time, kernel="COMBINE")
+            for child in group:
+                graph.add_edge(child, tid)
+            nxt.append(tid)
+        current = nxt
+        level += 1
+    return graph
+
+
+def map_reduce(
+    num_maps: int,
+    *,
+    arity: int = 2,
+    map_time: float = 0.15,
+    combine_time: float = 0.05,
+    scatter_time: float = 0.02,
+    name: str = "mapreduce",
+) -> TaskGraph:
+    """A scatter task, ``num_maps`` independent map tasks, and a reduction tree."""
+    if num_maps <= 0:
+        raise GraphError("need at least one map task")
+    graph = reduction_tree(
+        num_maps, arity=arity, leaf_time=map_time, combine_time=combine_time, name=name
+    )
+    graph.add_task("scatter", scatter_time, kernel="SCATTER")
+    for i in range(num_maps):
+        graph.add_edge("scatter", f"leaf_{i}")
+    return graph
+
+
+def wavefront(
+    rows: int,
+    cols: int,
+    *,
+    task_time: Union[float, None] = 0.15,
+    rng: RngLike = None,
+    name: str = "wavefront",
+) -> TaskGraph:
+    """A 2-D wavefront dependency mesh (dynamic-programming structure)."""
+    return diamond_mesh(cols, rows, weight=task_time, rng=rng, name=name)
+
+
+def strassen_like_recursion(
+    depth: int,
+    *,
+    fanout: int = 7,
+    leaf_time: float = 0.15,
+    combine_time: float = 0.08,
+    name: str = "strassen",
+) -> TaskGraph:
+    """A divide-and-conquer DAG: each node spawns ``fanout`` children down to
+    ``depth`` levels, then results are recombined level by level.
+
+    With the default ``fanout = 7`` the expansion mimics Strassen's matrix
+    multiplication recursion.
+    """
+    if depth < 0:
+        raise GraphError("depth must be non-negative")
+    if fanout < 1:
+        raise GraphError("fanout must be positive")
+    graph = TaskGraph(name=f"{name}-d{depth}")
+
+    def expand(prefix: str, level: int) -> str:
+        """Create the sub-DAG rooted at ``prefix``; return its last task."""
+        if level == depth:
+            graph.add_task(prefix, leaf_time, kernel="LEAF", metadata={"level": level})
+            return prefix
+        split = f"{prefix}.split"
+        graph.add_task(split, combine_time, kernel="SPLIT", metadata={"level": level})
+        combine = f"{prefix}.combine"
+        graph.add_task(combine, combine_time, kernel="COMBINE", metadata={"level": level})
+        for c in range(fanout):
+            child_last = expand(f"{prefix}.{c}", level + 1)
+            child_first = f"{prefix}.{c}" if level + 1 == depth else f"{prefix}.{c}.split"
+            graph.add_edge(split, child_first)
+            graph.add_edge(child_last, combine)
+        return combine
+
+    expand("root", 0)
+    return graph

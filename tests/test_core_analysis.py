@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.analysis (graph profiles and statistics)."""
+
+import pytest
+
+from repro.core.analysis import analyze_graph, count_critical_paths, parallelism_profile
+from repro.core.generators import chain_graph, independent_tasks
+from repro.core.graph import TaskGraph
+from repro.exceptions import GraphError
+from repro.workflows.cholesky import cholesky_dag
+
+
+class TestCountCriticalPaths:
+    def test_chain_has_one(self):
+        assert count_critical_paths(chain_graph(6, weight=1.0)) == 1
+
+    def test_diamond_with_tie(self):
+        g = TaskGraph()
+        g.add_task("s", 1.0)
+        g.add_task("a", 2.0)
+        g.add_task("b", 2.0)
+        g.add_task("t", 1.0)
+        g.add_edges_from([("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")])
+        assert count_critical_paths(g) == 2
+
+    def test_diamond_without_tie(self, diamond):
+        assert count_critical_paths(diamond) == 1
+
+    def test_independent_equal_tasks(self):
+        g = independent_tasks(5, weight=2.0)
+        assert count_critical_paths(g) == 5
+
+    def test_grid_counts_binomial(self):
+        from repro.core.generators import diamond_mesh
+
+        # In a 3x3 unit-weight grid every monotone path is critical:
+        # C(4, 2) = 6 paths.
+        g = diamond_mesh(3, 3, weight=1.0)
+        assert count_critical_paths(g) == 6
+
+    def test_empty_graph(self):
+        assert count_critical_paths(TaskGraph()) == 0
+
+
+class TestParallelismProfile:
+    def test_chain_profile(self):
+        profile = parallelism_profile(chain_graph(4, weight=2.0))
+        assert profile == {0: 2.0, 1: 2.0, 2: 2.0, 3: 2.0}
+
+    def test_diamond_profile(self, diamond):
+        profile = parallelism_profile(diamond)
+        assert profile[0] == pytest.approx(1.0)
+        assert profile[1] == pytest.approx(6.0)
+        assert profile[2] == pytest.approx(1.0)
+
+
+class TestAnalyzeGraph:
+    def test_chain(self):
+        profile = analyze_graph(chain_graph(5, weight=1.0))
+        assert profile.depth == 5
+        assert profile.width == 1
+        assert profile.average_parallelism == pytest.approx(1.0)
+        assert profile.series_parallel
+        assert profile.num_critical_paths == 1
+        assert profile.critical_path_tasks == 5
+        assert profile.num_critical_tasks == 5
+
+    def test_cholesky(self):
+        graph = cholesky_dag(6)
+        profile = analyze_graph(graph)
+        assert profile.num_tasks == graph.num_tasks
+        assert profile.total_work == pytest.approx(graph.total_weight())
+        assert not profile.series_parallel
+        assert profile.average_parallelism > 1.0
+        assert profile.width >= profile.average_parallelism / 2
+        assert profile.max_in_degree >= 2
+        assert profile.num_critical_tasks >= profile.critical_path_tasks
+        as_dict = profile.as_dict()
+        assert as_dict["name"] == graph.name
+        assert as_dict["series_parallel"] is False
+
+    def test_diamond(self, diamond):
+        profile = analyze_graph(diamond)
+        assert profile.depth == 3
+        assert profile.width == 2
+        assert profile.series_parallel
+        # only s, right, t are critical (left has slack)
+        assert profile.num_critical_tasks == 3
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            analyze_graph(TaskGraph())
+
+    def test_skip_series_parallel_check(self, cholesky4):
+        profile = analyze_graph(cholesky4, check_series_parallel=False)
+        assert profile.series_parallel is False

@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.generators (random/structured DAG families)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generators import (
+    chain_graph,
+    diamond_mesh,
+    erdos_renyi_dag,
+    fork_join,
+    independent_tasks,
+    layered_random_dag,
+    random_out_tree,
+    random_series_parallel,
+    random_weights,
+)
+from repro.core.paths import critical_path_length
+from repro.core.seriesparallel import is_series_parallel
+from repro.core.validation import ensure_valid
+from repro.exceptions import GraphError
+
+
+class TestRandomWeights:
+    def test_range_and_size(self):
+        w = random_weights(1000, low=0.1, high=0.2, rng=0)
+        assert w.shape == (1000,)
+        assert np.all((w >= 0.1) & (w < 0.2))
+
+    def test_reproducible(self):
+        assert np.allclose(random_weights(10, rng=5), random_weights(10, rng=5))
+
+    def test_invalid_range(self):
+        with pytest.raises(GraphError):
+            random_weights(5, low=0.5, high=0.1)
+
+
+class TestStructuredGenerators:
+    def test_chain(self):
+        g = chain_graph(5, weight=1.0)
+        assert g.num_tasks == 5 and g.num_edges == 4
+        assert critical_path_length(g) == pytest.approx(5.0)
+
+    def test_chain_needs_positive_length(self):
+        with pytest.raises(GraphError):
+            chain_graph(0)
+
+    def test_independent(self):
+        g = independent_tasks(7, weight=2.0)
+        assert g.num_edges == 0
+        assert critical_path_length(g) == pytest.approx(2.0)
+
+    def test_fork_join_structure(self):
+        g = fork_join(4, stages=2, weight=1.0)
+        assert g.num_tasks == 2 * 5 + 1
+        # critical path: fork + work + join + work + join = 5 tasks of weight 1
+        assert critical_path_length(g) == pytest.approx(5.0)
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+
+    def test_diamond_mesh_counts(self):
+        g = diamond_mesh(3, 4, weight=1.0)
+        assert g.num_tasks == 12
+        # longest path in a grid = depth + width - 1 tasks
+        assert critical_path_length(g) == pytest.approx(6.0)
+        assert not is_series_parallel(g)
+
+
+class TestRandomGenerators:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_layered_dag_is_valid(self, seed):
+        g = layered_random_dag(5, 4, rng=seed)
+        ensure_valid(g)
+        assert g.num_tasks == 20
+        # every non-first-layer task has at least one predecessor
+        for tid in g.task_ids():
+            if not tid.startswith("L0_"):
+                assert g.in_degree(tid) >= 1
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_erdos_renyi_is_acyclic(self, seed):
+        g = erdos_renyi_dag(30, 0.2, rng=seed)
+        assert g.is_acyclic()
+        assert g.num_tasks == 30
+
+    def test_erdos_renyi_edge_probability_extremes(self):
+        empty = erdos_renyi_dag(10, 0.0, rng=0)
+        assert empty.num_edges == 0
+        full = erdos_renyi_dag(10, 1.0, rng=0)
+        assert full.num_edges == 45
+
+    def test_out_tree_in_degrees(self):
+        g = random_out_tree(25, max_children=3, rng=4)
+        assert g.num_tasks == 25
+        roots = [t for t in g.task_ids() if g.in_degree(t) == 0]
+        assert roots == ["t0"]
+        assert all(g.in_degree(t) == 1 for t in g.task_ids() if t != "t0")
+        assert all(g.out_degree(t) <= 3 for t in g.task_ids())
+        assert is_series_parallel(g)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_sp_has_requested_leaves(self, seed):
+        g = random_series_parallel(15, rng=seed)
+        assert g.num_tasks == 15
+        assert g.is_acyclic()
+
+    def test_generators_reproducible_with_seed(self):
+        a = erdos_renyi_dag(20, 0.3, rng=99)
+        b = erdos_renyi_dag(20, 0.3, rng=99)
+        assert a.edges() == b.edges()
+        assert a.weights() == pytest.approx(b.weights())
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            layered_random_dag(0, 3)
+        with pytest.raises(GraphError):
+            erdos_renyi_dag(5, 1.5)
+        with pytest.raises(GraphError):
+            fork_join(0)
+        with pytest.raises(GraphError):
+            random_out_tree(5, max_children=0)
+
+    def test_explicit_weight_sequence(self):
+        g = chain_graph(3, weight=[1.0, 2.0, 3.0])
+        assert g.weight("t1") == 2.0
+        with pytest.raises(GraphError):
+            chain_graph(3, weight=[1.0])

@@ -1,0 +1,191 @@
+"""Unit tests for repro.core.graph (TaskGraph and GraphIndex)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import TaskGraph
+from repro.exceptions import (
+    CycleError,
+    DuplicateTaskError,
+    GraphError,
+    UnknownTaskError,
+)
+
+
+class TestConstruction:
+    def test_add_task_and_query(self):
+        g = TaskGraph()
+        g.add_task("a", 1.5, kernel="GEMM")
+        assert "a" in g
+        assert g.num_tasks == 1
+        assert g.weight("a") == 1.5
+        assert g.task("a").kernel == "GEMM"
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        with pytest.raises(DuplicateTaskError):
+            g.add_task("a", 2.0)
+
+    def test_edge_requires_known_endpoints(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        with pytest.raises(UnknownTaskError):
+            g.add_edge("a", "missing")
+        with pytest.raises(UnknownTaskError):
+            g.add_edge("missing", "a")
+
+    def test_self_loop_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_duplicate_edge_is_noop(self, chain3):
+        before = chain3.num_edges
+        chain3.add_edge("a", "b")
+        assert chain3.num_edges == before
+
+    def test_remove_edge_and_task(self, diamond):
+        diamond.remove_edge("s", "left")
+        assert not diamond.has_edge("s", "left")
+        diamond.remove_task("left")
+        assert "left" not in diamond
+        assert diamond.num_tasks == 3
+
+    def test_remove_missing_edge_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.remove_edge("left", "right")
+
+    def test_set_weight_and_scale(self, chain3):
+        chain3.set_weight("b", 10.0)
+        assert chain3.weight("b") == 10.0
+        chain3.scale_weights(0.5)
+        assert chain3.weight("b") == 5.0
+        assert chain3.weight("a") == 0.5
+
+
+class TestQueries:
+    def test_degrees_and_neighbours(self, diamond):
+        assert set(diamond.successors("s")) == {"left", "right"}
+        assert set(diamond.predecessors("t")) == {"left", "right"}
+        assert diamond.in_degree("t") == 2
+        assert diamond.out_degree("s") == 2
+
+    def test_sources_and_sinks(self, diamond, non_sp_graph):
+        assert diamond.sources() == ["s"]
+        assert diamond.sinks() == ["t"]
+        assert set(non_sp_graph.sources()) == {"a", "b"}
+        assert set(non_sp_graph.sinks()) == {"c", "d"}
+
+    def test_total_and_mean_weight(self, diamond):
+        assert diamond.total_weight() == pytest.approx(8.0)
+        assert diamond.mean_weight() == pytest.approx(2.0)
+
+    def test_mean_weight_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            TaskGraph().mean_weight()
+
+    def test_edges_listing(self, chain3):
+        assert chain3.edges() == [("a", "b"), ("b", "c")]
+
+    def test_len_and_iter(self, chain3):
+        assert len(chain3) == 3
+        assert list(chain3) == ["a", "b", "c"]
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self, chain3):
+        assert chain3.topological_order() == ["a", "b", "c"]
+
+    def test_order_respects_all_edges(self, cholesky4):
+        order = cholesky4.topological_order()
+        position = {tid: i for i, tid in enumerate(order)}
+        for src, dst in cholesky4.edges():
+            assert position[src] < position[dst]
+
+    def test_cycle_detection(self):
+        g = TaskGraph()
+        for name in "abc":
+            g.add_task(name, 1.0)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        assert not g.is_acyclic()
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+
+class TestIndex:
+    def test_index_shapes(self, diamond):
+        idx = diamond.index()
+        assert idx.num_tasks == 4
+        assert idx.num_edges == 4
+        assert idx.weights.shape == (4,)
+        assert idx.pred_indptr.shape == (5,)
+        assert idx.pred_indices.shape == (4,)
+
+    def test_index_adjacency_matches_graph(self, cholesky4):
+        idx = cholesky4.index()
+        for tid in cholesky4.task_ids():
+            i = idx.index_of[tid]
+            preds = {idx.task_ids[j] for j in idx.predecessors(i)}
+            assert preds == set(cholesky4.predecessors(tid))
+            succs = {idx.task_ids[j] for j in idx.successors(i)}
+            assert succs == set(cholesky4.successors(tid))
+
+    def test_index_cache_invalidated_on_mutation(self, chain3):
+        idx1 = chain3.index()
+        assert chain3.index() is idx1  # cached
+        chain3.add_task("d", 1.0)
+        assert chain3.index() is not idx1
+
+    def test_source_and_sink_indices(self, diamond):
+        idx = diamond.index()
+        assert [idx.task_ids[i] for i in idx.source_indices()] == ["s"]
+        assert [idx.task_ids[i] for i in idx.sink_indices()] == ["t"]
+
+    def test_weights_are_readonly(self, diamond):
+        idx = diamond.index()
+        with pytest.raises(ValueError):
+            idx.weights[0] = 99.0
+
+
+class TestCopiesAndConversions:
+    def test_copy_is_deep_structurally(self, diamond):
+        clone = diamond.copy()
+        clone.set_weight("left", 100.0)
+        clone.add_task("extra", 1.0)
+        assert diamond.weight("left") == 2.0
+        assert "extra" not in diamond
+
+    def test_with_doubled_task(self, diamond):
+        doubled = diamond.with_doubled_task("right")
+        assert doubled.weight("right") == 8.0
+        assert diamond.weight("right") == 4.0
+
+    def test_subgraph(self, diamond):
+        sub = diamond.subgraph(["s", "left", "t"])
+        assert sub.num_tasks == 3
+        assert sub.has_edge("s", "left")
+        assert sub.has_edge("left", "t")
+        assert not sub.has_edge("s", "t")
+
+    def test_subgraph_unknown_task(self, diamond):
+        with pytest.raises(UnknownTaskError):
+            diamond.subgraph(["s", "nope"])
+
+    def test_networkx_roundtrip(self, diamond):
+        nx_graph = diamond.to_networkx()
+        back = TaskGraph.from_networkx(nx_graph)
+        assert set(back.task_ids()) == set(diamond.task_ids())
+        assert set(back.edges()) == set(diamond.edges())
+        assert back.weight("right") == diamond.weight("right")
+
+    def test_networkx_default_weight(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_edge("x", "y")
+        back = TaskGraph.from_networkx(g)
+        assert back.weight("x") == 1.0

@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.paths (critical paths, levels, batched makespans)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import TaskGraph
+from repro.core.paths import (
+    batched_makespans,
+    bottom_levels,
+    compute_path_metrics,
+    critical_path,
+    critical_path_length,
+    doubled_task_makespans,
+    makespan_with_weights,
+    top_levels,
+)
+from repro.exceptions import GraphError
+
+
+class TestCriticalPathLength:
+    def test_chain(self, chain3):
+        assert critical_path_length(chain3) == pytest.approx(6.0)
+
+    def test_diamond_takes_heavier_branch(self, diamond):
+        # s(1) -> right(4) -> t(1) is the longest path.
+        assert critical_path_length(diamond) == pytest.approx(6.0)
+
+    def test_non_sp(self, non_sp_graph):
+        # b(2) -> d(4) = 6 < a(1) -> d(4) = 5 < a(1) -> c(3) = 4 ... longest is 6.
+        assert critical_path_length(non_sp_graph) == pytest.approx(6.0)
+
+    def test_single_task(self):
+        g = TaskGraph()
+        g.add_task("only", 2.5)
+        assert critical_path_length(g) == pytest.approx(2.5)
+
+    def test_empty_graph(self):
+        assert critical_path_length(TaskGraph()) == 0.0
+
+    def test_independent_tasks(self):
+        g = TaskGraph()
+        for i, w in enumerate([1.0, 5.0, 3.0]):
+            g.add_task(i, w)
+        assert critical_path_length(g) == pytest.approx(5.0)
+
+    def test_custom_weights_override(self, diamond):
+        idx = diamond.index()
+        weights = idx.weights.copy()
+        weights[idx.index_of["left"]] = 100.0
+        assert makespan_with_weights(idx, weights) == pytest.approx(102.0)
+
+    def test_weight_vector_shape_checked(self, diamond):
+        with pytest.raises(GraphError):
+            makespan_with_weights(diamond, np.ones(3))
+
+
+class TestCriticalPath:
+    def test_diamond_path(self, diamond):
+        assert critical_path(diamond) == ["s", "right", "t"]
+
+    def test_path_length_consistent(self, cholesky4):
+        path = critical_path(cholesky4)
+        total = sum(cholesky4.weight(t) for t in path)
+        assert total == pytest.approx(critical_path_length(cholesky4))
+
+    def test_path_is_connected(self, lu4):
+        path = critical_path(lu4)
+        for src, dst in zip(path, path[1:]):
+            assert lu4.has_edge(src, dst)
+
+    def test_empty_graph(self):
+        assert critical_path(TaskGraph()) == []
+
+
+class TestLevels:
+    def test_top_levels_chain(self, chain3):
+        tl = top_levels(chain3)
+        assert tl == pytest.approx({"a": 0.0, "b": 1.0, "c": 3.0})
+
+    def test_bottom_levels_chain(self, chain3):
+        bl = bottom_levels(chain3)
+        assert bl == pytest.approx({"a": 5.0, "b": 3.0, "c": 0.0})
+
+    def test_paper_definitions(self, diamond):
+        # tl(i) = max over predecessors of tl(j); the paper's definition does
+        # not include the predecessor weights for entry tasks, so tl(s) = 0.
+        tl = top_levels(diamond)
+        bl = bottom_levels(diamond)
+        assert tl["s"] == 0.0
+        assert tl["t"] == pytest.approx(5.0)
+        assert bl["s"] == pytest.approx(5.0)
+        assert bl["t"] == 0.0
+
+    def test_up_plus_down_on_critical_path(self, diamond):
+        metrics = compute_path_metrics(diamond)
+        idx = metrics.index
+        through = dict(zip(idx.task_ids, metrics.through))
+        assert through["right"] == pytest.approx(6.0)
+        assert through["left"] == pytest.approx(4.0)
+        slack = dict(zip(idx.task_ids, metrics.slack))
+        assert slack["right"] == pytest.approx(0.0)
+        assert slack["left"] == pytest.approx(2.0)
+
+
+class TestDoubledMakespans:
+    def test_matches_naive_recomputation(self, cholesky4):
+        fast = doubled_task_makespans(cholesky4)
+        for tid in cholesky4.task_ids():
+            naive = critical_path_length(cholesky4.with_doubled_task(tid))
+            assert fast[tid] == pytest.approx(naive), tid
+
+    def test_matches_naive_on_random_graph(self, small_random_dag):
+        fast = doubled_task_makespans(small_random_dag)
+        for tid in small_random_dag.task_ids():
+            naive = critical_path_length(small_random_dag.with_doubled_task(tid))
+            assert fast[tid] == pytest.approx(naive)
+
+    def test_doubling_never_shrinks(self, qr4):
+        d = critical_path_length(qr4)
+        for value in doubled_task_makespans(qr4).values():
+            assert value >= d - 1e-12
+
+
+class TestBatchedMakespans:
+    def test_single_row_matches_scalar(self, lu4):
+        idx = lu4.index()
+        out = batched_makespans(idx, idx.weights[None, :])
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(critical_path_length(lu4))
+
+    def test_multiple_rows(self, diamond):
+        idx = diamond.index()
+        base = idx.weights
+        rows = np.stack([base, 2 * base, 0.5 * base])
+        out = batched_makespans(idx, rows)
+        assert out == pytest.approx([6.0, 12.0, 3.0])
+
+    def test_shape_validation(self, diamond):
+        with pytest.raises(GraphError):
+            batched_makespans(diamond, np.ones((2, 3)))
+
+    def test_rows_are_independent(self, cholesky4, rng):
+        idx = cholesky4.index()
+        factors = rng.uniform(1.0, 2.0, size=(5, idx.num_tasks))
+        rows = idx.weights[None, :] * factors
+        batched = batched_makespans(idx, rows)
+        singles = [makespan_with_weights(idx, row) for row in rows]
+        assert batched == pytest.approx(singles)

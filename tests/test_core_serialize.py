@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.serialize (JSON, DOT, edge lists)."""
+
+import json
+
+import pytest
+
+from repro.core.graph import TaskGraph
+from repro.core.paths import critical_path_length
+from repro.core.serialize import (
+    dumps_json,
+    from_edge_list,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    loads_json,
+    save_dot,
+    save_json,
+    to_dot,
+    to_edge_list,
+)
+from repro.exceptions import SerializationError
+
+
+class TestJson:
+    def test_roundtrip_string(self, cholesky4):
+        rebuilt = loads_json(dumps_json(cholesky4))
+        assert rebuilt.num_tasks == cholesky4.num_tasks
+        assert set(rebuilt.edges()) == set(cholesky4.edges())
+        assert rebuilt.weights() == pytest.approx(cholesky4.weights())
+        assert rebuilt.task("POTRF_0").kernel == "POTRF"
+
+    def test_roundtrip_file(self, tmp_path, diamond):
+        path = save_json(diamond, tmp_path / "diamond.json")
+        rebuilt = load_json(path)
+        assert critical_path_length(rebuilt) == pytest.approx(critical_path_length(diamond))
+
+    def test_dict_structure(self, chain3):
+        payload = graph_to_dict(chain3)
+        assert payload["format"] == "repro-taskgraph"
+        assert len(payload["tasks"]) == 3
+        assert len(payload["edges"]) == 2
+        # payload is valid JSON
+        json.dumps(payload)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_json(tmp_path / "nope.json")
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SerializationError):
+            loads_json("{not json")
+
+    def test_malformed_payload(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"tasks": [{"weight": 1.0}]})  # missing id
+
+    def test_wrong_format_tag(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"format": "something-else", "tasks": []})
+
+    def test_edge_attributes_preserved(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        g.add_edge("a", "b", data_size=42)
+        rebuilt = loads_json(dumps_json(g))
+        assert rebuilt.edge_attributes("a", "b")["data_size"] == 42
+
+
+class TestDot:
+    def test_contains_all_tasks_and_edges(self, diamond):
+        dot = to_dot(diamond)
+        for tid in diamond.task_ids():
+            assert f'"{tid}"' in dot
+        assert '"s" -> "left"' in dot
+        assert dot.startswith("digraph")
+
+    def test_highlight_and_weights(self, diamond):
+        dot = to_dot(diamond, show_weights=True, highlight=["right"])
+        assert "fillcolor" in dot
+        assert "4" in dot  # the weight of "right"
+
+    def test_save_dot(self, tmp_path, chain3):
+        path = save_dot(chain3, tmp_path / "chain.dot", rankdir="LR")
+        text = path.read_text()
+        assert "rankdir=LR" in text
+
+
+class TestEdgeList:
+    def test_roundtrip(self, diamond):
+        text = to_edge_list(diamond)
+        rebuilt = from_edge_list(text)
+        assert set(rebuilt.task_ids()) == set(diamond.task_ids())
+        assert set(rebuilt.edges()) == set(diamond.edges())
+        assert rebuilt.weight("right") == pytest.approx(4.0)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\ntask a 1.0\ntask b 2.0\nedge a b\n"
+        g = from_edge_list(text)
+        assert g.num_tasks == 2 and g.num_edges == 1
+
+    def test_bad_records_raise(self):
+        with pytest.raises(SerializationError):
+            from_edge_list("task a\n")
+        with pytest.raises(SerializationError):
+            from_edge_list("task a notanumber\n")
+        with pytest.raises(SerializationError):
+            from_edge_list("frobnicate a b\n")

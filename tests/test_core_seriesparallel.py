@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.seriesparallel (recognition, decomposition, evaluation)."""
+
+import pytest
+
+from repro.core.generators import chain_graph, fork_join, random_series_parallel
+from repro.core.graph import TaskGraph
+from repro.core.paths import critical_path_length
+from repro.core.seriesparallel import (
+    SPLeaf,
+    SPParallel,
+    SPSeries,
+    evaluate_sp,
+    is_series_parallel,
+    make_series_parallel_graph,
+    sp_decomposition,
+    sp_leaf_tasks,
+)
+from repro.exceptions import NotSeriesParallelError
+
+
+class TestRecognition:
+    def test_chain_is_sp(self, chain3):
+        assert is_series_parallel(chain3)
+
+    def test_diamond_is_sp(self, diamond):
+        assert is_series_parallel(diamond)
+
+    def test_fork_join_is_sp(self):
+        assert is_series_parallel(fork_join(5, stages=3, weight=1.0))
+
+    def test_random_sp_graphs_are_sp(self):
+        for seed in range(5):
+            g = random_series_parallel(12, rng=seed)
+            assert is_series_parallel(g), f"seed {seed}"
+
+    def test_n_graph_is_not_sp(self, non_sp_graph):
+        assert not is_series_parallel(non_sp_graph)
+        with pytest.raises(NotSeriesParallelError):
+            sp_decomposition(non_sp_graph)
+
+    def test_factorization_dags_are_not_sp(self, cholesky4, lu4, qr4):
+        # Section V-F of the paper: "the DAGs that we consider are far from
+        # being series-parallel".
+        assert not is_series_parallel(cholesky4)
+        assert not is_series_parallel(lu4)
+        assert not is_series_parallel(qr4)
+
+    def test_independent_tasks_are_sp(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 2.0)
+        assert is_series_parallel(g)
+
+
+class TestDecompositionEvaluation:
+    def test_leaves_cover_all_tasks(self, diamond):
+        tree = sp_decomposition(diamond)
+        assert sorted(sp_leaf_tasks(tree)) == sorted(diamond.task_ids())
+
+    def test_evaluate_sum_max_gives_critical_path(self, diamond, chain3):
+        for g in (diamond, chain3, fork_join(4, weight=2.0), random_series_parallel(9, rng=3)):
+            tree = sp_decomposition(g)
+            value = evaluate_sp(
+                tree,
+                leaf_value=lambda tid: 0.0 if tid is None else g.weight(tid),
+                series_combine=lambda a, b: a + b,
+                parallel_combine=max,
+            )
+            assert value == pytest.approx(critical_path_length(g))
+
+    def test_evaluate_count_leaves(self, diamond):
+        tree = sp_decomposition(diamond)
+        count = evaluate_sp(
+            tree,
+            leaf_value=lambda tid: 0 if tid is None else 1,
+            series_combine=lambda a, b: a + b,
+            parallel_combine=lambda a, b: a + b,
+        )
+        assert count == diamond.num_tasks
+
+    def test_tree_structure_of_chain(self, chain3):
+        tree = sp_decomposition(chain3)
+        assert isinstance(tree, SPSeries)
+        assert [leaf.task_id for leaf in tree.children] == ["a", "b", "c"]
+
+    def test_str_rendering(self, diamond):
+        text = str(sp_decomposition(diamond))
+        assert "||" in text and ";" in text
+
+
+class TestMaterialisation:
+    def test_rebuild_sp_graph_preserves_makespan(self, diamond):
+        tree = sp_decomposition(diamond)
+        rebuilt = make_series_parallel_graph(tree, diamond.weights())
+        assert critical_path_length(rebuilt) == pytest.approx(critical_path_length(diamond))
+        assert is_series_parallel(rebuilt)
+
+    def test_rebuild_handles_duplicates(self):
+        # A tree with the same task appearing twice (as Dodin duplication produces).
+        tree = SPParallel(
+            (
+                SPSeries((SPLeaf("x"), SPLeaf("y"))),
+                SPSeries((SPLeaf("x"), SPLeaf("z"))),
+            )
+        )
+        graph = make_series_parallel_graph(tree, {"x": 1.0, "y": 2.0, "z": 5.0})
+        assert graph.num_tasks == 4  # x duplicated
+        assert critical_path_length(graph) == pytest.approx(6.0)

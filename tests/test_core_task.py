@@ -1,0 +1,87 @@
+"""Unit tests for repro.core.task."""
+
+import math
+
+import pytest
+
+from repro.core.task import Task, validate_weight
+from repro.exceptions import InvalidWeightError
+
+
+class TestValidateWeight:
+    def test_accepts_positive_float(self):
+        assert validate_weight(1.5) == 1.5
+
+    def test_accepts_integer(self):
+        assert validate_weight(3) == 3.0
+        assert isinstance(validate_weight(3), float)
+
+    def test_accepts_zero_by_default(self):
+        assert validate_weight(0.0) == 0.0
+
+    def test_rejects_zero_when_disallowed(self):
+        with pytest.raises(InvalidWeightError):
+            validate_weight(0.0, allow_zero=False)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidWeightError):
+            validate_weight(-0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidWeightError):
+            validate_weight(float("nan"))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(InvalidWeightError):
+            validate_weight(math.inf)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(InvalidWeightError):
+            validate_weight("not a number")
+
+
+class TestTask:
+    def test_basic_construction(self):
+        task = Task("T1", 0.15, kernel="GEMM", metadata={"i": 1})
+        assert task.task_id == "T1"
+        assert task.weight == 0.15
+        assert task.kernel == "GEMM"
+        assert task.metadata["i"] == 1
+
+    def test_weight_is_validated(self):
+        with pytest.raises(InvalidWeightError):
+            Task("T1", -1.0)
+
+    def test_metadata_is_copied(self):
+        source = {"x": 1}
+        task = Task("T1", 1.0, metadata=source)
+        source["x"] = 2
+        assert task.metadata["x"] == 1
+
+    def test_with_weight(self):
+        task = Task("T1", 1.0, kernel="GEMM")
+        heavier = task.with_weight(5.0)
+        assert heavier.weight == 5.0
+        assert heavier.task_id == "T1"
+        assert heavier.kernel == "GEMM"
+        assert task.weight == 1.0  # original unchanged
+
+    def test_scaled(self):
+        assert Task("T", 2.0).scaled(1.5).weight == 3.0
+
+    def test_doubled_models_one_reexecution(self):
+        assert Task("T", 0.15).doubled().weight == pytest.approx(0.30)
+
+    def test_to_from_dict_roundtrip(self):
+        task = Task("T1", 0.5, kernel="SYRK", metadata={"i": 2, "j": 0})
+        rebuilt = Task.from_dict(task.to_dict())
+        assert rebuilt == task
+
+    def test_to_dict_omits_empty_fields(self):
+        payload = Task("T1", 0.5).to_dict()
+        assert "kernel" not in payload
+        assert "metadata" not in payload
+
+    def test_tasks_are_hashable_value_objects(self):
+        assert Task("T", 1.0) == Task("T", 1.0)
+        assert Task("T", 1.0) != Task("T", 2.0)

@@ -1,0 +1,178 @@
+"""Unit tests for repro.core.validation and repro.core.transform."""
+
+import pytest
+
+from repro.core.graph import TaskGraph
+from repro.core.paths import critical_path_length
+from repro.core.transform import (
+    SINK_ID,
+    SOURCE_ID,
+    add_source_sink,
+    level_partition,
+    merge_linear_chains,
+    relabel,
+    reversed_graph,
+    scaled_copy,
+    transitive_reduction,
+    with_unit_weights,
+)
+from repro.core.validation import (
+    ensure_valid,
+    find_cycle,
+    isolated_tasks,
+    unreachable_tasks,
+    validate_graph,
+)
+from repro.exceptions import CycleError, GraphError
+
+
+def cyclic_graph():
+    g = TaskGraph(name="cyclic")
+    for name in "abc":
+        g.add_task(name, 1.0)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "a")
+    return g
+
+
+class TestValidation:
+    def test_valid_graph_report(self, cholesky4):
+        report = validate_graph(cholesky4)
+        assert report.ok
+        assert bool(report)
+        report.raise_if_invalid()  # must not raise
+
+    def test_empty_graph_is_invalid_by_default(self):
+        report = validate_graph(TaskGraph())
+        assert not report.ok
+        assert validate_graph(TaskGraph(), allow_empty=True).ok
+
+    def test_cycle_reported(self):
+        report = validate_graph(cyclic_graph())
+        assert not report.ok
+        assert any("cycle" in e for e in report.errors)
+
+    def test_find_cycle_returns_actual_cycle(self):
+        g = cyclic_graph()
+        cycle = find_cycle(g)
+        assert len(cycle) == 3
+        # every consecutive pair is an edge, and it closes.
+        closed = cycle + [cycle[0]]
+        for src, dst in zip(closed, closed[1:]):
+            assert g.has_edge(src, dst)
+
+    def test_find_cycle_on_dag_is_empty(self, diamond):
+        assert find_cycle(diamond) == []
+
+    def test_isolated_tasks_warning(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        g.add_edge("a", "b")
+        g.add_task("lonely", 1.0)
+        assert isolated_tasks(g) == ["lonely"]
+        report = validate_graph(g)
+        assert report.ok  # isolated tasks are only warnings
+        assert any("isolated" in w for w in report.warnings)
+
+    def test_unreachable_only_with_cycles(self, diamond):
+        assert unreachable_tasks(diamond) == set()
+        g = cyclic_graph()
+        assert unreachable_tasks(g) == {"a", "b", "c"}
+
+    def test_ensure_valid_raises_cycle_error(self):
+        with pytest.raises(CycleError):
+            ensure_valid(cyclic_graph())
+
+    def test_ensure_valid_returns_graph(self, diamond):
+        assert ensure_valid(diamond) is diamond
+
+
+class TestSourceSink:
+    def test_adds_zero_weight_terminals(self, non_sp_graph):
+        augmented = add_source_sink(non_sp_graph)
+        assert SOURCE_ID in augmented and SINK_ID in augmented
+        assert augmented.weight(SOURCE_ID) == 0.0
+        assert augmented.sources() == [SOURCE_ID]
+        assert augmented.sinks() == [SINK_ID]
+
+    def test_preserves_critical_path_length(self, non_sp_graph, cholesky4):
+        for g in (non_sp_graph, cholesky4):
+            assert critical_path_length(add_source_sink(g)) == pytest.approx(
+                critical_path_length(g)
+            )
+
+    def test_name_clash_rejected(self, diamond):
+        clash = diamond.copy()
+        clash.add_task(SOURCE_ID, 1.0)
+        with pytest.raises(GraphError):
+            add_source_sink(clash)
+
+
+class TestTransforms:
+    def test_scaled_copy(self, diamond):
+        scaled = scaled_copy(diamond, 3.0)
+        assert scaled.weight("right") == pytest.approx(12.0)
+        assert diamond.weight("right") == pytest.approx(4.0)
+
+    def test_unit_weights(self, diamond):
+        unit = with_unit_weights(diamond)
+        assert all(t.weight == 1.0 for t in unit.tasks())
+
+    def test_relabel_with_mapping(self, chain3):
+        renamed = relabel(chain3, {"a": "first"})
+        assert "first" in renamed and "a" not in renamed
+        assert renamed.has_edge("first", "b")
+
+    def test_relabel_with_function(self, chain3):
+        renamed = relabel(chain3, function=lambda t: f"task_{t}")
+        assert set(renamed.task_ids()) == {"task_a", "task_b", "task_c"}
+
+    def test_relabel_must_be_injective(self, chain3):
+        with pytest.raises(GraphError):
+            relabel(chain3, function=lambda t: "same")
+
+    def test_relabel_requires_exactly_one_spec(self, chain3):
+        with pytest.raises(GraphError):
+            relabel(chain3)
+
+    def test_reversed_graph(self, chain3):
+        rev = reversed_graph(chain3)
+        assert rev.has_edge("c", "b") and rev.has_edge("b", "a")
+        assert critical_path_length(rev) == pytest.approx(critical_path_length(chain3))
+
+    def test_transitive_reduction_removes_shortcuts(self):
+        g = TaskGraph()
+        for name in "abc":
+            g.add_task(name, 1.0)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("a", "c")  # redundant shortcut
+        reduced = transitive_reduction(g)
+        assert reduced.num_edges == 2
+        assert not reduced.has_edge("a", "c")
+        assert critical_path_length(reduced) == pytest.approx(critical_path_length(g))
+
+    def test_transitive_reduction_preserves_critical_path(self, lu4):
+        reduced = transitive_reduction(lu4)
+        assert reduced.num_edges <= lu4.num_edges
+        assert critical_path_length(reduced) == pytest.approx(critical_path_length(lu4))
+
+    def test_merge_linear_chains(self, chain3):
+        merged, members = merge_linear_chains(chain3)
+        assert merged.num_tasks == 1
+        only = merged.task_ids()[0]
+        assert merged.weight(only) == pytest.approx(6.0)
+        assert members[only] == ("a", "b", "c")
+
+    def test_merge_preserves_deterministic_makespan(self, cholesky4):
+        merged, _ = merge_linear_chains(cholesky4)
+        assert merged.num_tasks <= cholesky4.num_tasks
+        assert critical_path_length(merged) == pytest.approx(critical_path_length(cholesky4))
+
+    def test_level_partition(self, diamond):
+        levels = level_partition(diamond)
+        assert levels[0] == ["s"]
+        assert set(levels[1]) == {"left", "right"}
+        assert levels[2] == ["t"]

@@ -1,0 +1,139 @@
+"""Unit tests for the first-order estimator (the paper's contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generators import chain_graph, erdos_renyi_dag, independent_tasks
+from repro.core.graph import TaskGraph
+from repro.core.paths import critical_path_length
+from repro.estimators.exact import ExactEstimator
+from repro.estimators.first_order import FirstOrderEstimator, first_order_expected_makespan
+from repro.exceptions import EstimationError
+from repro.failures.models import ExponentialErrorModel, FixedProbabilityModel
+
+
+class TestClosedFormCases:
+    def test_single_task(self):
+        """For one task, E = (1-λa)·a + λa·2a exactly at first order."""
+        g = TaskGraph()
+        g.add_task("t", 2.0)
+        lam = 0.01
+        estimate = first_order_expected_makespan(g, lam)
+        assert estimate == pytest.approx(2.0 + lam * 2.0 * 2.0)
+
+    def test_chain_adds_per_task_corrections(self):
+        """On a chain every task is critical: E = d(G) + λ Σ a_i²."""
+        weights = [1.0, 2.0, 3.0, 4.0]
+        g = chain_graph(4, weight=weights)
+        lam = 0.005
+        expected = sum(weights) + lam * sum(w * w for w in weights)
+        assert first_order_expected_makespan(g, lam) == pytest.approx(expected)
+
+    def test_independent_tasks_only_longest_matters(self):
+        """Doubling a non-critical short task does not change the makespan."""
+        g = independent_tasks(3, weight=[1.0, 2.0, 5.0])
+        lam = 0.01
+        # Only the 5.0 task extends the makespan when doubled (1->2 and 2->4
+        # both stay below 5).
+        expected = 5.0 + lam * 5.0 * 5.0
+        assert first_order_expected_makespan(g, lam) == pytest.approx(expected)
+
+    def test_diamond(self, diamond):
+        lam = 0.002
+        d = critical_path_length(diamond)  # 6 via s-right-t
+        # Doubling: s -> 7, right -> 10, t -> 7, left -> max(6, 1+4+1=6... )
+        # left doubled: path s-left-t = 1+4+1 = 6 = d, so no increase.
+        expected = d + lam * (1.0 * 1.0 + 4.0 * 4.0 + 1.0 * 1.0)
+        assert first_order_expected_makespan(diamond, lam) == pytest.approx(expected)
+
+    def test_zero_rate_gives_failure_free_makespan(self, cholesky4):
+        assert first_order_expected_makespan(cholesky4, 0.0) == pytest.approx(
+            critical_path_length(cholesky4)
+        )
+
+
+class TestModes:
+    @pytest.mark.parametrize("graph_fixture", ["cholesky4", "lu4", "qr4", "small_random_dag"])
+    def test_fast_equals_naive(self, graph_fixture, request):
+        graph = request.getfixturevalue(graph_fixture)
+        model = ExponentialErrorModel.for_graph(graph, 0.01)
+        fast = FirstOrderEstimator(mode="fast").estimate(graph, model)
+        naive = FirstOrderEstimator(mode="naive").estimate(graph, model)
+        assert fast.expected_makespan == pytest.approx(naive.expected_makespan, rel=1e-12)
+
+    def test_invalid_mode(self):
+        with pytest.raises(EstimationError):
+            FirstOrderEstimator(mode="bogus")
+
+    def test_fast_is_not_slower_asymptotically(self, rng):
+        # Not a benchmark, just a smoke check that both run on a larger graph.
+        g = erdos_renyi_dag(120, 0.05, rng=rng)
+        model = ExponentialErrorModel.for_graph(g, 0.001)
+        fast = FirstOrderEstimator(mode="fast").estimate(g, model)
+        naive = FirstOrderEstimator(mode="naive").estimate(g, model)
+        assert fast.expected_makespan == pytest.approx(naive.expected_makespan)
+
+
+class TestAccuracyAndStructure:
+    def test_result_fields(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 0.001)
+        result = FirstOrderEstimator().estimate(cholesky4, model)
+        assert result.method == "first-order"
+        assert result.num_tasks == cholesky4.num_tasks
+        assert result.error_rate == pytest.approx(model.error_rate)
+        assert result.failure_free_makespan == pytest.approx(critical_path_length(cholesky4))
+        assert result.expected_makespan >= result.failure_free_makespan
+        assert result.wall_time >= 0.0
+        assert result.details["num_critical_tasks"] >= 1
+
+    def test_estimate_above_failure_free_bound(self, lu4, qr4):
+        for graph in (lu4, qr4):
+            model = ExponentialErrorModel.for_graph(graph, 0.01)
+            result = FirstOrderEstimator().estimate(graph, model)
+            assert result.expected_makespan >= critical_path_length(graph)
+
+    def test_first_order_error_scales_linearly_then_quadratically(self, small_random_dag):
+        """The neglected terms are O(λ²): halving p_fail should shrink the
+        error against the exact value by roughly 4x."""
+        graph = small_random_dag
+        exact = ExactEstimator()
+        errors = []
+        for pfail in (0.04, 0.02, 0.01):
+            model = ExponentialErrorModel.for_graph(graph, pfail)
+            reference = exact.estimate(graph, model).expected_makespan
+            estimate = FirstOrderEstimator().estimate(graph, model).expected_makespan
+            errors.append(abs(estimate - reference) / reference)
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[0] / errors[1] == pytest.approx(4.0, rel=0.35)
+        assert errors[1] / errors[2] == pytest.approx(4.0, rel=0.35)
+
+    def test_matches_exact_to_first_order(self, small_random_dag):
+        model = ExponentialErrorModel.for_graph(small_random_dag, 0.001)
+        exact = ExactEstimator().estimate(small_random_dag, model).expected_makespan
+        approx = FirstOrderEstimator().estimate(small_random_dag, model).expected_makespan
+        assert approx == pytest.approx(exact, rel=1e-4)
+
+    def test_exact_probability_variant_close_to_default(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 0.01)
+        default = FirstOrderEstimator().estimate(cholesky4, model).expected_makespan
+        variant = FirstOrderEstimator(use_exact_probabilities=True).estimate(
+            cholesky4, model
+        ).expected_makespan
+        assert variant == pytest.approx(default, rel=1e-2)
+        assert variant != default  # they differ at order λ²
+
+    def test_supports_fixed_probability_model(self, diamond):
+        model = FixedProbabilityModel(0.1)
+        result = FirstOrderEstimator().estimate(diamond, model)
+        # every task fails w.p. 0.1; correction = 0.1 * (1 + 4 + 1)
+        assert result.expected_makespan == pytest.approx(6.0 + 0.1 * 6.0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EstimationError):
+            FirstOrderEstimator().estimate(TaskGraph(), ExponentialErrorModel(0.01))
+
+    def test_monotone_in_error_rate(self, qr4):
+        estimates = [
+            first_order_expected_makespan(qr4, lam) for lam in (0.0, 0.01, 0.05, 0.1)
+        ]
+        assert estimates == sorted(estimates)

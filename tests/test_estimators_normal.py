@@ -1,0 +1,109 @@
+"""Unit tests for the Sculli (Normal) and correlated-normal estimators."""
+
+import pytest
+
+from repro.core.generators import chain_graph, fork_join, independent_tasks
+from repro.core.graph import TaskGraph
+from repro.core.paths import critical_path_length
+from repro.estimators.correlated import CorrelatedNormalEstimator
+from repro.estimators.exact import ExactEstimator
+from repro.estimators.montecarlo import MonteCarloEstimator
+from repro.estimators.sculli import SculliEstimator
+from repro.exceptions import EstimationError
+from repro.failures.models import ExponentialErrorModel, FixedProbabilityModel
+from repro.failures.twostate import TwoStateDistribution
+
+
+class TestSculli:
+    def test_chain_is_exact_for_means(self):
+        """On a chain there is no maximum: the normal propagation reproduces
+        the exact expectation (sum of per-task means)."""
+        weights = [1.0, 0.5, 2.0]
+        g = chain_graph(3, weight=weights)
+        model = ExponentialErrorModel(0.2)
+        expected = sum(
+            TwoStateDistribution.from_model(w, model).mean for w in weights
+        )
+        result = SculliEstimator().estimate(g, model)
+        assert result.expected_makespan == pytest.approx(expected)
+        variance = sum(TwoStateDistribution.from_model(w, model).variance for w in weights)
+        assert result.details["makespan_variance"] == pytest.approx(variance)
+
+    def test_zero_rate_gives_failure_free_makespan(self, cholesky4):
+        result = SculliEstimator().estimate(cholesky4, ExponentialErrorModel(0.0))
+        assert result.expected_makespan == pytest.approx(critical_path_length(cholesky4))
+        assert result.details["makespan_variance"] == pytest.approx(0.0)
+
+    def test_estimate_at_least_failure_free(self, lu4, qr4):
+        for graph in (lu4, qr4):
+            model = ExponentialErrorModel.for_graph(graph, 0.01)
+            result = SculliEstimator().estimate(graph, model)
+            assert result.expected_makespan >= critical_path_length(graph) - 1e-9
+
+    def test_multiple_sinks_folded(self):
+        g = independent_tasks(3, weight=[1.0, 1.0, 1.0])
+        model = FixedProbabilityModel(0.5)
+        result = SculliEstimator().estimate(g, model)
+        # True E[max of three iid {1,2} w.p. .5] = 2 - 0.125 = 1.875; the
+        # normal approximation should land in the right neighbourhood.
+        assert 1.5 < result.expected_makespan < 2.1
+
+    def test_reasonable_accuracy_on_small_graph(self, small_random_dag):
+        model = ExponentialErrorModel.for_graph(small_random_dag, 0.01)
+        exact = ExactEstimator().estimate(small_random_dag, model).expected_makespan
+        sculli = SculliEstimator().estimate(small_random_dag, model).expected_makespan
+        assert sculli == pytest.approx(exact, rel=0.05)
+
+    def test_completion_time_moments(self, diamond):
+        model = ExponentialErrorModel(0.05)
+        moments = SculliEstimator().completion_time_moments(diamond, model)
+        assert set(moments) == set(diamond.task_ids())
+        mean_t, var_t = moments["t"]
+        result = SculliEstimator().estimate(diamond, model)
+        assert mean_t == pytest.approx(result.expected_makespan)
+        assert var_t == pytest.approx(result.details["makespan_variance"])
+
+    def test_invalid_reexecution_factor(self):
+        with pytest.raises(EstimationError):
+            SculliEstimator(reexecution_factor=0.5)
+
+
+class TestCorrelatedNormal:
+    def test_chain_matches_sculli(self):
+        g = chain_graph(4, weight=[1.0, 2.0, 3.0, 4.0])
+        model = ExponentialErrorModel(0.1)
+        sculli = SculliEstimator().estimate(g, model).expected_makespan
+        correlated = CorrelatedNormalEstimator().estimate(g, model).expected_makespan
+        assert correlated == pytest.approx(sculli)
+
+    def test_perfectly_correlated_branches(self):
+        """Two parallel branches that share a long common prefix: ignoring
+        the correlation overestimates the makespan; tracking it should land
+        closer to the exact value."""
+        g = TaskGraph(name="shared-prefix")
+        g.add_task("head", 10.0)
+        g.add_task("left", 0.1)
+        g.add_task("right", 0.1)
+        g.add_edge("head", "left")
+        g.add_edge("head", "right")
+        model = FixedProbabilityModel(0.3)
+        exact = ExactEstimator().estimate(g, model).expected_makespan
+        sculli = SculliEstimator().estimate(g, model).expected_makespan
+        correlated = CorrelatedNormalEstimator().estimate(g, model).expected_makespan
+        assert abs(correlated - exact) <= abs(sculli - exact) + 1e-12
+
+    def test_not_worse_than_sculli_on_factorization_dag(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 0.01)
+        mc = MonteCarloEstimator(trials=120_000, seed=5).estimate(cholesky4, model)
+        reference = mc.expected_makespan
+        sculli = SculliEstimator().estimate(cholesky4, model).expected_makespan
+        correlated = CorrelatedNormalEstimator().estimate(cholesky4, model).expected_makespan
+        assert abs(correlated - reference) <= abs(sculli - reference) * 1.5
+
+    def test_zero_rate(self, qr4):
+        result = CorrelatedNormalEstimator().estimate(qr4, ExponentialErrorModel(0.0))
+        assert result.expected_makespan == pytest.approx(critical_path_length(qr4))
+
+    def test_invalid_reexecution_factor(self):
+        with pytest.raises(EstimationError):
+            CorrelatedNormalEstimator(reexecution_factor=0.0)

@@ -1,0 +1,87 @@
+"""Unit tests for the discrete topological-sweep estimator (extension)."""
+
+import pytest
+
+from repro.core.generators import chain_graph, fork_join
+from repro.core.paths import critical_path_length
+from repro.estimators.exact import ExactEstimator
+from repro.estimators.registry import get_estimator
+from repro.estimators.sculli import SculliEstimator
+from repro.estimators.sweep import DiscreteSweepEstimator
+from repro.exceptions import EstimationError
+from repro.failures.models import ExponentialErrorModel, FixedProbabilityModel
+
+
+class TestDiscreteSweep:
+    def test_exact_on_chains(self):
+        g = chain_graph(5, weight=[1.0, 2.0, 0.5, 1.5, 3.0])
+        model = ExponentialErrorModel(0.1)
+        exact = ExactEstimator().estimate(g, model).expected_makespan
+        sweep = DiscreteSweepEstimator(max_support=4096).estimate(g, model)
+        assert sweep.expected_makespan == pytest.approx(exact, rel=1e-9)
+
+    def test_exact_on_disjoint_parallel_chains(self):
+        """Disjoint chains share no tasks, so the CDF-product maximum over
+        their (genuinely independent) completion times is exact."""
+        from repro.core.graph import TaskGraph
+
+        g = TaskGraph(name="three-chains")
+        for c in range(3):
+            previous = None
+            for i in range(4):
+                tid = f"c{c}_{i}"
+                g.add_task(tid, 1.0 + 0.25 * c)
+                if previous is not None:
+                    g.add_edge(previous, tid)
+                previous = tid
+        model = FixedProbabilityModel(0.2)
+        exact = ExactEstimator().estimate(g, model).expected_makespan
+        sweep = DiscreteSweepEstimator(max_support=4096).estimate(g, model)
+        assert sweep.expected_makespan == pytest.approx(exact, rel=1e-9)
+
+    def test_overestimates_fork_join(self):
+        """In a fork-join the branches share the fork task, so assuming
+        independence at the join can only over-estimate the expectation."""
+        g = fork_join(4, weight=1.0)
+        model = FixedProbabilityModel(0.2)
+        exact = ExactEstimator().estimate(g, model).expected_makespan
+        sweep = DiscreteSweepEstimator(max_support=4096).estimate(g, model)
+        assert sweep.expected_makespan >= exact - 1e-12
+
+    def test_overestimates_with_shared_paths(self, diamond):
+        """Ignoring the correlation induced by the shared prefix task makes
+        the sweep over-estimate the expectation (same bias as Sculli)."""
+        model = FixedProbabilityModel(0.4)
+        exact = ExactEstimator().estimate(diamond, model).expected_makespan
+        sweep = DiscreteSweepEstimator().estimate(diamond, model).expected_makespan
+        assert sweep >= exact - 1e-12
+
+    def test_dominates_failure_free_makespan(self, cholesky4, qr4):
+        for graph in (cholesky4, qr4):
+            model = ExponentialErrorModel.for_graph(graph, 0.01)
+            result = DiscreteSweepEstimator().estimate(graph, model)
+            assert result.expected_makespan >= critical_path_length(graph) - 1e-9
+            assert result.details["final_support"] <= result.details["max_support"]
+
+    def test_close_to_sculli_on_factorization_dags(self, lu4):
+        """Both methods share the independence assumption; with exact
+        discrete task laws the sweep should land near Sculli's estimate."""
+        model = ExponentialErrorModel.for_graph(lu4, 0.01)
+        sweep = DiscreteSweepEstimator().estimate(lu4, model).expected_makespan
+        sculli = SculliEstimator().estimate(lu4, model).expected_makespan
+        assert sweep == pytest.approx(sculli, rel=0.02)
+
+    def test_zero_rate(self, cholesky4):
+        result = DiscreteSweepEstimator().estimate(cholesky4, ExponentialErrorModel(0.0))
+        assert result.expected_makespan == pytest.approx(critical_path_length(cholesky4))
+
+    def test_registered(self):
+        estimator = get_estimator("discrete-sweep", max_support=32)
+        assert isinstance(estimator, DiscreteSweepEstimator)
+        assert estimator.max_support == 32
+
+    def test_parameter_validation(self):
+        with pytest.raises(EstimationError):
+            DiscreteSweepEstimator(max_support=1)
+        with pytest.raises(EstimationError):
+            DiscreteSweepEstimator(reexecution_factor=0.5)

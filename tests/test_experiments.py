@@ -1,0 +1,199 @@
+"""Unit tests for repro.experiments (configs, drivers, reporting, runner)."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import (
+    PAPER_FIGURES,
+    PAPER_MC_TRIALS,
+    TABLE1,
+    FigureConfig,
+    ScalabilityConfig,
+    monte_carlo_trials,
+)
+from repro.experiments.error_vs_size import run_error_vs_size, run_figure
+from repro.experiments.reporting import (
+    ascii_semilog_plot,
+    figure_ascii_plot,
+    figure_table,
+    format_table,
+    scalability_table,
+    write_csv,
+)
+from repro.experiments.runner import run_all_figures, run_everything, summarize_figure
+from repro.experiments.scalability import run_scalability
+
+
+class TestConfig:
+    def test_paper_figures_cover_all_nine(self):
+        assert len(PAPER_FIGURES) == 9
+        workflows = {c.workflow for c in PAPER_FIGURES.values()}
+        assert workflows == {"cholesky", "lu", "qr"}
+        pfails = {c.pfail for c in PAPER_FIGURES.values()}
+        assert pfails == {1e-2, 1e-3, 1e-4}
+        for config in PAPER_FIGURES.values():
+            assert config.sizes == (4, 6, 8, 10, 12)
+            assert config.estimators == ("dodin", "normal", "first-order")
+
+    def test_table1_defaults_match_paper(self):
+        assert TABLE1.workflow == "lu"
+        assert TABLE1.size == 20
+        assert TABLE1.pfail == pytest.approx(1e-4)
+        assert PAPER_MC_TRIALS == 300_000
+
+    def test_mc_trials_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_TRIALS", "1234")
+        assert monte_carlo_trials() == 1234
+        assert FigureConfig("f", "lu", 0.01).trials == 1234
+        monkeypatch.setenv("REPRO_MC_TRIALS", "not-an-int")
+        with pytest.raises(ExperimentError):
+            monte_carlo_trials()
+        monkeypatch.delenv("REPRO_MC_TRIALS")
+        assert monte_carlo_trials(777) == 777
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            FigureConfig("f", "lu", 0.0)
+        with pytest.raises(ExperimentError):
+            FigureConfig("f", "lu", 0.1, sizes=())
+        with pytest.raises(ExperimentError):
+            ScalabilityConfig(pfail=2.0)
+        assert "cholesky" in PAPER_FIGURES["figure4"].describe()
+
+
+class TestDrivers:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        """A fast, fully wired experiment run (tiny sizes and trial count)."""
+        config = FigureConfig(
+            figure="figure-test",
+            workflow="cholesky",
+            pfail=1e-2,
+            sizes=(2, 3),
+            estimators=("normal", "first-order"),
+        )
+        messages = []
+        result = run_error_vs_size(
+            config, mc_trials=4_000, seed=1, progress=messages.append
+        )
+        return config, result, messages
+
+    def test_points_cover_the_grid(self, small_result):
+        config, result, _ = small_result
+        assert len(result.points) == len(config.sizes) * len(config.estimators)
+        assert {p.size for p in result.points} == set(config.sizes)
+        assert set(result.estimators()) == set(config.estimators)
+
+    def test_series_sorted_and_consistent(self, small_result):
+        _, result, _ = small_result
+        series = result.series("first-order")
+        assert [p.size for p in series] == [2, 3]
+        for p in series:
+            assert p.normalized_difference == pytest.approx(
+                (p.estimate - p.reference) / p.reference
+            )
+            assert p.relative_error >= 0
+
+    def test_first_order_beats_normal_at_low_pfail(self):
+        config = FigureConfig(
+            figure="figure-test2",
+            workflow="lu",
+            pfail=1e-3,
+            sizes=(6,),
+            estimators=("normal", "first-order"),
+        )
+        result = run_error_vs_size(config, mc_trials=30_000, seed=3)
+        winners = result.winner_per_size()
+        assert winners[6] == "first-order"
+
+    def test_progress_callback_invoked(self, small_result):
+        _, _, messages = small_result
+        assert any("MC mean" in m for m in messages)
+
+    def test_run_figure_rejects_unknown(self):
+        with pytest.raises(ExperimentError):
+            run_figure("figure99")
+
+    def test_scalability_driver(self):
+        config = ScalabilityConfig(workflow="lu", size=6, pfail=1e-3)
+        result = run_scalability(config, mc_trials=5_000, seed=4)
+        assert result.num_tasks == 91
+        assert {r.estimator for r in result.rows} == set(config.estimators)
+        row = result.row("first-order")
+        assert row.wall_time >= 0
+        with pytest.raises(ExperimentError):
+            result.row("unknown")
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2], [30, 40]], title="T")
+        assert "T" in text and "30" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, separator, two rows
+
+    def test_figure_table_and_plot(self):
+        config = FigureConfig(
+            figure="figure-mini",
+            workflow="cholesky",
+            pfail=1e-2,
+            sizes=(2, 3),
+            estimators=("first-order",),
+        )
+        result = run_error_vs_size(config, mc_trials=2_000, seed=0)
+        table = figure_table(result)
+        assert "figure-mini" in table and "first-order diff" in table
+        plot = figure_ascii_plot(result)
+        assert "legend" in plot
+
+    def test_scalability_table(self):
+        config = ScalabilityConfig(workflow="cholesky", size=4, pfail=1e-2)
+        result = run_scalability(config, mc_trials=2_000, seed=0)
+        text = scalability_table(result)
+        assert "Table I" in text
+        assert "first-order" in text
+
+    def test_ascii_plot_input_validation(self):
+        with pytest.raises(ExperimentError):
+            ascii_semilog_plot({})
+        with pytest.raises(ExperimentError):
+            ascii_semilog_plot({"x": [(1, 0.0)]})
+
+    def test_write_csv(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = write_csv(rows, tmp_path / "out" / "rows.csv")
+        text = path.read_text()
+        assert text.splitlines()[0] == "a,b"
+        assert "3,4.5" in text
+        with pytest.raises(ExperimentError):
+            write_csv([], tmp_path / "empty.csv")
+
+
+class TestRunner:
+    def test_run_all_figures_subset_with_csv(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_TRIALS", "1500")
+        # Shrink the figure to keep the test fast: patch the config registry.
+        from repro.experiments import config as config_module
+
+        small = FigureConfig(
+            figure="figure4",
+            workflow="cholesky",
+            pfail=1e-2,
+            sizes=(2, 3),
+            estimators=("first-order", "normal"),
+        )
+        monkeypatch.setitem(config_module.PAPER_FIGURES, "figure4", small)
+        monkeypatch.setitem(
+            run_all_figures.__globals__["PAPER_FIGURES"], "figure4", small
+        )
+        results = run_all_figures(["figure4"], output_dir=tmp_path)
+        assert "figure4" in results
+        assert (tmp_path / "figure4.csv").exists()
+        summary = summarize_figure(results["figure4"])
+        assert "figure4" in summary
+
+    def test_run_all_figures_unknown_name(self):
+        with pytest.raises(ExperimentError):
+            run_all_figures(["figure99"])

@@ -1,0 +1,229 @@
+"""Unit tests for repro.failures (models, calibration, two-state laws, DVFS)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.failures.dvfs import DvfsErrorModel, EnergyModel, speed_sweep
+from repro.failures.models import (
+    ExponentialErrorModel,
+    FixedProbabilityModel,
+    calibrate_lambda,
+    pfail_from_lambda,
+)
+from repro.failures.twostate import (
+    TwoStateDistribution,
+    geometric_expected_time,
+    two_state_table,
+)
+from repro.exceptions import ModelError
+
+
+class TestCalibration:
+    def test_calibration_solves_pfail_equation(self):
+        lam = calibrate_lambda(0.01, 0.15)
+        assert 1.0 - math.exp(-lam * 0.15) == pytest.approx(0.01)
+
+    def test_paper_numbers(self):
+        # Section V-C: ā = 0.15 s and p_fail = 0.01 give λ ≈ 0.067 and an MTBF
+        # of ≈ 14.9 seconds.
+        lam = calibrate_lambda(0.01, 0.15)
+        assert lam == pytest.approx(0.067, rel=0.01)
+        assert 1.0 / lam == pytest.approx(14.9, rel=0.01)
+
+    def test_paper_per_processor_mtbf(self):
+        # With 100,000 processors this corresponds to an individual MTBF of
+        # about 17.27 days (Section V-C).
+        model = ExponentialErrorModel.from_pfail(0.01, 0.15)
+        days = model.per_processor_mtbf(100_000) / 86_400.0
+        assert days == pytest.approx(17.27, rel=0.02)
+
+    def test_zero_pfail(self):
+        assert calibrate_lambda(0.0, 0.15) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            calibrate_lambda(1.0, 0.15)
+        with pytest.raises(ModelError):
+            calibrate_lambda(-0.1, 0.15)
+        with pytest.raises(ModelError):
+            calibrate_lambda(0.01, 0.0)
+
+    def test_pfail_from_lambda(self):
+        assert pfail_from_lambda(0.0, 1.0) == 0.0
+        assert pfail_from_lambda(2.0, 0.5) == pytest.approx(1.0 - math.exp(-1.0))
+
+
+class TestExponentialModel:
+    def test_failure_probability_monotone_in_weight(self):
+        model = ExponentialErrorModel(0.1)
+        probs = [model.failure_probability(w) for w in (0.0, 0.5, 1.0, 5.0)]
+        assert probs[0] == 0.0
+        assert probs == sorted(probs)
+
+    def test_vectorised_matches_scalar(self):
+        model = ExponentialErrorModel(0.05)
+        weights = np.array([0.0, 0.1, 1.0, 10.0])
+        vec = model.failure_probabilities(weights)
+        scalar = [model.failure_probability(w) for w in weights]
+        assert vec == pytest.approx(scalar)
+
+    def test_from_mtbf(self):
+        model = ExponentialErrorModel.from_mtbf(20.0)
+        assert model.error_rate == pytest.approx(0.05)
+        assert model.mtbf == pytest.approx(20.0)
+
+    def test_for_graph_uses_mean_weight(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 0.001)
+        mean_pfail = model.failure_probability(cholesky4.mean_weight())
+        assert mean_pfail == pytest.approx(0.001)
+
+    def test_zero_rate_model(self):
+        model = ExponentialErrorModel(0.0)
+        assert model.failure_probability(100.0) == 0.0
+        assert model.mtbf == math.inf
+
+    def test_scaled(self):
+        assert ExponentialErrorModel(0.01).scaled(10).error_rate == pytest.approx(0.1)
+
+    def test_expected_executions(self):
+        model = ExponentialErrorModel(1.0)
+        assert model.expected_executions(0.0) == 1.0
+        assert model.expected_executions(1.0) == pytest.approx(math.e)
+
+    def test_expected_task_time_two_state_vs_geometric(self):
+        model = ExponentialErrorModel(0.5)
+        a = 1.0
+        q = model.failure_probability(a)
+        two_state = model.expected_task_time(a, max_reexecutions=1)
+        assert two_state == pytest.approx((1 - q) * a + q * 2 * a)
+        geometric = model.expected_task_time(a, max_reexecutions=None)
+        assert geometric == pytest.approx(a / (1 - q))
+        assert geometric > two_state
+
+    def test_invalid_construction(self):
+        with pytest.raises(ModelError):
+            ExponentialErrorModel(-1.0)
+        with pytest.raises(ModelError):
+            ExponentialErrorModel.from_mtbf(0.0)
+
+
+class TestFixedModel:
+    def test_constant_probability(self):
+        model = FixedProbabilityModel(0.2)
+        assert model.failure_probability(0.01) == 0.2
+        assert model.failure_probability(100.0) == 0.2
+        assert model.failure_probability(0.0) == 0.0  # nothing to corrupt
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FixedProbabilityModel(1.0)
+        with pytest.raises(ModelError):
+            FixedProbabilityModel(-0.01)
+
+
+class TestTwoState:
+    def test_moments(self):
+        law = TwoStateDistribution(nominal=1.0, reexecuted=2.0, pfail=0.25)
+        assert law.mean == pytest.approx(0.75 * 1.0 + 0.25 * 2.0)
+        assert law.variance == pytest.approx(0.25 * 0.75 * 1.0)
+        assert law.std == pytest.approx(math.sqrt(law.variance))
+        assert law.second_moment == pytest.approx(0.75 * 1.0 + 0.25 * 4.0)
+
+    def test_from_model(self):
+        model = ExponentialErrorModel(0.1)
+        law = TwoStateDistribution.from_model(2.0, model)
+        assert law.nominal == 2.0
+        assert law.reexecuted == 4.0
+        assert law.pfail == pytest.approx(model.failure_probability(2.0))
+
+    def test_degenerate_cases(self):
+        never = TwoStateDistribution(1.0, 2.0, 0.0)
+        assert never.support().tolist() == [1.0]
+        always = TwoStateDistribution(1.0, 2.0, 1.0)
+        assert always.support().tolist() == [2.0]
+        assert always.variance == 0.0
+
+    def test_to_discrete_preserves_moments(self):
+        law = TwoStateDistribution(0.15, 0.30, 0.01)
+        rv = law.to_discrete()
+        assert rv.mean() == pytest.approx(law.mean)
+        assert rv.variance() == pytest.approx(law.variance)
+
+    def test_sampling_frequency(self, rng):
+        law = TwoStateDistribution(1.0, 2.0, 0.3)
+        samples = law.sample(rng, size=200_000)
+        assert samples.mean() == pytest.approx(law.mean, rel=5e-3)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TwoStateDistribution(2.0, 1.0, 0.5)  # re-executed < nominal
+        with pytest.raises(ModelError):
+            TwoStateDistribution(1.0, 2.0, 1.5)
+
+    def test_table_for_graph(self, diamond):
+        model = ExponentialErrorModel(0.1)
+        table = two_state_table(diamond, model)
+        assert set(table) == set(diamond.task_ids())
+        assert table["right"].nominal == pytest.approx(4.0)
+
+    def test_geometric_expected_time(self):
+        model = ExponentialErrorModel(0.5)
+        expected = geometric_expected_time(1.0, model)
+        assert expected == pytest.approx(1.0 / math.exp(-0.5))
+
+
+class TestDvfs:
+    def make(self):
+        return DvfsErrorModel(lambda0=1e-6, sensitivity=3.0, smin=0.4, smax=1.0)
+
+    def test_rate_at_extremes(self):
+        dvfs = self.make()
+        assert dvfs.error_rate(1.0) == pytest.approx(1e-6)
+        # At minimum speed the rate is multiplied by 10^d.
+        assert dvfs.error_rate(0.4) == pytest.approx(1e-6 * 10**3)
+        assert dvfs.max_rate() == pytest.approx(1e-6 * 1000)
+
+    def test_rate_monotonically_decreasing_in_speed(self):
+        dvfs = self.make()
+        speeds = np.linspace(0.4, 1.0, 20)
+        rates = dvfs.error_rates(speeds)
+        assert np.all(np.diff(rates) < 0)
+
+    def test_out_of_range_speed(self):
+        dvfs = self.make()
+        with pytest.raises(ModelError):
+            dvfs.error_rate(0.2)
+        with pytest.raises(ModelError):
+            dvfs.error_rate(1.2)
+
+    def test_model_at_returns_exponential(self):
+        dvfs = self.make()
+        model = dvfs.model_at(0.7)
+        assert isinstance(model, ExponentialErrorModel)
+        assert model.error_rate == pytest.approx(dvfs.error_rate(0.7))
+
+    def test_slowdown(self):
+        assert self.make().slowdown(0.5) == pytest.approx(2.0)
+
+    def test_energy_model(self):
+        energy = EnergyModel(static_power=0.1, kappa=1.0, smax=1.0)
+        # Full speed: power 1.1, duration 1 -> energy 1.1.
+        assert energy.energy(1.0, 1.0) == pytest.approx(1.1)
+        # Half speed: power 0.1 + 0.125 = 0.225, duration 2 -> 0.45.
+        assert energy.energy(1.0, 0.5) == pytest.approx(0.45)
+
+    def test_speed_sweep(self):
+        points = speed_sweep(self.make(), num_points=7)
+        assert len(points) == 7
+        assert points[0][0] == pytest.approx(0.4)
+        assert points[-1][0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            DvfsErrorModel(1e-6, -1.0, 0.4, 1.0)
+        with pytest.raises(ModelError):
+            DvfsErrorModel(1e-6, 3.0, 1.0, 0.4)
+        with pytest.raises(ModelError):
+            EnergyModel(-1.0, 1.0, 1.0)

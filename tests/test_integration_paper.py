@@ -1,0 +1,136 @@
+"""Integration tests reproducing the paper's qualitative claims end to end.
+
+These tests run the real pipeline (factorization DAG -> calibrated error
+model -> estimators -> Monte Carlo reference) at reduced scale and assert
+the *shape* of the paper's results:
+
+* First Order is far more accurate than Dodin and Normal at low p_fail
+  (Figures 5, 6, 8, 9, 11, 12);
+* at p_fail = 0.01 First Order and Normal are comparable (Figures 4, 7, 10);
+* Dodin gives the largest errors on these highly non-series-parallel DAGs;
+* First Order is the fastest of the three approximations (Table I);
+* the public `estimate_expected_makespan` API ties everything together.
+"""
+
+import pytest
+
+import repro
+from repro.estimators.registry import get_estimator
+from repro.experiments.config import FigureConfig
+from repro.experiments.error_vs_size import run_error_vs_size
+from repro.failures.models import ExponentialErrorModel
+
+MC_TRIALS = 60_000
+SEED = 123
+
+
+def _errors(workflow: str, k: int, pfail: float):
+    """Relative errors of the three approximations against Monte Carlo."""
+    graph = repro.build_dag(workflow, k)
+    model = ExponentialErrorModel.for_graph(graph, pfail)
+    reference = get_estimator("monte-carlo", trials=MC_TRIALS, seed=SEED).estimate(
+        graph, model
+    )
+    out = {}
+    for name in ("first-order", "normal", "dodin"):
+        estimate = get_estimator(name).estimate(graph, model)
+        out[name] = (
+            abs(estimate.expected_makespan - reference.expected_makespan)
+            / reference.expected_makespan,
+            estimate.wall_time,
+        )
+    out["_mc_stderr"] = (reference.std_error or 0.0) / reference.expected_makespan
+    return out
+
+
+class TestAccuracyOrdering:
+    @pytest.mark.parametrize("workflow", ["cholesky", "lu", "qr"])
+    def test_low_pfail_first_order_wins_by_an_order_of_magnitude(self, workflow):
+        """At p_fail = 1e-3 the paper reports First Order errors at least one
+        order of magnitude below the competitors (Figures 5, 8, 11)."""
+        errors = _errors(workflow, 8, 1e-3)
+        first = errors["first-order"][0]
+        normal = errors["normal"][0]
+        dodin = errors["dodin"][0]
+        noise = errors["_mc_stderr"]
+        assert first < 10 * noise + 1e-3  # essentially at the MC noise floor
+        assert normal > first
+        assert dodin > first
+        assert dodin > 5 * first
+
+    @pytest.mark.parametrize("workflow", ["cholesky", "lu"])
+    def test_dodin_worst_across_the_board(self, workflow):
+        """Section V-F: Dodin leads to the highest errors because the
+        factorization DAGs are far from series-parallel."""
+        errors = _errors(workflow, 8, 1e-2)
+        assert errors["dodin"][0] >= errors["normal"][0]
+        assert errors["dodin"][0] >= errors["first-order"][0]
+
+    def test_high_pfail_first_order_comparable_to_normal(self):
+        """At p_fail = 0.01 First Order and Normal are of the same order of
+        magnitude (Figures 4, 7, 10)."""
+        errors = _errors("qr", 8, 1e-2)
+        first = errors["first-order"][0]
+        normal = errors["normal"][0]
+        assert first < 10 * normal + 1e-6
+        assert first < 0.05  # a few percent at most
+
+    def test_error_decreases_with_pfail(self):
+        """First Order's error shrinks roughly linearly with p_fail."""
+        coarse = _errors("cholesky", 8, 1e-2)["first-order"][0]
+        fine = _errors("cholesky", 8, 1e-3)["first-order"][0]
+        assert fine < coarse
+
+
+class TestSpeedOrdering:
+    def test_first_order_fastest_approximation(self):
+        """Table I: First Order runs in negligible time compared to Dodin."""
+        graph = repro.lu_dag(10)
+        model = ExponentialErrorModel.for_graph(graph, 1e-4)
+        first = get_estimator("first-order").estimate(graph, model)
+        dodin = get_estimator("dodin").estimate(graph, model)
+        assert first.wall_time < dodin.wall_time
+        # And it is far below a second even on this 385-task graph.
+        assert first.wall_time < 1.0
+
+
+class TestPublicApi:
+    def test_estimate_expected_makespan_accepts_pfail_float(self):
+        graph = repro.cholesky_dag(6)
+        result = repro.estimate_expected_makespan(graph, 0.001, method="first-order")
+        assert result.method == "first-order"
+        assert result.expected_makespan > result.failure_free_makespan
+
+    def test_estimate_expected_makespan_accepts_model(self):
+        graph = repro.cholesky_dag(4)
+        model = repro.ExponentialErrorModel.for_graph(graph, 0.01)
+        a = repro.estimate_expected_makespan(graph, model, method="normal")
+        b = repro.estimate_expected_makespan(graph, 0.01, method="normal")
+        assert a.expected_makespan == pytest.approx(b.expected_makespan)
+
+    def test_estimator_kwargs_forwarded(self):
+        graph = repro.lu_dag(4)
+        result = repro.estimate_expected_makespan(
+            graph, 0.01, method="monte-carlo", trials=3_000, seed=9
+        )
+        assert result.details["trials"] == 3_000
+
+    def test_version_and_exports(self):
+        assert repro.__version__
+        assert "first-order" in repro.available_estimators()
+
+
+class TestExperimentPipeline:
+    def test_mini_figure_reproduces_winner(self):
+        """A miniature Figure 5 (Cholesky, p_fail = 1e-3) must crown First
+        Order at every size."""
+        config = FigureConfig(
+            figure="mini-figure5",
+            workflow="cholesky",
+            pfail=1e-3,
+            sizes=(4, 6),
+            estimators=("dodin", "normal", "first-order"),
+        )
+        result = run_error_vs_size(config, mc_trials=40_000, seed=7)
+        winners = result.winner_per_size()
+        assert set(winners.values()) == {"first-order"}

@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These tests exercise randomly generated DAGs, weights and failure rates and
+check the structural invariants every component must satisfy:
+
+* longest-path algebra (fast doubled-makespan formula vs. naive recomputation);
+* ordering relations between the estimators and the analytic bounds;
+* exactness of the first-order expansion in the limit λ → 0;
+* discrete random-variable algebra (means of sums/maxima, pruning);
+* Clark's formulas (moment positivity, dominance of the maximum).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.generators import erdos_renyi_dag, random_series_parallel
+from repro.core.graph import TaskGraph
+from repro.core.paths import (
+    batched_makespans,
+    compute_path_metrics,
+    critical_path_length,
+    doubled_task_makespans,
+)
+from repro.core.seriesparallel import evaluate_sp, is_series_parallel, sp_decomposition
+from repro.estimators.bounds import makespan_bounds
+from repro.estimators.exact import ExactEstimator
+from repro.estimators.first_order import FirstOrderEstimator
+from repro.estimators.sculli import SculliEstimator
+from repro.failures.models import ExponentialErrorModel
+from repro.rv.discrete import DiscreteRV
+from repro.rv.normal import clark_max_moments
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=10.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def random_dag(draw, max_tasks: int = 12):
+    """A random DAG with random positive weights."""
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    p = draw(st.floats(min_value=0.0, max_value=0.8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return erdos_renyi_dag(n, p, weight=weights, rng=seed)
+
+
+@st.composite
+def discrete_rv(draw, max_atoms: int = 6):
+    n = draw(st.integers(min_value=1, max_value=max_atoms))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    raw = draw(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=n, max_size=n)
+    )
+    total = sum(raw)
+    return DiscreteRV(values, [r / total for r in raw])
+
+
+# ----------------------------------------------------------------------
+# Longest-path properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_dag())
+def test_doubled_makespan_fast_formula_matches_naive(graph):
+    fast = doubled_task_makespans(graph)
+    for tid in graph.task_ids():
+        naive = critical_path_length(graph.with_doubled_task(tid))
+        assert math.isclose(fast[tid], naive, rel_tol=1e-12, abs_tol=1e-12)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_dag())
+def test_critical_path_dominates_every_task_and_scales(graph):
+    metrics = compute_path_metrics(graph)
+    d = metrics.critical_length
+    assert d >= max(graph.weights().values()) - 1e-12
+    assert np.all(metrics.through <= d + 1e-9)
+    # Scaling all weights scales the makespan linearly.
+    scaled = graph.copy()
+    scaled.scale_weights(3.0)
+    assert math.isclose(critical_path_length(scaled), 3.0 * d, rel_tol=1e-12)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_dag(), st.integers(min_value=1, max_value=5))
+def test_batched_makespans_match_individual_evaluations(graph, rows):
+    idx = graph.index()
+    rng = np.random.default_rng(0)
+    matrix = idx.weights[None, :] * rng.uniform(0.5, 2.0, size=(rows, idx.num_tasks))
+    batched = batched_makespans(idx, matrix)
+    for r in range(rows):
+        single = batched_makespans(idx, matrix[r : r + 1])[0]
+        assert math.isclose(batched[r], single, rel_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Series-parallel properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=1, max_value=14),
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.1, max_value=0.9),
+)
+def test_random_sp_graphs_recognised_and_evaluated(num_leaves, seed, series_probability):
+    graph = random_series_parallel(
+        num_leaves, series_probability=series_probability, rng=seed
+    )
+    assert is_series_parallel(graph)
+    tree = sp_decomposition(graph)
+    value = evaluate_sp(
+        tree,
+        leaf_value=lambda tid: 0.0 if tid is None else graph.weight(tid),
+        series_combine=lambda a, b: a + b,
+        parallel_combine=max,
+    )
+    assert math.isclose(value, critical_path_length(graph), rel_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Estimator properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_dag(max_tasks=10), st.floats(min_value=0.0, max_value=0.3))
+def test_first_order_at_least_failure_free_and_bracketed(graph, rate):
+    model = ExponentialErrorModel(rate)
+    estimate = FirstOrderEstimator().estimate(graph, model).expected_makespan
+    d = critical_path_length(graph)
+    total = graph.total_weight()
+    assert estimate >= d - 1e-12
+    # The correction is λ Σ a_i (d(G_i) − d) with d(G_i) − d <= a_i, hence the
+    # analytic ceiling d + λ Σ a_i² <= d + λ · d · Σ a_i.
+    assert estimate <= d * (1.0 + rate * total) + 1e-9
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_dag(max_tasks=9), st.floats(min_value=0.001, max_value=0.08))
+def test_exact_value_within_analytic_bounds(graph, pfail):
+    model = ExponentialErrorModel.for_graph(graph, pfail)
+    exact = ExactEstimator().estimate(graph, model).expected_makespan
+    low, high = makespan_bounds(graph, model)
+    assert low - 1e-9 <= exact <= high + 1e-9
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_dag(max_tasks=9))
+def test_first_order_converges_to_exact_as_rate_vanishes(graph):
+    """|FirstOrder − Exact| = O(λ²): dividing λ by 4 must divide the error by
+    well over 4 (we check a factor 8 to leave numerical room)."""
+    model_hi = ExponentialErrorModel.for_graph(graph, 0.04)
+    model_lo = ExponentialErrorModel(model_hi.error_rate / 4.0)
+    exact = ExactEstimator()
+    first = FirstOrderEstimator()
+    err_hi = abs(
+        first.estimate(graph, model_hi).expected_makespan
+        - exact.estimate(graph, model_hi).expected_makespan
+    )
+    err_lo = abs(
+        first.estimate(graph, model_lo).expected_makespan
+        - exact.estimate(graph, model_lo).expected_makespan
+    )
+    if err_hi > 1e-9:  # avoid vacuous comparisons on chain-like graphs
+        assert err_lo <= err_hi / 8.0 + 1e-12
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_dag(max_tasks=10), st.floats(min_value=0.0, max_value=0.2))
+def test_sculli_dominates_failure_free(graph, rate):
+    model = ExponentialErrorModel(rate)
+    estimate = SculliEstimator().estimate(graph, model).expected_makespan
+    assert estimate >= critical_path_length(graph) - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Random-variable algebra properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(discrete_rv(), discrete_rv())
+def test_discrete_sum_and_max_moment_identities(a, b):
+    s = a.add(b)
+    assert math.isclose(s.mean(), a.mean() + b.mean(), rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(
+        s.variance(), a.variance() + b.variance(), rel_tol=1e-7, abs_tol=1e-7
+    )
+    m = a.maximum(b)
+    assert m.mean() >= max(a.mean(), b.mean()) - 1e-9
+    assert m.max() == pytest.approx(max(a.max(), b.max()))
+    assert m.min() >= min(a.min(), b.min()) - 1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(discrete_rv(max_atoms=10), st.integers(min_value=1, max_value=6))
+def test_discrete_pruning_preserves_mean_and_shrinks_variance(rv, max_support):
+    pruned = rv.pruned(max_support)
+    assert pruned.support_size <= max_support
+    assert math.isclose(pruned.mean(), rv.mean(), rel_tol=1e-9, abs_tol=1e-9)
+    assert pruned.variance() <= rv.variance() + 1e-9
+    assert pruned.min() >= rv.min() - 1e-9
+    assert pruned.max() <= rv.max() + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=-50, max_value=50),
+    st.floats(min_value=0, max_value=100),
+    st.floats(min_value=-50, max_value=50),
+    st.floats(min_value=0, max_value=100),
+    st.floats(min_value=-0.99, max_value=0.99),
+)
+def test_clark_max_moment_properties(mean1, var1, mean2, var2, rho):
+    mean, var = clark_max_moments(mean1, var1, mean2, var2, rho)
+    assert var >= 0.0
+    assert mean >= max(mean1, mean2) - 1e-7
+    # The maximum is bounded by the sum of the means plus a few std devs.
+    assert mean <= max(mean1, mean2) + math.sqrt(var1) + math.sqrt(var2) + 1e-7

@@ -1,0 +1,165 @@
+"""Unit tests for repro.rv.discrete (finite discrete random variables)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.rv.discrete import DiscreteRV
+
+
+class TestConstruction:
+    def test_basic(self):
+        rv = DiscreteRV([1.0, 2.0], [0.25, 0.75])
+        assert rv.support_size == 2
+        assert rv.mean() == pytest.approx(1.75)
+
+    def test_values_sorted_and_merged(self):
+        rv = DiscreteRV([3.0, 1.0, 3.0], [0.2, 0.5, 0.3])
+        assert rv.values.tolist() == [1.0, 3.0]
+        assert rv.probabilities.tolist() == pytest.approx([0.5, 0.5])
+
+    def test_probability_normalisation_tolerance(self):
+        rv = DiscreteRV([1.0, 2.0], [0.5000001, 0.4999999])
+        assert rv.probabilities.sum() == pytest.approx(1.0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(EstimationError):
+            DiscreteRV([1.0, 2.0], [0.5, 0.2])  # sums to 0.7
+        with pytest.raises(EstimationError):
+            DiscreteRV([1.0], [-1.0])
+        with pytest.raises(EstimationError):
+            DiscreteRV([], [])
+
+    def test_constant_and_two_state(self):
+        c = DiscreteRV.constant(5.0)
+        assert c.mean() == 5.0 and c.variance() == 0.0
+        ts = DiscreteRV.two_state(1.0, 2.0, 0.1)
+        assert ts.mean() == pytest.approx(1.1)
+        assert DiscreteRV.two_state(1.0, 2.0, 0.0).support_size == 1
+        assert DiscreteRV.two_state(1.0, 2.0, 1.0).mean() == 2.0
+
+    def test_from_samples(self):
+        rv = DiscreteRV.from_samples([1, 1, 2, 2, 2, 5])
+        assert rv.support_size == 3
+        assert rv.cdf(2) == pytest.approx(5 / 6)
+
+
+class TestMomentsAndCdf:
+    def test_moments(self):
+        rv = DiscreteRV([0.0, 10.0], [0.5, 0.5])
+        assert rv.mean() == 5.0
+        assert rv.variance() == 25.0
+        assert rv.std() == 5.0
+        assert rv.moment(2) == 50.0
+        assert rv.min() == 0.0 and rv.max() == 10.0
+
+    def test_cdf_scalar_and_vector(self):
+        rv = DiscreteRV([1.0, 2.0, 4.0], [0.2, 0.3, 0.5])
+        assert rv.cdf(0.5) == 0.0
+        assert rv.cdf(1.0) == pytest.approx(0.2)
+        assert rv.cdf(3.0) == pytest.approx(0.5)
+        assert rv.cdf(10.0) == pytest.approx(1.0)
+        np.testing.assert_allclose(rv.cdf(np.array([1.0, 2.0, 4.0])), [0.2, 0.5, 1.0])
+
+    def test_quantiles(self):
+        rv = DiscreteRV([1.0, 2.0, 4.0], [0.2, 0.3, 0.5])
+        assert rv.quantile(0.0) == 1.0
+        assert rv.quantile(0.2) == 1.0
+        assert rv.quantile(0.5) == 2.0
+        assert rv.quantile(1.0) == 4.0
+        with pytest.raises(EstimationError):
+            rv.quantile(1.5)
+
+    def test_sampling_mean(self, rng):
+        rv = DiscreteRV([1.0, 3.0, 7.0], [0.2, 0.5, 0.3])
+        samples = rv.sample(rng, size=100_000)
+        assert samples.mean() == pytest.approx(rv.mean(), rel=1e-2)
+
+
+class TestAlgebra:
+    def test_shift_scale(self):
+        rv = DiscreteRV([1.0, 2.0], [0.5, 0.5])
+        assert rv.shift(3.0).values.tolist() == [4.0, 5.0]
+        assert rv.scale(2.0).mean() == pytest.approx(3.0)
+        assert (rv + 1.0).mean() == pytest.approx(2.5)
+        assert (2.0 * rv).mean() == pytest.approx(3.0)
+
+    def test_convolution_of_independent_sums(self):
+        a = DiscreteRV.two_state(1.0, 2.0, 0.5)
+        b = DiscreteRV.two_state(10.0, 20.0, 0.25)
+        s = a.add(b)
+        assert s.mean() == pytest.approx(a.mean() + b.mean())
+        assert s.variance() == pytest.approx(a.variance() + b.variance())
+        assert s.support_size == 4
+
+    def test_maximum_cdf_product(self):
+        a = DiscreteRV([1.0, 3.0], [0.5, 0.5])
+        b = DiscreteRV([2.0, 4.0], [0.5, 0.5])
+        m = a.maximum(b)
+        # P(max <= 2) = P(a<=2)*P(b<=2) = 0.5*0.5
+        assert m.cdf(2.0) == pytest.approx(0.25)
+        assert m.cdf(4.0) == pytest.approx(1.0)
+        # exact mean: max values 2(.25), 3(.25), 4(.5) -> 3.25
+        assert m.mean() == pytest.approx(3.25)
+
+    def test_maximum_with_constant(self):
+        rv = DiscreteRV([1.0, 5.0], [0.5, 0.5])
+        m = rv.maximum(DiscreteRV.constant(3.0))
+        assert m.values.tolist() == [3.0, 5.0]
+        assert m.mean() == pytest.approx(4.0)
+
+    def test_minimum(self):
+        a = DiscreteRV([1.0, 3.0], [0.5, 0.5])
+        b = DiscreteRV([2.0, 4.0], [0.5, 0.5])
+        lo = a.minimum(b)
+        # min values: 1 (p=.5), 2 (p=.25), 3 (p=.25)
+        assert lo.mean() == pytest.approx(0.5 * 1 + 0.25 * 2 + 0.25 * 3)
+
+    def test_max_mean_at_least_individual_means(self):
+        a = DiscreteRV.two_state(1.0, 2.0, 0.3)
+        b = DiscreteRV.two_state(1.5, 3.0, 0.1)
+        m = a.maximum(b)
+        assert m.mean() >= max(a.mean(), b.mean()) - 1e-12
+
+    def test_mixture(self):
+        a = DiscreteRV.constant(0.0)
+        b = DiscreteRV.constant(10.0)
+        mix = a.mixture(b, 0.75)
+        assert mix.mean() == pytest.approx(2.5)
+
+    def test_sum_is_commutative_and_associative(self):
+        a = DiscreteRV.two_state(1.0, 2.0, 0.2)
+        b = DiscreteRV.two_state(3.0, 6.0, 0.4)
+        c = DiscreteRV.two_state(0.5, 1.0, 0.1)
+        left = a.add(b).add(c)
+        right = a.add(b.add(c))
+        assert left.allclose(right)
+        assert a.add(b).allclose(b.add(a))
+
+
+class TestPruning:
+    def test_prune_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 10, 200)
+        probs = rng.random(200)
+        probs /= probs.sum()
+        rv = DiscreteRV(values, probs)
+        pruned = rv.pruned(16)
+        assert pruned.support_size <= 16
+        assert pruned.mean() == pytest.approx(rv.mean())
+        assert pruned.variance() <= rv.variance() + 1e-12
+
+    def test_prune_noop_when_small(self):
+        rv = DiscreteRV.two_state(1.0, 2.0, 0.5)
+        assert rv.pruned(10) is rv
+
+    def test_prune_invalid(self):
+        with pytest.raises(EstimationError):
+            DiscreteRV.constant(1.0).pruned(0)
+
+    def test_add_with_max_support(self):
+        chain = DiscreteRV.constant(0.0)
+        for _ in range(12):
+            chain = chain.add(DiscreteRV.two_state(1.0, 2.0, 0.3), max_support=32)
+        assert chain.support_size <= 32
+        assert chain.mean() == pytest.approx(12 * 1.3, rel=1e-9)

@@ -1,0 +1,158 @@
+"""Unit tests for repro.sim (sampling, Monte Carlo engine, statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generators import chain_graph
+from repro.core.paths import critical_path_length
+from repro.exceptions import EstimationError
+from repro.failures.models import ExponentialErrorModel, FixedProbabilityModel
+from repro.rv.empirical import RunningMoments
+from repro.sim.engine import MonteCarloEngine, simulate_expected_makespan
+from repro.sim.longest_path import batch_makespans_with_details, streaming_makespans
+from repro.sim.sampler import sample_failure_mask, sample_task_times
+from repro.sim.stats import ConvergenceTracker, relative_half_width, required_trials
+
+
+class TestSampler:
+    def test_two_state_values(self, diamond, rng):
+        model = FixedProbabilityModel(0.5)
+        times = sample_task_times(diamond, model, 1000, rng)
+        idx = diamond.index()
+        for j, tid in enumerate(idx.task_ids):
+            w = diamond.weight(tid)
+            unique = np.unique(times[:, j])
+            assert set(unique.tolist()) <= {w, 2 * w}
+
+    def test_two_state_failure_frequency(self, rng):
+        g = chain_graph(1, weight=[1.0])
+        model = FixedProbabilityModel(0.25)
+        times = sample_task_times(g, model, 100_000, rng)
+        frequency = np.mean(times[:, 0] > 1.5)
+        assert frequency == pytest.approx(0.25, abs=0.01)
+
+    def test_exponential_model_failure_frequency(self, rng):
+        g = chain_graph(1, weight=[2.0])
+        model = ExponentialErrorModel(0.3)
+        times = sample_task_times(g, model, 100_000, rng)
+        frequency = np.mean(times[:, 0] > 3.0)
+        assert frequency == pytest.approx(model.failure_probability(2.0), abs=0.01)
+
+    def test_geometric_mode_mean(self, rng):
+        g = chain_graph(1, weight=[1.0])
+        model = FixedProbabilityModel(0.5)
+        times = sample_task_times(g, model, 200_000, rng, mode="geometric")
+        # expected executions = 1/(1-q) = 2
+        assert times[:, 0].mean() == pytest.approx(2.0, rel=0.02)
+
+    def test_reexecution_factor(self, rng):
+        g = chain_graph(1, weight=[1.0])
+        model = FixedProbabilityModel(0.9999)  # essentially always fails
+        times = sample_task_times(g, model, 100, rng, reexecution_factor=3.0)
+        assert times.max() == pytest.approx(3.0)
+
+    def test_failure_mask_shape(self, cholesky4, rng):
+        model = ExponentialErrorModel.for_graph(cholesky4, 0.01)
+        mask = sample_failure_mask(cholesky4.index().weights, model, 50, rng)
+        assert mask.shape == (50, cholesky4.num_tasks)
+        assert mask.dtype == bool
+
+    def test_invalid_arguments(self, diamond, rng):
+        model = ExponentialErrorModel(0.1)
+        with pytest.raises(EstimationError):
+            sample_task_times(diamond, model, 0, rng)
+        with pytest.raises(EstimationError):
+            sample_task_times(diamond, model, 10, rng, mode="bogus")
+        with pytest.raises(EstimationError):
+            sample_task_times(diamond, model, 10, rng, reexecution_factor=0.5)
+
+
+class TestEngine:
+    def test_engine_matches_estimator_shortcut(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 0.01)
+        engine_mean = MonteCarloEngine(cholesky4, model, trials=8_000, seed=5).run().mean
+        shortcut = simulate_expected_makespan(cholesky4, model, trials=8_000, seed=5)
+        assert engine_mean == pytest.approx(shortcut)
+
+    def test_batching_does_not_change_the_estimate(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 0.01)
+        small_batches = MonteCarloEngine(
+            cholesky4, model, trials=10_000, seed=9, batch_size=512
+        ).run()
+        one_batch = MonteCarloEngine(
+            cholesky4, model, trials=10_000, seed=9, batch_size=10_000
+        ).run()
+        # Different batch layout consumes the RNG differently, so means are
+        # statistically equal but not identical.
+        assert small_batches.mean == pytest.approx(one_batch.mean, rel=5e-3)
+        assert small_batches.trials == one_batch.trials == 10_000
+
+    def test_result_fields(self, diamond):
+        model = FixedProbabilityModel(0.2)
+        result = MonteCarloEngine(diamond, model, trials=2_000, seed=1, keep_samples=True).run()
+        assert result.trials == 2_000
+        assert result.minimum <= result.mean <= result.maximum
+        assert result.samples is not None and result.samples.count == 2_000
+        assert result.history  # at least one batch recorded
+        assert "MC[" in result.summary()
+
+    def test_mean_bounded_by_extremes(self, lu4):
+        model = ExponentialErrorModel.for_graph(lu4, 0.05)
+        result = MonteCarloEngine(lu4, model, trials=3_000, seed=2).run()
+        d = critical_path_length(lu4)
+        assert d - 1e-9 <= result.minimum
+        assert result.maximum <= 2 * d + 1e-9
+
+    def test_invalid_parameters(self, diamond):
+        model = FixedProbabilityModel(0.1)
+        with pytest.raises(EstimationError):
+            MonteCarloEngine(diamond, model, trials=-1)
+        with pytest.raises(EstimationError):
+            MonteCarloEngine(diamond, model, batch_size=0)
+
+
+class TestLongestPathHelpers:
+    def test_details_argmax_is_a_sink_heavy_task(self, diamond):
+        idx = diamond.index()
+        weights = idx.weights[None, :].repeat(3, axis=0)
+        makespans, argmax = batch_makespans_with_details(idx, weights)
+        assert np.allclose(makespans, critical_path_length(diamond))
+        assert all(idx.task_ids[i] == "t" for i in argmax)
+
+    def test_streaming(self, cholesky4, rng):
+        idx = cholesky4.index()
+        batches = [
+            idx.weights[None, :] * rng.uniform(1.0, 2.0, size=(4, idx.num_tasks))
+            for _ in range(3)
+        ]
+        outputs = list(streaming_makespans(idx, batches))
+        assert len(outputs) == 3
+        assert all(o.shape == (4,) for o in outputs)
+
+
+class TestStats:
+    def test_required_trials_shrinks_with_looser_target(self):
+        tight = required_trials(std=1.0, mean=10.0, target_relative_error=1e-3)
+        loose = required_trials(std=1.0, mean=10.0, target_relative_error=1e-2)
+        assert tight > loose
+        assert loose >= 1
+
+    def test_relative_half_width(self, rng):
+        moments = RunningMoments()
+        moments.update(rng.normal(100.0, 1.0, size=10_000))
+        assert relative_half_width(moments) < 1e-3
+
+    def test_tracker_convergence_flag(self, rng):
+        tracker = ConvergenceTracker(target_relative_half_width=0.05)
+        assert not tracker.converged
+        tracker.update(rng.normal(10.0, 0.5, size=5_000))
+        assert tracker.converged
+        summary = tracker.summary()
+        assert summary["trials"] == 5_000
+        assert summary["batches"] == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            required_trials(1.0, 10.0, target_relative_error=0.0)
+        with pytest.raises(EstimationError):
+            required_trials(1.0, 0.0, target_relative_error=0.1)

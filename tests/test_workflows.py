@@ -1,0 +1,216 @@
+"""Unit tests for repro.workflows (kernel timings, Cholesky/LU/QR DAGs, synthetic)."""
+
+import pytest
+
+from repro.core.validation import ensure_valid
+from repro.exceptions import GraphError, ModelError
+from repro.workflows.cholesky import cholesky_dag, cholesky_task_count
+from repro.workflows.kernels import (
+    DEFAULT_TILE_SIZE,
+    DEFAULT_TIMINGS,
+    KernelTimings,
+    default_timings,
+    kernel_flops,
+)
+from repro.workflows.lu import lu_dag, lu_task_count
+from repro.workflows.qr import qr_dag, qr_task_count
+from repro.workflows.registry import (
+    PAPER_SIZES,
+    PAPER_WORKFLOWS,
+    available_workflows,
+    build_dag,
+    get_workflow,
+)
+from repro.workflows.synthetic import (
+    map_reduce,
+    reduction_tree,
+    stencil_sweep,
+    strassen_like_recursion,
+    wavefront,
+)
+
+
+class TestKernelTimings:
+    def test_flop_counts_relative_costs(self):
+        b = DEFAULT_TILE_SIZE
+        assert kernel_flops("GEMM", b) == pytest.approx(2 * b**3)
+        assert kernel_flops("POTRF", b) == pytest.approx(b**3 / 3)
+        # Section V-B: QR update kernels cost about twice their LU counterparts.
+        assert kernel_flops("TSMQR", b) == pytest.approx(2 * kernel_flops("GEMM", b))
+        assert kernel_flops("UNMQR", b) == pytest.approx(2 * kernel_flops("TRSMU", b))
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ModelError):
+            kernel_flops("FFT")
+        with pytest.raises(ModelError):
+            DEFAULT_TIMINGS.time("FFT")
+
+    def test_default_timings_positive(self):
+        for kernel, seconds in default_timings().items():
+            assert seconds > 0, kernel
+
+    def test_average_task_weight_close_to_paper(self):
+        """The substitute timing model targets the paper's ā ≈ 0.15 s over
+        the fifteen evaluation DAGs."""
+        total, count = 0.0, 0
+        for k in PAPER_SIZES:
+            for builder in (cholesky_dag, lu_dag, qr_dag):
+                g = builder(k)
+                total += g.total_weight()
+                count += g.num_tasks
+        mean = total / count
+        assert 0.10 <= mean <= 0.20
+
+    def test_scaled_and_custom_timings(self):
+        doubled = DEFAULT_TIMINGS.scaled(2.0)
+        assert doubled.time("GEMM") == pytest.approx(2 * DEFAULT_TIMINGS.time("GEMM"))
+        custom = KernelTimings({"potrf": 0.1, "TRSM": 0.2, "SYRK": 0.2, "GEMM": 0.4})
+        assert custom.time("POTRF") == 0.1
+        assert "GEMM" in custom
+        g = cholesky_dag(3, timings=custom)
+        assert g.weight("GEMM_2_1_0") == pytest.approx(0.4)
+
+    def test_invalid_timings(self):
+        with pytest.raises(ModelError):
+            KernelTimings({"GEMM": -1.0})
+        with pytest.raises(ModelError):
+            KernelTimings.default(tile_size=-5)
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("k", [1, 2, 4, 6, 12])
+    def test_task_count_formula(self, k):
+        assert cholesky_dag(k).num_tasks == cholesky_task_count(k)
+
+    def test_k5_matches_paper_figure(self):
+        """Figure 1 of the paper shows the k = 5 DAG: 35 tasks with the
+        labels POTRF_j / TRSM_i_j / SYRK_i_j / GEMM_i_l_j."""
+        g = cholesky_dag(5)
+        assert g.num_tasks == 35
+        for label in ("POTRF_4", "TRSM_4_2", "SYRK_3_0", "GEMM_4_2_1", "GEMM_4_3_0"):
+            assert label in g
+        assert g.task("GEMM_4_2_1").kernel == "GEMM"
+
+    def test_dependency_pattern(self):
+        g = cholesky_dag(5)
+        assert g.has_edge("POTRF_0", "TRSM_3_0")
+        assert g.has_edge("TRSM_3_0", "SYRK_3_0")
+        assert g.has_edge("SYRK_1_0", "POTRF_1")
+        assert g.has_edge("TRSM_4_1", "GEMM_4_2_1")
+        assert g.has_edge("TRSM_2_1", "GEMM_4_2_1")
+        assert g.has_edge("GEMM_4_2_0", "GEMM_4_2_1")
+        assert g.has_edge("GEMM_4_2_1", "TRSM_4_2")
+
+    def test_structure_is_valid_dag(self):
+        for k in (2, 6, 8):
+            g = cholesky_dag(k)
+            ensure_valid(g)
+            assert g.sources() == ["POTRF_0"]
+            assert g.sinks()[-1] == f"POTRF_{k - 1}" or f"POTRF_{k - 1}" in g.sinks()
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            cholesky_dag(0)
+
+
+class TestLuQr:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 12])
+    def test_task_count_formula(self, k):
+        assert lu_dag(k).num_tasks == lu_task_count(k)
+        assert qr_dag(k).num_tasks == qr_task_count(k)
+
+    def test_paper_quoted_sizes(self):
+        # Section V-B / V-E: 650 tasks at k = 12 and 2,870 tasks at k = 20.
+        assert lu_task_count(12) == 650
+        assert qr_task_count(12) == 650
+        assert lu_task_count(20) == 2870
+
+    def test_lu_k5_labels_match_figure2(self):
+        g = lu_dag(5)
+        for label in ("GETRF_0", "TRSML_4_1", "TRSMU_1_3", "GEMM_3_4_2", "GEMM_1_2_0"):
+            assert label in g
+
+    def test_qr_k5_labels_match_figure3(self):
+        g = qr_dag(5)
+        for label in ("GEQRT_2", "TSQRT_3_1", "UNMQR_1_3", "TSMQR_3_4_2", "TSMQR_4_4_3"):
+            assert label in g
+
+    def test_lu_dependencies(self):
+        g = lu_dag(4)
+        assert g.has_edge("GETRF_0", "TRSML_2_0")
+        assert g.has_edge("GETRF_0", "TRSMU_0_2")
+        assert g.has_edge("TRSML_2_0", "GEMM_2_3_0")
+        assert g.has_edge("TRSMU_0_3", "GEMM_2_3_0")
+        assert g.has_edge("GEMM_1_1_0", "GETRF_1")
+        assert g.has_edge("GEMM_2_3_0", "GEMM_2_3_1")
+
+    def test_qr_dependencies(self):
+        g = qr_dag(4)
+        assert g.has_edge("GEQRT_0", "TSQRT_1_0")
+        assert g.has_edge("TSQRT_1_0", "TSQRT_2_0")  # flat-tree chaining
+        assert g.has_edge("TSQRT_2_0", "TSMQR_2_3_0")
+        assert g.has_edge("UNMQR_0_3", "TSMQR_1_3_0")
+        assert g.has_edge("TSMQR_1_3_0", "TSMQR_2_3_0")
+        assert g.has_edge("TSMQR_1_1_0", "GEQRT_1")
+
+    def test_single_source(self):
+        assert lu_dag(6).sources() == ["GETRF_0"]
+        assert qr_dag(6).sources() == ["GEQRT_0"]
+
+    def test_valid_dags(self):
+        for k in (2, 5, 8):
+            ensure_valid(lu_dag(k))
+            ensure_valid(qr_dag(k))
+
+    def test_qr_heavier_than_lu(self):
+        # QR performs about twice the flops of LU on the same matrix.
+        assert qr_dag(8).total_weight() > 1.5 * lu_dag(8).total_weight()
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            lu_dag(0)
+        with pytest.raises(GraphError):
+            qr_dag(-1)
+
+
+class TestSyntheticAndRegistry:
+    def test_stencil(self):
+        g = stencil_sweep(6, 4, task_time=1.0)
+        ensure_valid(g)
+        assert g.num_tasks == 24
+        # dependency on previous step neighbours
+        assert g.has_edge("S0_2", "S1_2")
+        assert g.has_edge("S0_1", "S1_2")
+        assert g.has_edge("S0_3", "S1_2")
+
+    def test_reduction_tree(self):
+        g = reduction_tree(8, arity=2, leaf_time=1.0, combine_time=0.5)
+        ensure_valid(g)
+        assert len(g.sinks()) == 1
+        # 8 leaves + 4 + 2 + 1 combines
+        assert g.num_tasks == 15
+
+    def test_map_reduce(self):
+        g = map_reduce(6)
+        ensure_valid(g)
+        assert g.sources() == ["scatter"]
+        assert len(g.sinks()) == 1
+
+    def test_wavefront(self):
+        g = wavefront(4, 5, task_time=1.0)
+        assert g.num_tasks == 20
+
+    def test_strassen(self):
+        g = strassen_like_recursion(2, fanout=3)
+        ensure_valid(g)
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+        # depth 2, fanout 3: 9 leaves + 2*(1 + 3) split/combine pairs
+        assert g.num_tasks == 9 + 2 * 4
+
+    def test_registry(self):
+        assert set(PAPER_WORKFLOWS) <= set(available_workflows())
+        g = build_dag("cholesky", 4)
+        assert g.num_tasks == cholesky_task_count(4)
+        assert get_workflow("lu") is lu_dag
+        with pytest.raises(GraphError):
+            build_dag("not-a-workflow", 3)

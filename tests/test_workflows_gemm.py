@@ -1,0 +1,66 @@
+"""Unit tests for the tiled GEMM workflow (extension workload)."""
+
+import pytest
+
+from repro.core.analysis import analyze_graph
+from repro.core.paths import critical_path_length
+from repro.core.seriesparallel import is_series_parallel
+from repro.core.validation import ensure_valid
+from repro.estimators.exact import ExactEstimator
+from repro.estimators.first_order import FirstOrderEstimator
+from repro.estimators.sculli import SculliEstimator
+from repro.exceptions import GraphError
+from repro.failures.models import ExponentialErrorModel
+from repro.workflows.gemm import gemm_dag, gemm_task_count
+from repro.workflows.kernels import DEFAULT_TIMINGS
+from repro.workflows.registry import build_dag
+
+
+class TestStructure:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_task_count(self, k):
+        assert gemm_dag(k).num_tasks == gemm_task_count(k) == k**3
+
+    def test_chains_per_output_tile(self):
+        g = gemm_dag(3)
+        ensure_valid(g)
+        assert g.has_edge("GEMM_1_2_0", "GEMM_1_2_1")
+        assert g.has_edge("GEMM_1_2_1", "GEMM_1_2_2")
+        assert not g.has_edge("GEMM_0_0_0", "GEMM_1_1_1")
+        # k^2 independent chains of length k.
+        assert len(g.sources()) == 9
+        assert len(g.sinks()) == 9
+
+    def test_series_parallel(self):
+        assert is_series_parallel(gemm_dag(3))
+
+    def test_critical_path_is_one_chain(self):
+        k = 4
+        g = gemm_dag(k)
+        assert critical_path_length(g) == pytest.approx(k * DEFAULT_TIMINGS.time("GEMM"))
+
+    def test_profile(self):
+        profile = analyze_graph(gemm_dag(3))
+        assert profile.average_parallelism == pytest.approx(9.0)
+        assert profile.depth == 3
+        assert profile.width == 9
+
+    def test_registry_and_validation(self):
+        assert build_dag("gemm", 2).num_tasks == 8
+        with pytest.raises(GraphError):
+            gemm_dag(0)
+
+
+class TestEstimatorsOnRegularWorkload:
+    def test_all_estimators_agree_on_small_gemm(self):
+        """On this regular, series-parallel workload every method should be
+        accurate (the control case complementing the factorization DAGs)."""
+        g = gemm_dag(2)  # 8 tasks: exact enumeration feasible
+        model = ExponentialErrorModel.for_graph(g, 0.01)
+        exact = ExactEstimator().estimate(g, model).expected_makespan
+        first = FirstOrderEstimator().estimate(g, model).expected_makespan
+        sculli = SculliEstimator().estimate(g, model).expected_makespan
+        assert first == pytest.approx(exact, rel=2e-3)
+        # Sculli replaces two-point laws by normals, which is coarse on such
+        # a tiny graph; a few percent is the expected ballpark.
+        assert sculli == pytest.approx(exact, rel=5e-2)

@@ -14,9 +14,18 @@ Knobs (environment variables):
     300,000 — set it for a full-fidelity run).
 ``REPRO_BENCH_SIZES``
     Comma-separated list of graph sizes overriding the paper's
-    ``4,6,8,10,12`` (useful for quick smoke runs).
+    ``4,6,8,10,12`` (useful for quick smoke runs; also honoured by the
+    kernel benchmark ``test_bench_kernel_wavefront.py``, whose regression
+    guard only applies to sizes with >= 2,600 tasks).
+``REPRO_MC_DTYPE``
+    Precision of the Monte Carlo longest-path kernel: ``float64`` (default,
+    bit-identical results) or ``float32`` (roughly halves the kernel's
+    memory traffic; the ~1e-7 relative rounding is far below Monte Carlo
+    standard error at these trial counts).
 ``REPRO_TABLE1_K``
     Tile count of the Table I scalability run (default 20, as in the paper).
+``REPRO_KERNEL_BENCH_TRIALS``
+    Batch width of the kernel throughput benchmark (default 2,048).
 """
 
 from __future__ import annotations

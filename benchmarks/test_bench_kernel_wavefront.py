@@ -1,0 +1,158 @@
+"""Old-vs-new longest-path kernel throughput (trials per second).
+
+Compares the level-wavefront kernel of :mod:`repro.core.kernels` (float64
+and float32) against the pre-kernel per-task recurrence on the paper's
+three DAG families at several sizes, asserting the regression guard of the
+kernel refactor:
+
+* float64 results are bit-identical to the reference, and at least
+  1.2x faster on a >= 2,600-task Cholesky DAG;
+* float32 is at least 1.8x faster than the reference on the same DAG.
+
+The measured rates are archived (appended) to
+``benchmarks/results/kernel_rates.json`` so the performance trajectory can
+be tracked PR-over-PR.
+
+Knobs: ``REPRO_BENCH_SIZES`` restricts the tile counts (e.g. ``4,6`` for a
+CI smoke run — guards only apply to sizes with >= 2,600 tasks);
+``REPRO_KERNEL_BENCH_TRIALS`` overrides the batch width (default 2,048).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import WavefrontKernel
+from repro.workflows.registry import build_dag
+
+from _common import RESULTS_DIR
+
+#: Default tile counts: k = 24 gives a 2,600-task Cholesky DAG, the size
+#: the acceptance guard is calibrated on.
+DEFAULT_SIZES = (8, 16, 24)
+
+#: Minimum speedups on DAGs with at least GUARD_MIN_TASKS tasks.
+GUARD_MIN_TASKS = 2_600
+GUARD_FLOAT64 = 1.2
+GUARD_FLOAT32 = 1.8
+
+RATES_PATH = RESULTS_DIR / "kernel_rates.json"
+
+
+def bench_sizes() -> tuple:
+    env = os.environ.get("REPRO_BENCH_SIZES")
+    if not env:
+        return DEFAULT_SIZES
+    return tuple(int(part) for part in env.split(",") if part.strip())
+
+
+def bench_trials() -> int:
+    return int(os.environ.get("REPRO_KERNEL_BENCH_TRIALS", "2048"))
+
+
+def reference_batched_makespans(idx, weight_matrix) -> np.ndarray:
+    """The pre-kernel implementation: one Python iteration per task."""
+    w = np.asarray(weight_matrix, dtype=np.float64)
+    completion = np.zeros((w.shape[0], idx.num_tasks), dtype=np.float64)
+    indptr, indices = idx.pred_indptr, idx.pred_indices
+    for i in idx.topo_order:
+        preds = indices[indptr[i] : indptr[i + 1]]
+        if preds.size:
+            completion[:, i] = w[:, i] + completion[:, preds].max(axis=1)
+        else:
+            completion[:, i] = w[:, i]
+    return completion.max(axis=1)
+
+
+def _best_rate(fn, trials: int, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return trials / best
+
+
+def _archive(entries) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    history = []
+    if RATES_PATH.exists():
+        try:
+            history = json.loads(RATES_PATH.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            history = []
+    history.append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "entries": entries,
+        }
+    )
+    RATES_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+
+
+@pytest.mark.parametrize("workflow", ["cholesky", "lu", "qr"])
+def test_kernel_wavefront_throughput(workflow):
+    trials = bench_trials()
+    rng = np.random.default_rng(20160814)
+    entries = []
+    print()
+    for k in bench_sizes():
+        graph = build_dag(workflow, k)
+        idx = graph.index()
+        n = idx.num_tasks
+        w = idx.weights[None, :] * rng.uniform(0.5, 2.0, size=(trials, n))
+
+        reference = reference_batched_makespans(idx, w)
+        old_rate = _best_rate(lambda: reference_batched_makespans(idx, w), trials)
+
+        kernel64 = WavefrontKernel(idx, dtype=np.float64)
+        assert np.array_equal(kernel64.run(w), reference), "float64 not bit-exact"
+        new64_rate = _best_rate(lambda: kernel64.run(w), trials)
+
+        kernel32 = WavefrontKernel(idx, dtype=np.float32)
+        out32 = kernel32.run(w).astype(np.float64)
+        assert np.max(np.abs(out32 - reference) / reference) < 1e-5
+        new32_rate = _best_rate(lambda: kernel32.run(w), trials)
+
+        for dtype, rate in (("float64", new64_rate), ("float32", new32_rate)):
+            entries.append(
+                {
+                    "workflow": workflow,
+                    "k": k,
+                    "tasks": n,
+                    "levels": idx.num_levels,
+                    "trials": trials,
+                    "dtype": dtype,
+                    "reference_rate": round(old_rate, 1),
+                    "kernel_rate": round(rate, 1),
+                    "speedup": round(rate / old_rate, 3),
+                }
+            )
+        print(
+            f"  {workflow} k={k:3d} ({n:5d} tasks, {idx.num_levels:3d} levels): "
+            f"reference={old_rate:10,.0f}/s  "
+            f"float64={new64_rate:10,.0f}/s ({new64_rate / old_rate:4.2f}x)  "
+            f"float32={new32_rate:10,.0f}/s ({new32_rate / old_rate:4.2f}x)"
+        )
+
+        if workflow == "cholesky" and n >= GUARD_MIN_TASKS:
+            assert new64_rate >= GUARD_FLOAT64 * old_rate, (
+                f"float64 kernel regressed: {new64_rate / old_rate:.2f}x < "
+                f"{GUARD_FLOAT64}x on {n}-task cholesky"
+            )
+            assert new32_rate >= GUARD_FLOAT32 * old_rate, (
+                f"float32 kernel regressed: {new32_rate / old_rate:.2f}x < "
+                f"{GUARD_FLOAT32}x on {n}-task cholesky"
+            )
+
+    _archive(entries)

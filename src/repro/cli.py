@@ -74,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help=f"estimator name (repeatable); available: {', '.join(available_estimators())}")
     est.add_argument("--trials", type=int, default=None, help="Monte Carlo trials")
     est.add_argument("--seed", type=int, default=None, help="Monte Carlo seed")
+    est.add_argument("--dtype", choices=["float64", "float32"], default=None,
+                     help="Monte Carlo kernel precision (float32 halves memory traffic)")
     est.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     # experiment ---------------------------------------------------------
@@ -84,6 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--figure", required=True, choices=sorted(PAPER_FIGURES))
     fig.add_argument("--trials", type=int, default=None)
     fig.add_argument("--seed", type=int, default=None)
+    fig.add_argument("--dtype", choices=["float64", "float32"], default=None,
+                     help="Monte Carlo kernel precision")
     fig.add_argument("--no-plot", action="store_true")
 
     tab = exp_sub.add_parser("table1", help="the scalability study (Table I)")
@@ -91,11 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tile count k (paper: 20; smaller values for quick runs)")
     tab.add_argument("--trials", type=int, default=None)
     tab.add_argument("--seed", type=int, default=None)
+    tab.add_argument("--dtype", choices=["float64", "float32"], default=None,
+                     help="Monte Carlo kernel precision")
 
     allp = exp_sub.add_parser("all", help="all figures and Table I")
     allp.add_argument("--trials", type=int, default=None)
     allp.add_argument("--table1-size", type=int, default=None)
     allp.add_argument("--seed", type=int, default=None)
+    allp.add_argument("--dtype", choices=["float64", "float32"], default=None,
+                      help="Monte Carlo kernel precision")
     allp.add_argument("--output-dir", default=None, help="directory for CSV archives")
 
     # schedule -----------------------------------------------------------
@@ -135,6 +143,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 kwargs["trials"] = args.trials
             if args.seed is not None:
                 kwargs["seed"] = args.seed
+            if args.dtype is not None:
+                kwargs["dtype"] = args.dtype
         result = estimate_expected_makespan(graph, model, method=method, **kwargs)
         outputs.append(result)
         if not args.json:
@@ -163,7 +173,13 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
     if args.experiment == "figure":
-        result = run_figure(args.figure, mc_trials=args.trials, seed=args.seed, progress=progress)
+        result = run_figure(
+            args.figure,
+            mc_trials=args.trials,
+            mc_dtype=args.dtype,
+            seed=args.seed,
+            progress=progress,
+        )
         print(figure_table(result))
         if not args.no_plot:
             print()
@@ -173,12 +189,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         config = TABLE1 if args.size is None else ScalabilityConfig(
             workflow=TABLE1.workflow, size=args.size, pfail=TABLE1.pfail
         )
-        result = run_scalability(config, mc_trials=args.trials, seed=args.seed, progress=progress)
+        result = run_scalability(
+            config,
+            mc_trials=args.trials,
+            mc_dtype=args.dtype,
+            seed=args.seed,
+            progress=progress,
+        )
         print(scalability_table(result))
         return 0
     # all
     results = run_everything(
         mc_trials=args.trials,
+        mc_dtype=args.dtype,
         table1_size=args.table1_size,
         seed=args.seed,
         output_dir=args.output_dir,

@@ -6,7 +6,8 @@ makespan estimators, workflow generators, schedulers, experiments) consumes
 task graphs built with this subpackage.
 """
 
-from .graph import GraphIndex, TaskGraph
+from .graph import GraphIndex, TaskGraph, compute_level_structure
+from .kernels import LevelSchedule, WavefrontKernel, wavefront_kernel
 from .task import Task, TaskId, validate_weight
 from .paths import (
     PathMetrics,
@@ -75,9 +76,14 @@ __all__ = [
     # graph & task
     "TaskGraph",
     "GraphIndex",
+    "compute_level_structure",
     "Task",
     "TaskId",
     "validate_weight",
+    # wavefront kernels
+    "WavefrontKernel",
+    "LevelSchedule",
+    "wavefront_kernel",
     # paths
     "PathMetrics",
     "compute_path_metrics",

@@ -42,7 +42,78 @@ from ..exceptions import (
 )
 from .task import Task, TaskId, validate_weight
 
-__all__ = ["TaskGraph", "GraphIndex"]
+__all__ = ["TaskGraph", "GraphIndex", "compute_level_structure"]
+
+
+def _ragged_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Indices selecting ``counts[i]`` consecutive items from ``starts[i]``.
+
+    Expands CSR segments ``[starts[i], starts[i] + counts[i])`` into one flat
+    index array, fully vectorised (no Python loop over segments).
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+
+
+def compute_level_structure(
+    in_indptr: np.ndarray, out_indptr: np.ndarray, out_indices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group tasks by topological depth (vectorised Kahn by wavefronts).
+
+    A task's *level* is the length (in edges) of the longest path reaching it
+    from any entry task: level 0 holds the tasks without in-edges, level
+    ``l`` the tasks whose in-neighbours all lie strictly below ``l`` with at
+    least one at ``l - 1``.  Tasks of one level are mutually independent, so
+    a longest-path recurrence can process a whole level at once — this is
+    the schedule the wavefront kernels in :mod:`repro.core.kernels` compile.
+
+    Parameters
+    ----------
+    in_indptr:
+        CSR pointer array of the *incoming* adjacency (defines in-degrees).
+    out_indptr, out_indices:
+        CSR encoding of the *outgoing* adjacency (propagates the frontier).
+        Passing ``(pred_indptr, succ_indptr, succ_indices)`` yields forward
+        levels; swapping the roles yields the levels of the reversed graph.
+
+    Returns
+    -------
+    (level_indptr, level_order)
+        ``level_order[level_indptr[l]:level_indptr[l + 1]]`` are the task
+        indices of level ``l`` (ascending).  ``len(level_indptr) - 1`` is the
+        number of levels.
+    """
+    n = int(in_indptr.shape[0]) - 1
+    indegree = np.diff(in_indptr).astype(np.int64)
+    frontier = np.nonzero(indegree == 0)[0]
+    parts = []
+    indptr = [0]
+    visited = 0
+    while frontier.size:
+        parts.append(frontier)
+        visited += int(frontier.size)
+        indptr.append(visited)
+        starts = out_indptr[frontier]
+        counts = out_indptr[frontier + 1] - starts
+        targets = out_indices[_ragged_gather(starts, counts)]
+        if targets.size:
+            indegree -= np.bincount(targets, minlength=n)
+            candidates = np.unique(targets)
+            frontier = candidates[indegree[candidates] == 0]
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+    if visited != n:
+        raise CycleError(cycle=np.nonzero(indegree > 0)[0][:10].tolist())
+    level_order = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    )
+    level_indptr = np.asarray(indptr, dtype=np.int64)
+    level_indptr.setflags(write=False)
+    level_order.setflags(write=False)
+    return level_indptr, level_order
 
 
 @dataclass(frozen=True)
@@ -65,6 +136,11 @@ class GraphIndex:
         are ``pred_indices[pred_indptr[i]:pred_indptr[i + 1]]``.
     succ_indptr, succ_indices:
         CSR encoding of successor lists (same convention).
+
+    The topological *level structure* (tasks grouped by depth, see
+    :func:`compute_level_structure`) is exposed through
+    :attr:`level_indptr` / :attr:`level_order`; it is computed lazily on
+    first access and cached on the instance.
     """
 
     task_ids: Tuple[TaskId, ...]
@@ -101,6 +177,37 @@ class GraphIndex:
         """Indices of tasks without successors."""
         counts = np.diff(self.succ_indptr)
         return np.nonzero(counts == 0)[0]
+
+    # -- level structure (lazy) ----------------------------------------
+    def level_structure(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(level_indptr, level_order)``: tasks grouped by topological depth.
+
+        Computed on first access with :func:`compute_level_structure` and
+        cached (the dataclass is frozen, so the cache lives in the instance
+        ``__dict__`` under a private key).
+        """
+        cached = self.__dict__.get("_level_cache")
+        if cached is None:
+            cached = compute_level_structure(
+                self.pred_indptr, self.succ_indptr, self.succ_indices
+            )
+            object.__setattr__(self, "_level_cache", cached)
+        return cached
+
+    @property
+    def level_indptr(self) -> np.ndarray:
+        """Pointer array of the level structure (length ``num_levels + 1``)."""
+        return self.level_structure()[0]
+
+    @property
+    def level_order(self) -> np.ndarray:
+        """Task indices grouped by level; see :func:`compute_level_structure`."""
+        return self.level_structure()[1]
+
+    @property
+    def num_levels(self) -> int:
+        """Number of topological levels (0 for the empty graph)."""
+        return int(self.level_indptr.shape[0]) - 1
 
 
 class TaskGraph:
@@ -401,21 +508,31 @@ class TaskGraph:
             (index_of[tid] for tid in self.topological_order()), dtype=np.int64, count=n
         )
 
-        pred_counts = np.zeros(n + 1, dtype=np.int64)
-        succ_counts = np.zeros(n + 1, dtype=np.int64)
-        for tid in task_ids:
-            pred_counts[index_of[tid] + 1] = len(self._pred[tid])
-            succ_counts[index_of[tid] + 1] = len(self._succ[tid])
-        pred_indptr = np.cumsum(pred_counts)
-        succ_indptr = np.cumsum(succ_counts)
-        pred_indices = np.empty(int(pred_indptr[-1]), dtype=np.int64)
-        succ_indices = np.empty(int(succ_indptr[-1]), dtype=np.int64)
-        for tid in task_ids:
-            i = index_of[tid]
-            preds = [index_of[p] for p in self._pred[tid]]
-            succs = [index_of[s] for s in self._succ[tid]]
-            pred_indices[pred_indptr[i] : pred_indptr[i + 1]] = preds
-            succ_indices[succ_indptr[i] : succ_indptr[i + 1]] = succs
+        # One flat pass per direction over the adjacency dictionaries yields
+        # each CSR index array already grouped by task (ascending index,
+        # dictionary insertion order within each segment — identical to the
+        # incremental construction); the pointer arrays follow from
+        # cumsum over the per-task counts.  No per-task Python loop fills
+        # array slices.
+        m = self._num_edges
+        succ_counts = np.fromiter(
+            (len(succs) for succs in self._succ.values()), dtype=np.int64, count=n
+        )
+        pred_counts = np.fromiter(
+            (len(preds) for preds in self._pred.values()), dtype=np.int64, count=n
+        )
+        succ_indices = np.fromiter(
+            (index_of[d] for succs in self._succ.values() for d in succs),
+            dtype=np.int64,
+            count=m,
+        )
+        pred_indices = np.fromiter(
+            (index_of[p] for preds in self._pred.values() for p in preds),
+            dtype=np.int64,
+            count=m,
+        )
+        succ_indptr = np.concatenate(([0], np.cumsum(succ_counts)))
+        pred_indptr = np.concatenate(([0], np.cumsum(pred_counts)))
 
         for arr in (weights, topo, pred_indptr, pred_indices, succ_indptr, succ_indices):
             arr.setflags(write=False)

@@ -15,8 +15,13 @@ paper:
   value ``d(G_i)`` obtained when task ``i``'s weight is doubled, which is
   the building block of the first-order approximation.
 
-All functions run in ``O(|V| + |E|)`` using the CSR arrays of
-:class:`~repro.core.graph.GraphIndex`.
+All functions run in ``O(|V| + |E|)`` and are evaluated by the precompiled
+level-wavefront kernels of :mod:`repro.core.kernels`: the Python-level loop
+runs once per topological *level* (not once per task), and batched
+evaluations process a task-major ``(tasks, trials)`` buffer that is reused
+across calls.  ``float64`` results are bit-identical to the per-task
+reference recurrence because ``max`` and the single addition per task are
+order-independent at fixed precision.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import numpy as np
 
 from ..exceptions import GraphError
 from .graph import GraphIndex, TaskGraph
+from .kernels import wavefront_kernel
 from .task import TaskId
 
 __all__ = [
@@ -156,13 +162,7 @@ def upward_lengths(
     """``up(i)``: longest path ending at each task (task included)."""
     idx = _as_index(graph)
     w = _resolve_weights(idx, weights)
-    up = np.zeros(idx.num_tasks, dtype=np.float64)
-    indptr, indices = idx.pred_indptr, idx.pred_indices
-    for i in idx.topo_order:
-        preds = indices[indptr[i] : indptr[i + 1]]
-        best = up[preds].max() if preds.size else 0.0
-        up[i] = w[i] + best
-    return up
+    return wavefront_kernel(idx, direction="up").lengths(w)
 
 
 def downward_lengths(
@@ -171,13 +171,7 @@ def downward_lengths(
     """``down(i)``: longest path starting at each task (task included)."""
     idx = _as_index(graph)
     w = _resolve_weights(idx, weights)
-    down = np.zeros(idx.num_tasks, dtype=np.float64)
-    indptr, indices = idx.succ_indptr, idx.succ_indices
-    for i in idx.topo_order[::-1]:
-        succs = indices[indptr[i] : indptr[i + 1]]
-        best = down[succs].max() if succs.size else 0.0
-        down[i] = w[i] + best
-    return down
+    return wavefront_kernel(idx, direction="down").lengths(w)
 
 
 def critical_path_length(
@@ -254,7 +248,18 @@ def doubled_task_makespans(graph: Union[TaskGraph, GraphIndex]) -> Dict[TaskId, 
     return dict(zip(metrics.index.task_ids, metrics.doubled_makespans().tolist()))
 
 
-def batched_makespans(graph: Union[TaskGraph, GraphIndex], weight_matrix: np.ndarray) -> np.ndarray:
+#: Shared-kernel buffers larger than this are dropped after a one-shot
+#: ``batched_makespans`` call so that a single huge batch does not pin
+#: memory on the index for the rest of the process.
+_TRANSIENT_BUFFER_LIMIT = 128 * 2**20
+
+
+def batched_makespans(
+    graph: Union[TaskGraph, GraphIndex],
+    weight_matrix: np.ndarray,
+    *,
+    dtype: Union[str, np.dtype, type, None] = np.float64,
+) -> np.ndarray:
     """Longest path length for many weight assignments at once.
 
     Parameters
@@ -265,6 +270,10 @@ def batched_makespans(graph: Union[TaskGraph, GraphIndex], weight_matrix: np.nda
         Array of shape ``(num_scenarios, num_tasks)``: one weight vector per
         scenario (e.g. one Monte Carlo trial per row), aligned with the
         integer task indices of the graph.
+    dtype:
+        Evaluation precision: ``float64`` (default; bit-identical to the
+        per-task reference recurrence) or ``float32`` (halves memory
+        traffic, relative error ~1e-7 — far below Monte Carlo noise).
 
     Returns
     -------
@@ -274,27 +283,23 @@ def batched_makespans(graph: Union[TaskGraph, GraphIndex], weight_matrix: np.nda
 
     Notes
     -----
-    The longest-path recurrence is evaluated for all scenarios
-    simultaneously: the loop is over tasks (in topological order), and each
-    step is a vectorised maximum over the scenario axis.  This is the
-    computational core of the Monte Carlo estimator.
+    Evaluated by the precompiled level-wavefront kernel of
+    :mod:`repro.core.kernels`: the recurrence advances one topological
+    *level* at a time over a task-major buffer, which is both
+    interpreter-lean (levels ≪ tasks) and cache-friendly (contiguous row
+    operations instead of strided column reads).  This is the computational
+    core of the Monte Carlo estimator.
     """
     idx = _as_index(graph)
-    w = np.asarray(weight_matrix, dtype=np.float64)
+    w = np.asarray(weight_matrix)
     if w.ndim != 2 or w.shape[1] != idx.num_tasks:
         raise GraphError(
             f"weight matrix has shape {w.shape}, expected (num_scenarios, {idx.num_tasks})"
         )
-    num_scenarios = w.shape[0]
     if idx.num_tasks == 0:
-        return np.zeros(num_scenarios, dtype=np.float64)
-    completion = np.zeros((num_scenarios, idx.num_tasks), dtype=np.float64)
-    indptr, indices = idx.pred_indptr, idx.pred_indices
-    for i in idx.topo_order:
-        preds = indices[indptr[i] : indptr[i + 1]]
-        if preds.size:
-            ready = completion[:, preds].max(axis=1)
-            completion[:, i] = w[:, i] + ready
-        else:
-            completion[:, i] = w[:, i]
-    return completion.max(axis=1)
+        return np.zeros(w.shape[0], dtype=np.float64)
+    kernel = wavefront_kernel(idx, direction="up", dtype=dtype)
+    out = kernel.run(w)
+    if kernel.buffer_nbytes > _TRANSIENT_BUFFER_LIMIT:
+        kernel.release()
+    return out

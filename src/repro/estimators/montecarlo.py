@@ -34,6 +34,10 @@ class MonteCarloEstimator(MakespanEstimator):
     mode:
         ``"two-state"`` (at most one re-execution, the paper's evaluation
         model) or ``"geometric"`` (re-execute until success).
+    dtype:
+        Precision of the longest-path kernel: ``"float64"`` (default,
+        bit-identical results) or ``"float32"`` (halves kernel memory
+        traffic; the rounding error is far below Monte Carlo noise).
     batch_size, keep_samples, target_relative_half_width:
         Forwarded to :class:`repro.sim.MonteCarloEngine`.
     """
@@ -50,6 +54,7 @@ class MonteCarloEstimator(MakespanEstimator):
         reexecution_factor: float = 2.0,
         keep_samples: bool = False,
         target_relative_half_width: Optional[float] = None,
+        dtype: Optional[str] = None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -60,6 +65,7 @@ class MonteCarloEstimator(MakespanEstimator):
         self.reexecution_factor = reexecution_factor
         self.keep_samples = keep_samples
         self.target_relative_half_width = target_relative_half_width
+        self.dtype = dtype
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         engine = MonteCarloEngine(
@@ -72,6 +78,7 @@ class MonteCarloEstimator(MakespanEstimator):
             reexecution_factor=self.reexecution_factor,
             keep_samples=self.keep_samples,
             target_relative_half_width=self.target_relative_half_width,
+            dtype=self.dtype,
         )
         result = engine.run()
         details = {
@@ -81,6 +88,7 @@ class MonteCarloEstimator(MakespanEstimator):
             "minimum": result.minimum,
             "maximum": result.maximum,
             "batch_size": result.batch_size,
+            "dtype": result.dtype,
         }
         if result.samples is not None:
             details["median"] = result.samples.quantile(0.5)

@@ -22,6 +22,8 @@ __all__ = [
     "PAPER_FIGURES",
     "TABLE1",
     "monte_carlo_trials",
+    "monte_carlo_dtype",
+    "MC_DTYPES",
     "PAPER_MC_TRIALS",
 ]
 
@@ -55,6 +57,30 @@ def monte_carlo_trials(default: Optional[int] = None) -> int:
     return DEFAULT_MC_TRIALS
 
 
+#: Allowed precisions of the Monte Carlo longest-path kernel.
+MC_DTYPES = ("float64", "float32")
+
+
+def monte_carlo_dtype(default: Optional[str] = None) -> str:
+    """Resolve the Monte Carlo kernel precision.
+
+    Priority: ``REPRO_MC_DTYPE`` environment variable, then the explicit
+    ``default`` argument, then ``"float64"`` (bit-identical results).
+    ``"float32"`` halves the memory traffic of the longest-path kernel at a
+    relative rounding error far below Monte Carlo standard error.
+    """
+    env = os.environ.get("REPRO_MC_DTYPE")
+    value = env if env is not None else default
+    if value is None:
+        return "float64"
+    value = value.strip().lower()
+    if value not in MC_DTYPES:
+        raise ExperimentError(
+            f"Monte Carlo dtype must be one of {MC_DTYPES}, got {value!r}"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class FigureConfig:
     """Configuration of one error-vs-graph-size figure (Figures 4-12)."""
@@ -65,6 +91,7 @@ class FigureConfig:
     sizes: Tuple[int, ...] = (4, 6, 8, 10, 12)
     estimators: Tuple[str, ...] = ("dodin", "normal", "first-order")
     mc_trials: Optional[int] = None
+    mc_dtype: Optional[str] = None
     seed: int = 20160814  # date of the paper's HAL deposit, used as base seed
 
     def __post_init__(self) -> None:
@@ -74,11 +101,20 @@ class FigureConfig:
             raise ExperimentError("at least one graph size is required")
         if not self.estimators:
             raise ExperimentError("at least one estimator is required")
+        if self.mc_dtype is not None and self.mc_dtype not in MC_DTYPES:
+            raise ExperimentError(
+                f"mc_dtype must be one of {MC_DTYPES}, got {self.mc_dtype!r}"
+            )
 
     @property
     def trials(self) -> int:
         """Monte Carlo trials after applying the environment override."""
         return monte_carlo_trials(self.mc_trials)
+
+    @property
+    def dtype(self) -> str:
+        """Monte Carlo kernel precision after the environment override."""
+        return monte_carlo_dtype(self.mc_dtype)
 
     def describe(self) -> str:
         """Human-readable one-line description."""
@@ -97,6 +133,7 @@ class ScalabilityConfig:
     pfail: float = 1e-4
     estimators: Tuple[str, ...] = ("dodin", "normal", "first-order")
     mc_trials: Optional[int] = None
+    mc_dtype: Optional[str] = None
     seed: int = 20160814
 
     def __post_init__(self) -> None:
@@ -104,11 +141,20 @@ class ScalabilityConfig:
             raise ExperimentError(f"pfail must be in (0, 1), got {self.pfail}")
         if self.size < 2:
             raise ExperimentError("graph size must be at least 2")
+        if self.mc_dtype is not None and self.mc_dtype not in MC_DTYPES:
+            raise ExperimentError(
+                f"mc_dtype must be one of {MC_DTYPES}, got {self.mc_dtype!r}"
+            )
 
     @property
     def trials(self) -> int:
         """Monte Carlo trials after applying the environment override."""
         return monte_carlo_trials(self.mc_trials)
+
+    @property
+    def dtype(self) -> str:
+        """Monte Carlo kernel precision after the environment override."""
+        return monte_carlo_dtype(self.mc_dtype)
 
 
 def _figures() -> Dict[str, FigureConfig]:

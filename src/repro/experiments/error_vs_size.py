@@ -87,6 +87,7 @@ def run_error_vs_size(
     config: FigureConfig,
     *,
     mc_trials: Optional[int] = None,
+    mc_dtype: Optional[str] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
     progress: Optional[callable] = None,
@@ -100,6 +101,10 @@ def run_error_vs_size(
     mc_trials:
         Override of the Monte Carlo trial count (defaults to the config's
         value, itself overridable through ``REPRO_MC_TRIALS``).
+    mc_dtype:
+        Override of the Monte Carlo kernel precision (``"float64"`` /
+        ``"float32"``; defaults to the config's value, itself overridable
+        through ``REPRO_MC_DTYPE``).
     seed:
         Base seed for the Monte Carlo runs (one independent stream per
         graph size).
@@ -111,6 +116,7 @@ def run_error_vs_size(
         measurement (used by the CLI for live output).
     """
     trials = mc_trials if mc_trials is not None else config.trials
+    dtype = mc_dtype if mc_dtype is not None else config.dtype
     base_seed = seed if seed is not None else config.seed
     options = estimator_options or {}
     result = FigureResult(config=config)
@@ -120,7 +126,7 @@ def run_error_vs_size(
         model = ExponentialErrorModel.for_graph(graph, config.pfail)
 
         reference = get_estimator(
-            "monte-carlo", trials=trials, seed=base_seed + offset
+            "monte-carlo", trials=trials, seed=base_seed + offset, dtype=dtype
         ).estimate(graph, model)
         if progress:
             progress(

@@ -39,6 +39,7 @@ def run_all_figures(
     figures: Optional[Iterable[str]] = None,
     *,
     mc_trials: Optional[int] = None,
+    mc_dtype: Optional[str] = None,
     seed: Optional[int] = None,
     output_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[str], None]] = None,
@@ -59,7 +60,7 @@ def run_all_figures(
             )
         config = PAPER_FIGURES[key]
         result = run_error_vs_size(
-            config, mc_trials=mc_trials, seed=seed, progress=progress
+            config, mc_trials=mc_trials, mc_dtype=mc_dtype, seed=seed, progress=progress
         )
         results[key] = result
         if output_dir is not None:
@@ -70,6 +71,7 @@ def run_all_figures(
 def run_everything(
     *,
     mc_trials: Optional[int] = None,
+    mc_dtype: Optional[str] = None,
     table1_trials: Optional[int] = None,
     table1_size: Optional[int] = None,
     seed: Optional[int] = None,
@@ -82,6 +84,8 @@ def run_everything(
     ----------
     mc_trials:
         Monte Carlo trials for the figures.
+    mc_dtype:
+        Monte Carlo kernel precision (``"float64"`` / ``"float32"``).
     table1_trials:
         Monte Carlo trials for Table I (defaults to ``mc_trials``).
     table1_size:
@@ -96,7 +100,11 @@ def run_everything(
         ``{"figures": {name: FigureResult}, "table1": ScalabilityResult}``.
     """
     figures = run_all_figures(
-        mc_trials=mc_trials, seed=seed, output_dir=output_dir, progress=progress
+        mc_trials=mc_trials,
+        mc_dtype=mc_dtype,
+        seed=seed,
+        output_dir=output_dir,
+        progress=progress,
     )
     table_config = TABLE1 if table1_size is None else ScalabilityConfig(
         workflow=TABLE1.workflow, size=table1_size, pfail=TABLE1.pfail
@@ -104,6 +112,7 @@ def run_everything(
     table1 = run_scalability(
         table_config,
         mc_trials=table1_trials if table1_trials is not None else mc_trials,
+        mc_dtype=mc_dtype,
         seed=seed,
         progress=progress,
     )

@@ -70,19 +70,23 @@ def run_scalability(
     config: ScalabilityConfig,
     *,
     mc_trials: Optional[int] = None,
+    mc_dtype: Optional[str] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
     progress: Optional[callable] = None,
 ) -> ScalabilityResult:
     """Run the scalability study described by ``config``."""
     trials = mc_trials if mc_trials is not None else config.trials
+    dtype = mc_dtype if mc_dtype is not None else config.dtype
     base_seed = seed if seed is not None else config.seed
     options = estimator_options or {}
 
     graph = build_dag(config.workflow, config.size)
     model = ExponentialErrorModel.for_graph(graph, config.pfail)
 
-    reference = get_estimator("monte-carlo", trials=trials, seed=base_seed).estimate(graph, model)
+    reference = get_estimator(
+        "monte-carlo", trials=trials, seed=base_seed, dtype=dtype
+    ).estimate(graph, model)
     if progress:
         progress(
             f"[table1] {config.workflow} k={config.size} ({graph.num_tasks} tasks): "

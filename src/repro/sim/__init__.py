@@ -1,6 +1,11 @@
 """Monte Carlo simulation: sampling, batched longest paths, streaming stats."""
 
-from .sampler import SamplingMode, sample_failure_mask, sample_task_times
+from .sampler import (
+    SamplingMode,
+    sample_failure_mask,
+    sample_task_times,
+    task_failure_probabilities,
+)
 from .engine import (
     DEFAULT_BATCH,
     DEFAULT_TRIALS,
@@ -14,6 +19,7 @@ from .stats import ConvergenceTracker, relative_half_width, required_trials
 __all__ = [
     "sample_failure_mask",
     "sample_task_times",
+    "task_failure_probabilities",
     "SamplingMode",
     "MonteCarloEngine",
     "MonteCarloResult",

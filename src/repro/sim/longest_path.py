@@ -1,8 +1,9 @@
 """Vectorised longest-path evaluation for Monte Carlo batches.
 
-The actual recurrence lives in :func:`repro.core.paths.batched_makespans`
-(one topological sweep shared by all trials of a batch).  This module adds
-two conveniences used by the simulator and by a few benchmarks:
+The actual recurrence lives in the level-wavefront kernels of
+:mod:`repro.core.kernels` (one level-by-level sweep shared by all trials of
+a batch; see also :func:`repro.core.paths.batched_makespans`).  This module
+adds two conveniences used by the simulator and by a few benchmarks:
 
 * :func:`batch_makespans_with_details` also returns, for every trial, the
   index of a sink task realising the makespan — handy to study which exit
@@ -20,7 +21,8 @@ from typing import Iterable, Iterator, Tuple, Union
 import numpy as np
 
 from ..core.graph import GraphIndex, TaskGraph
-from ..core.paths import batched_makespans
+from ..core.kernels import wavefront_kernel
+from ..core.paths import _TRANSIENT_BUFFER_LIMIT, batched_makespans
 from ..exceptions import GraphError
 
 __all__ = ["batch_makespans_with_details", "streaming_makespans"]
@@ -48,18 +50,11 @@ def batch_makespans_with_details(
         raise GraphError(
             f"weight matrix has shape {w.shape}, expected (trials, {idx.num_tasks})"
         )
-    trials = w.shape[0]
-    completion = np.zeros((trials, idx.num_tasks), dtype=np.float64)
-    indptr, indices = idx.pred_indptr, idx.pred_indices
-    for i in idx.topo_order:
-        preds = indices[indptr[i] : indptr[i + 1]]
-        if preds.size:
-            completion[:, i] = w[:, i] + completion[:, preds].max(axis=1)
-        else:
-            completion[:, i] = w[:, i]
-    makespans = completion.max(axis=1)
-    argmax_task = completion.argmax(axis=1)
-    return makespans, argmax_task
+    kernel = wavefront_kernel(idx, direction="up")
+    out = kernel.run_with_details(w)
+    if kernel.buffer_nbytes > _TRANSIENT_BUFFER_LIMIT:
+        kernel.release()
+    return out
 
 
 def streaming_makespans(

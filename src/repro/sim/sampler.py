@@ -29,16 +29,37 @@ from ..core.graph import GraphIndex, TaskGraph
 from ..exceptions import EstimationError
 from ..failures.models import ErrorModel
 
-__all__ = ["sample_failure_mask", "sample_task_times", "SamplingMode"]
+__all__ = [
+    "sample_failure_mask",
+    "sample_task_times",
+    "task_failure_probabilities",
+    "SamplingMode",
+    "DEFAULT_MAX_EXECUTIONS",
+]
 
 SamplingMode = Literal["two-state", "geometric"]
 
+#: Default cap on the number of executions per task in geometric mode
+#: (shared with :class:`repro.sim.MonteCarloEngine` so both sampling paths
+#: truncate identically).
+DEFAULT_MAX_EXECUTIONS = 64
 
-def _failure_probabilities(model: ErrorModel, weights: np.ndarray) -> np.ndarray:
+
+def task_failure_probabilities(model: ErrorModel, weights: np.ndarray) -> np.ndarray:
+    """Validated per-task first-attempt failure probabilities.
+
+    One call per engine suffices: the probabilities depend only on the model
+    and the task weights, so Monte Carlo pipelines cache the result instead
+    of re-deriving it for every batch.
+    """
     q = np.asarray(model.failure_probabilities(weights), dtype=np.float64)
     if np.any((q < 0) | (q > 1)):
         raise EstimationError("failure probabilities must lie in [0, 1]")
     return q
+
+
+# Backwards-compatible private alias (pre-refactor name).
+_failure_probabilities = task_failure_probabilities
 
 
 def sample_failure_mask(
@@ -62,7 +83,7 @@ def sample_task_times(
     *,
     mode: SamplingMode = "two-state",
     reexecution_factor: float = 2.0,
-    max_executions: int = 64,
+    max_executions: int = DEFAULT_MAX_EXECUTIONS,
 ) -> np.ndarray:
     """Sample effective task execution times for a batch of trials.
 
@@ -119,7 +140,10 @@ def sample_task_times(
         success = 1.0 - q
         if np.any(success <= 0.0):
             raise EstimationError("some task never succeeds; geometric sampling diverges")
-        failures = rng.geometric(success[None, :].repeat(trials, axis=0)) - 1
+        # Broadcasting the per-task success probabilities against the target
+        # shape draws the exact same variates as materialising the full
+        # (trials, tasks) probability matrix, without allocating it.
+        failures = rng.geometric(success, size=(trials, weights.shape[0])) - 1
         failures = np.minimum(failures, max_executions - 1)
         return weights[None, :] * (1.0 + failures)
 

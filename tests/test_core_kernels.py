@@ -1,0 +1,327 @@
+"""Tests for the level-wavefront longest-path kernels (repro.core.kernels).
+
+The kernels are differential-tested against a straight per-task reference
+implementation of the recurrence (the pre-kernel code path) on every
+registered workflow generator plus random synthetic DAGs; float64 results
+must be *bit-identical*, float32 within a small relative tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.generators import (
+    erdos_renyi_dag,
+    fork_join,
+    layered_random_dag,
+    random_out_tree,
+)
+from repro.core.graph import TaskGraph, compute_level_structure
+from repro.core.kernels import WavefrontKernel, normalize_dtype, wavefront_kernel
+from repro.core.paths import (
+    batched_makespans,
+    critical_path_length,
+    downward_lengths,
+    makespan_with_weights,
+    upward_lengths,
+)
+from repro.exceptions import GraphError
+from repro.sim.longest_path import batch_makespans_with_details
+from repro.workflows.registry import available_workflows, build_dag
+
+
+# ----------------------------------------------------------------------
+# Reference implementations: the pre-kernel per-task recurrences.
+# ----------------------------------------------------------------------
+def reference_batched_makespans(idx, weight_matrix):
+    w = np.asarray(weight_matrix, dtype=np.float64)
+    num_scenarios = w.shape[0]
+    if idx.num_tasks == 0:
+        return np.zeros(num_scenarios, dtype=np.float64)
+    completion = np.zeros((num_scenarios, idx.num_tasks), dtype=np.float64)
+    indptr, indices = idx.pred_indptr, idx.pred_indices
+    for i in idx.topo_order:
+        preds = indices[indptr[i] : indptr[i + 1]]
+        if preds.size:
+            completion[:, i] = w[:, i] + completion[:, preds].max(axis=1)
+        else:
+            completion[:, i] = w[:, i]
+    return completion.max(axis=1)
+
+
+def reference_upward(idx, w):
+    up = np.zeros(idx.num_tasks, dtype=np.float64)
+    indptr, indices = idx.pred_indptr, idx.pred_indices
+    for i in idx.topo_order:
+        preds = indices[indptr[i] : indptr[i + 1]]
+        up[i] = w[i] + (up[preds].max() if preds.size else 0.0)
+    return up
+
+
+def reference_downward(idx, w):
+    down = np.zeros(idx.num_tasks, dtype=np.float64)
+    indptr, indices = idx.succ_indptr, idx.succ_indices
+    for i in idx.topo_order[::-1]:
+        succs = indices[indptr[i] : indptr[i + 1]]
+        down[i] = w[i] + (down[succs].max() if succs.size else 0.0)
+    return down
+
+
+def random_weight_matrix(idx, trials, seed):
+    rng = np.random.default_rng(seed)
+    return idx.weights[None, :] * rng.uniform(0.5, 2.5, size=(trials, idx.num_tasks))
+
+
+SYNTHETIC_DAGS = [
+    erdos_renyi_dag(25, 0.25, rng=1, name="er-dense"),
+    erdos_renyi_dag(40, 0.08, rng=2, name="er-sparse"),
+    layered_random_dag(5, 6, edge_probability=0.5, rng=3),
+    fork_join(17),
+    random_out_tree(31, max_children=4, rng=4),
+]
+
+
+class TestLevelStructure:
+    @pytest.mark.parametrize("workflow", available_workflows())
+    def test_levels_are_valid(self, workflow):
+        idx = build_dag(workflow, 5).index()
+        indptr, order = idx.level_structure()
+        assert indptr[0] == 0 and indptr[-1] == idx.num_tasks
+        assert np.all(np.diff(indptr) > 0)
+        assert sorted(order.tolist()) == list(range(idx.num_tasks))
+        # Every predecessor must lie in a strictly lower level, and at
+        # least one exactly one level below.
+        level_of = np.empty(idx.num_tasks, dtype=np.int64)
+        for level in range(len(indptr) - 1):
+            level_of[order[indptr[level] : indptr[level + 1]]] = level
+        for i in range(idx.num_tasks):
+            preds = idx.predecessors(i)
+            if preds.size == 0:
+                assert level_of[i] == 0
+            else:
+                assert np.all(level_of[preds] < level_of[i])
+                assert level_of[preds].max() == level_of[i] - 1
+
+    def test_chain_has_one_task_per_level(self, chain3):
+        idx = chain3.index()
+        assert idx.num_levels == 3
+        assert np.array_equal(np.diff(idx.level_indptr), [1, 1, 1])
+
+    def test_independent_tasks_form_one_level(self):
+        g = TaskGraph()
+        for i in range(4):
+            g.add_task(i, 1.0)
+        assert g.index().num_levels == 1
+
+    def test_empty_graph(self):
+        idx = TaskGraph().index()
+        assert idx.num_levels == 0
+        assert idx.level_order.shape == (0,)
+
+    def test_reverse_direction_levels(self, diamond):
+        idx = diamond.index()
+        indptr, order = compute_level_structure(
+            idx.succ_indptr, idx.pred_indptr, idx.pred_indices
+        )
+        # Reversed diamond: t is the only source of the reversed graph.
+        assert indptr[-1] == 4
+        assert order[0] == idx.index_of["t"]
+
+    def test_structure_is_cached(self, diamond):
+        idx = diamond.index()
+        assert idx.level_structure()[0] is idx.level_structure()[0]
+
+
+class TestKernelDifferential:
+    @pytest.mark.parametrize("workflow", available_workflows())
+    def test_bitexact_on_workflows(self, workflow):
+        for size in (2, 5):
+            idx = build_dag(workflow, size).index()
+            w = random_weight_matrix(idx, 13, seed=size)
+            expected = reference_batched_makespans(idx, w)
+            assert np.array_equal(batched_makespans(idx, w), expected)
+
+    @pytest.mark.parametrize("graph", SYNTHETIC_DAGS, ids=lambda g: g.name)
+    def test_bitexact_on_synthetic_dags(self, graph):
+        idx = graph.index()
+        w = random_weight_matrix(idx, 11, seed=0)
+        expected = reference_batched_makespans(idx, w)
+        assert np.array_equal(batched_makespans(idx, w), expected)
+
+    @pytest.mark.parametrize("graph", SYNTHETIC_DAGS, ids=lambda g: g.name)
+    def test_matches_per_trial_critical_path(self, graph):
+        idx = graph.index()
+        w = random_weight_matrix(idx, 7, seed=42)
+        batched = batched_makespans(idx, w)
+        singles = [makespan_with_weights(idx, row) for row in w]
+        assert np.array_equal(batched, np.asarray(singles))
+
+    @pytest.mark.parametrize("workflow", available_workflows())
+    def test_up_down_bitexact(self, workflow):
+        idx = build_dag(workflow, 4).index()
+        rng = np.random.default_rng(3)
+        w = idx.weights * rng.uniform(0.5, 2.0, size=idx.num_tasks)
+        assert np.array_equal(upward_lengths(idx, w), reference_upward(idx, w))
+        assert np.array_equal(downward_lengths(idx, w), reference_downward(idx, w))
+
+    def test_details_match_reference(self, cholesky4):
+        idx = cholesky4.index()
+        w = random_weight_matrix(idx, 9, seed=8)
+        makespans, argmax = batch_makespans_with_details(idx, w)
+        expected = reference_batched_makespans(idx, w)
+        assert np.array_equal(makespans, expected)
+        # argmax points at a task whose completion realises the makespan
+        for t in range(w.shape[0]):
+            assert makespans[t] == pytest.approx(expected[t])
+            assert 0 <= argmax[t] < idx.num_tasks
+
+    def test_float32_tolerance(self):
+        idx = build_dag("cholesky", 10).index()
+        w = random_weight_matrix(idx, 64, seed=5)
+        exact = batched_makespans(idx, w)
+        approx = batched_makespans(idx, w, dtype="float32")
+        assert approx.dtype == np.float32
+        rel = np.abs(approx.astype(np.float64) - exact) / exact
+        assert rel.max() < 1e-5
+
+
+class TestKernelEdgeCases:
+    def test_empty_graph(self):
+        idx = TaskGraph().index()
+        assert batched_makespans(idx, np.zeros((4, 0))).tolist() == [0.0] * 4
+        assert upward_lengths(idx).shape == (0,)
+        assert downward_lengths(idx).shape == (0,)
+
+    def test_single_task(self):
+        g = TaskGraph()
+        g.add_task("only", 2.5)
+        out = batched_makespans(g, np.array([[2.5], [5.0]]))
+        assert out.tolist() == [2.5, 5.0]
+        assert upward_lengths(g).tolist() == [2.5]
+
+    def test_zero_scenarios(self, diamond):
+        # An empty scenario batch is valid and returns an empty result,
+        # as it did before the kernel refactor.
+        out = batched_makespans(diamond, np.empty((0, 4)))
+        assert out.shape == (0,)
+        makespans, argmax = batch_makespans_with_details(
+            diamond.index(), np.empty((0, 4))
+        )
+        assert makespans.shape == (0,) and argmax.shape == (0,)
+
+    def test_disconnected_tasks(self):
+        g = TaskGraph()
+        for i, w in enumerate([1.0, 5.0, 3.0]):
+            g.add_task(i, w)
+        idx = g.index()
+        assert critical_path_length(idx) == pytest.approx(5.0)
+        out = batched_makespans(idx, idx.weights[None, :] * 2.0)
+        assert out.tolist() == [10.0]
+
+    def test_disconnected_sink_component(self):
+        # Two components: a chain and an isolated heavy sink.
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 2.0)
+        g.add_task("lonely", 10.0)
+        g.add_edge("a", "b")
+        idx = g.index()
+        expected = reference_batched_makespans(idx, idx.weights[None, :])
+        assert np.array_equal(batched_makespans(idx, idx.weights[None, :]), expected)
+        assert expected[0] == pytest.approx(10.0)
+
+    def test_shape_validation(self, diamond):
+        with pytest.raises(GraphError):
+            batched_makespans(diamond, np.ones((2, 3)))
+        with pytest.raises(GraphError):
+            WavefrontKernel(diamond).lengths(np.ones(3))
+
+    def test_invalid_dtype_rejected(self, diamond):
+        with pytest.raises(GraphError):
+            batched_makespans(diamond, np.ones((1, 4)), dtype="int32")
+        with pytest.raises(GraphError):
+            normalize_dtype("float16")
+
+    def test_invalid_direction_rejected(self, diamond):
+        with pytest.raises(GraphError):
+            WavefrontKernel(diamond, direction="sideways")
+
+
+class TestKernelBufferReuse:
+    def test_buffer_allocated_once_and_grows(self, cholesky4):
+        kernel = WavefrontKernel(cholesky4)
+        view8 = kernel.weight_view(8)
+        buf = kernel._buffer
+        assert view8.shape == (cholesky4.num_tasks, 8)
+        # Smaller or equal requests reuse the same allocation.
+        kernel.weight_view(4)
+        kernel.weight_view(8)
+        assert kernel._buffer is buf
+        # Larger requests grow it.
+        kernel.weight_view(16)
+        assert kernel._buffer is not buf
+        assert kernel.capacity == 16
+
+    def test_repeated_runs_reuse_buffer(self, lu4):
+        idx = lu4.index()
+        kernel = WavefrontKernel(idx)
+        w = random_weight_matrix(idx, 12, seed=1)
+        first = kernel.run(w)
+        buf = kernel._buffer
+        second = kernel.run(w)
+        assert kernel._buffer is buf
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, reference_batched_makespans(idx, w))
+
+    def test_shared_kernel_cached_on_index(self, qr4):
+        idx = qr4.index()
+        assert wavefront_kernel(idx) is wavefront_kernel(idx)
+        assert wavefront_kernel(idx) is not wavefront_kernel(idx, dtype="float32")
+        assert wavefront_kernel(idx) is not wavefront_kernel(idx, direction="down")
+
+    def test_release_drops_buffers(self, lu4):
+        kernel = WavefrontKernel(lu4)
+        kernel.weight_view(4)
+        assert kernel.buffer_nbytes > 0
+        kernel.release()
+        assert kernel.buffer_nbytes == 0
+        assert kernel.capacity == 0
+
+    def test_partial_width_propagation(self, cholesky4):
+        # Propagating fewer trials than the buffer capacity must be correct
+        # (the engine's final partial batch exercises this path).
+        idx = cholesky4.index()
+        kernel = WavefrontKernel(idx)
+        kernel.weight_view(32)
+        w = random_weight_matrix(idx, 5, seed=9)
+        out = kernel.run(w)
+        assert kernel.capacity == 32
+        assert np.array_equal(out, reference_batched_makespans(idx, w))
+
+
+class TestVectorisedIndexBuild:
+    @pytest.mark.parametrize("graph", SYNTHETIC_DAGS, ids=lambda g: g.name)
+    def test_csr_matches_adjacency_dicts(self, graph):
+        idx = graph.index()
+        for i, tid in enumerate(idx.task_ids):
+            assert {idx.task_ids[j] for j in idx.predecessors(i)} == set(
+                graph.predecessors(tid)
+            )
+            assert {idx.task_ids[j] for j in idx.successors(i)} == set(
+                graph.successors(tid)
+            )
+
+    def test_counts_match(self, cholesky4):
+        idx = cholesky4.index()
+        assert idx.num_edges == cholesky4.num_edges
+        assert int(idx.pred_indptr[-1]) == idx.num_edges
+        assert int(idx.succ_indptr[-1]) == idx.num_edges
+
+    def test_succ_segments_preserve_insertion_order(self):
+        g = TaskGraph()
+        for t in ("a", "b", "c", "d"):
+            g.add_task(t, 1.0)
+        g.add_edge("a", "d")
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        idx = g.index()
+        assert [idx.task_ids[j] for j in idx.successors(0)] == ["d", "b", "c"]

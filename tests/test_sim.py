@@ -111,6 +111,127 @@ class TestEngine:
             MonteCarloEngine(diamond, model, batch_size=0)
 
 
+class CountingModel(FixedProbabilityModel):
+    """Fixed-probability model that counts vectorised probability queries."""
+
+    calls = 0
+
+    def failure_probabilities(self, weights):
+        type(self).calls += 1
+        return super().failure_probabilities(weights)
+
+
+class TestZeroCopyPipeline:
+    """The engine's zero-copy refactor must not change any sampled result."""
+
+    @staticmethod
+    def _reference_makespans(graph, model, trials, seed, batch_size, factor=2.0):
+        """The pre-refactor pipeline: trial-major sampling + per-task sweep."""
+        idx = graph.index()
+        rng = np.random.default_rng(seed)
+        q = model.failure_probabilities(idx.weights)
+        out = []
+        remaining = trials
+        while remaining > 0:
+            b = min(batch_size, remaining)
+            failures = rng.random((b, idx.num_tasks)) < q[None, :]
+            times = idx.weights[None, :] + failures * ((factor - 1.0) * idx.weights[None, :])
+            completion = np.zeros((b, idx.num_tasks))
+            indptr, indices = idx.pred_indptr, idx.pred_indices
+            for i in idx.topo_order:
+                preds = indices[indptr[i] : indptr[i + 1]]
+                if preds.size:
+                    completion[:, i] = times[:, i] + completion[:, preds].max(axis=1)
+                else:
+                    completion[:, i] = times[:, i]
+            out.append(completion.max(axis=1))
+            remaining -= b
+        return np.concatenate(out)
+
+    def test_results_unchanged_after_refactor(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 0.02)
+        ref = self._reference_makespans(cholesky4, model, 5_000, seed=77, batch_size=1_024)
+        result = MonteCarloEngine(
+            cholesky4, model, trials=5_000, seed=77, batch_size=1_024, keep_samples=True
+        ).run()
+        assert np.array_equal(np.sort(result.samples.samples()), np.sort(ref))
+        assert result.minimum == ref.min()
+        assert result.maximum == ref.max()
+
+    def test_seed_reproducible(self, lu4):
+        model = ExponentialErrorModel.for_graph(lu4, 0.01)
+        a = MonteCarloEngine(lu4, model, trials=4_000, seed=3).run()
+        b = MonteCarloEngine(lu4, model, trials=4_000, seed=3).run()
+        assert a.mean == b.mean
+        assert a.std == b.std
+        assert a.minimum == b.minimum and a.maximum == b.maximum
+
+    def test_failure_probabilities_computed_once(self, cholesky4):
+        CountingModel.calls = 0
+        model = CountingModel(0.1)
+        engine = MonteCarloEngine(cholesky4, model, trials=10_000, seed=0, batch_size=1_000)
+        assert CountingModel.calls == 1  # computed eagerly, in the constructor
+        engine.run()
+        assert CountingModel.calls == 1  # ... and never again per batch
+
+    def test_buffers_allocated_once(self, cholesky4):
+        model = FixedProbabilityModel(0.2)
+        engine = MonteCarloEngine(cholesky4, model, trials=7_000, seed=1, batch_size=1_000)
+        kernel_buffer = engine._kernel._buffer
+        uniform = engine._uniform
+        mask = engine._mask
+        assert kernel_buffer is not None  # allocated by the constructor
+        engine.run()  # 7 batches later ...
+        assert engine._kernel._buffer is kernel_buffer
+        assert engine._uniform is uniform
+        assert engine._mask is mask
+
+    def test_float32_close_to_float64(self, lu4):
+        model = ExponentialErrorModel.for_graph(lu4, 0.01)
+        exact = MonteCarloEngine(lu4, model, trials=5_000, seed=11).run()
+        approx = MonteCarloEngine(lu4, model, trials=5_000, seed=11, dtype="float32").run()
+        assert approx.dtype == "float32"
+        assert exact.dtype == "float64"
+        assert approx.mean == pytest.approx(exact.mean, rel=1e-5)
+
+    def test_geometric_mode_unchanged(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 0.05)
+        idx = cholesky4.index()
+        rng = np.random.default_rng(21)
+        ref = []
+        remaining = 3_000
+        while remaining > 0:
+            b = min(1_024, remaining)
+            times = sample_task_times(idx, model, b, rng, mode="geometric")
+            completion = np.zeros((b, idx.num_tasks))
+            indptr, indices = idx.pred_indptr, idx.pred_indices
+            for i in idx.topo_order:
+                preds = indices[indptr[i] : indptr[i + 1]]
+                base = completion[:, preds].max(axis=1) if preds.size else 0.0
+                completion[:, i] = times[:, i] + base
+            ref.append(completion.max(axis=1))
+            remaining -= b
+        ref = np.concatenate(ref)
+        result = MonteCarloEngine(
+            cholesky4, model, trials=3_000, seed=21, batch_size=1_024,
+            mode="geometric", keep_samples=True,
+        ).run()
+        assert np.array_equal(np.sort(result.samples.samples()), np.sort(ref))
+
+    def test_geometric_broadcast_matches_materialised_probabilities(self, rng):
+        # The sampler fix: broadcasting the success vector must consume the
+        # RNG exactly like the old full (trials, tasks) probability matrix.
+        success = np.array([0.7, 0.1, 0.5, 0.001, 0.999])
+        a = np.random.default_rng(5).geometric(success[None, :].repeat(100, axis=0))
+        b = np.random.default_rng(5).geometric(success, size=(100, 5))
+        assert np.array_equal(a, b)
+
+    def test_invalid_dtype_rejected(self, diamond):
+        model = FixedProbabilityModel(0.1)
+        with pytest.raises(EstimationError):
+            MonteCarloEngine(diamond, model, trials=10, dtype="int8")
+
+
 class TestLongestPathHelpers:
     def test_details_argmax_is_a_sink_heavy_task(self, diamond):
         idx = diamond.index()

@@ -30,9 +30,15 @@ Knobs (environment variables):
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.experiments.config import PAPER_FIGURES, FigureConfig
 from repro.experiments.error_vs_size import FigureResult, run_error_vs_size
@@ -40,8 +46,44 @@ from repro.experiments.reporting import figure_ascii_plot, figure_table, write_c
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Machine-readable rate archive shared by the kernel and estimator
+#: throughput benchmarks (one record appended per run; the trend is
+#: reported by ``benchmarks/report_rates.py``).
+RATES_PATH = RESULTS_DIR / "kernel_rates.json"
+
 #: Default seed for the Monte Carlo references of the benchmark suite.
 BENCH_SEED = 20160814
+
+
+def archive_rates(entries) -> None:
+    """Append one record of benchmark entries to ``kernel_rates.json``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    history = []
+    if RATES_PATH.exists():
+        try:
+            history = json.loads(RATES_PATH.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            history = []
+    history.append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "entries": entries,
+        }
+    )
+    RATES_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+
+
+def best_time(fn, repeats: int = 3) -> float:
+    """Fastest of ``repeats`` timed calls of ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def bench_sizes(config: FigureConfig) -> Tuple[int, ...]:
@@ -49,6 +91,18 @@ def bench_sizes(config: FigureConfig) -> Tuple[int, ...]:
     env = os.environ.get("REPRO_BENCH_SIZES")
     if not env:
         return config.sizes
+    return tuple(int(part) for part in env.split(",") if part.strip())
+
+
+def throughput_bench_sizes(default: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Tile counts of the kernel/estimator throughput benchmarks.
+
+    Same ``REPRO_BENCH_SIZES`` override as :func:`bench_sizes`, with an
+    explicit default instead of a figure configuration.
+    """
+    env = os.environ.get("REPRO_BENCH_SIZES")
+    if not env:
+        return default
     return tuple(int(part) for part in env.split(",") if part.strip())
 
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Kernel/estimator rate tracking report.
+
+Reads ``benchmarks/results/kernel_rates.json`` (one record appended per
+benchmark run by ``test_bench_kernel_wavefront.py`` and
+``test_bench_estimator_wavefront.py``), prints the per-configuration
+speedup trend across runs, and exits non-zero if the *latest* record
+violates a regression guard:
+
+* longest-path kernel entries (no ``benchmark`` field): float64 >= 1.2x
+  and float32 >= 1.8x over the per-task reference on cholesky DAGs with
+  >= 2,600 tasks;
+* estimator entries (``benchmark = "estimator_wavefront"``): the archived
+  ``guard_min`` per entry (``null`` when the guard did not apply at
+  measurement time — small graph, or too few CPUs for the threaded Monte
+  Carlo comparison).
+
+Stdlib-only so it can run as a bare CI step: ``python
+benchmarks/report_rates.py [path/to/kernel_rates.json]``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent / "results" / "kernel_rates.json"
+
+#: Guards of the longest-path kernel benchmark (which predates the
+#: per-entry ``guard_min`` field).
+KERNEL_GUARDS = {"float64": 1.2, "float32": 1.8}
+KERNEL_GUARD_MIN_TASKS = 2_600
+
+
+def _entry_key(entry: dict) -> tuple:
+    """Stable grouping key of one measurement across records."""
+    if entry.get("benchmark") == "estimator_wavefront":
+        return ("estimator", entry["method"], entry["workflow"], entry["k"])
+    return ("kernel", entry.get("dtype", "?"), entry.get("workflow", "?"), entry.get("k"))
+
+
+def _entry_guard(entry: dict):
+    """The minimal admissible speedup of one entry, or ``None``."""
+    if entry.get("benchmark") == "estimator_wavefront":
+        return entry.get("guard_min")
+    if (
+        entry.get("workflow") == "cholesky"
+        and entry.get("tasks", 0) >= KERNEL_GUARD_MIN_TASKS
+    ):
+        return KERNEL_GUARDS.get(entry.get("dtype"))
+    return None
+
+
+def _label(key: tuple) -> str:
+    kind, a, b, k = key
+    if kind == "estimator":
+        return f"estimator/{a:<10s} {b} k={k}"
+    return f"kernel/{a:<13s} {b} k={k}"
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = Path(argv[0]) if argv else DEFAULT_PATH
+    if not path.exists():
+        print(f"no rate history at {path}; nothing to report")
+        return 0
+    try:
+        history = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        print(f"cannot parse {path}: {exc}")
+        return 2
+    if not history:
+        print(f"{path} holds no records; nothing to report")
+        return 0
+
+    # Trend: the speedup of every configuration across all records.
+    trends: dict = {}
+    for record in history:
+        stamp = record.get("timestamp", "?")
+        for entry in record.get("entries", []):
+            trends.setdefault(_entry_key(entry), []).append(
+                (stamp, entry.get("speedup"))
+            )
+
+    print(f"rate history: {len(history)} record(s) in {path}")
+    print()
+    for key in sorted(trends):
+        series = trends[key]
+        line = " -> ".join(
+            f"{speedup:.2f}x" if speedup is not None else "?"
+            for _, speedup in series
+        )
+        print(f"  {_label(key)}: {line}")
+    print()
+
+    # Guards: only the latest record is gated (earlier records are history).
+    latest = history[-1]
+    violations = []
+    for entry in latest.get("entries", []):
+        guard = _entry_guard(entry)
+        if guard is None:
+            continue
+        speedup = entry.get("speedup")
+        name = _label(_entry_key(entry)).strip()
+        if speedup is None or speedup < guard:
+            violations.append(f"{name}: {speedup}x < required {guard}x")
+        else:
+            print(f"  guard ok: {name}: {speedup:.2f}x >= {guard}x")
+    if violations:
+        print()
+        for violation in violations:
+            print(f"  REGRESSION: {violation}")
+        return 1
+    print()
+    print("all guards of the latest record hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,11 +20,7 @@ CI smoke run — guards only apply to sizes with >= 2,600 tasks);
 
 from __future__ import annotations
 
-import json
 import os
-import platform
-import time
-from datetime import datetime, timezone
 
 import numpy as np
 import pytest
@@ -32,7 +28,7 @@ import pytest
 from repro.core.kernels import WavefrontKernel
 from repro.workflows.registry import build_dag
 
-from _common import RESULTS_DIR
+from _common import archive_rates, best_time, throughput_bench_sizes
 
 #: Default tile counts: k = 24 gives a 2,600-task Cholesky DAG, the size
 #: the acceptance guard is calibrated on.
@@ -42,15 +38,6 @@ DEFAULT_SIZES = (8, 16, 24)
 GUARD_MIN_TASKS = 2_600
 GUARD_FLOAT64 = 1.2
 GUARD_FLOAT32 = 1.8
-
-RATES_PATH = RESULTS_DIR / "kernel_rates.json"
-
-
-def bench_sizes() -> tuple:
-    env = os.environ.get("REPRO_BENCH_SIZES")
-    if not env:
-        return DEFAULT_SIZES
-    return tuple(int(part) for part in env.split(",") if part.strip())
 
 
 def bench_trials() -> int:
@@ -72,32 +59,7 @@ def reference_batched_makespans(idx, weight_matrix) -> np.ndarray:
 
 
 def _best_rate(fn, trials: int, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return trials / best
-
-
-def _archive(entries) -> None:
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    history = []
-    if RATES_PATH.exists():
-        try:
-            history = json.loads(RATES_PATH.read_text(encoding="utf-8"))
-        except (ValueError, OSError):
-            history = []
-    history.append(
-        {
-            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-            "machine": platform.machine(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "entries": entries,
-        }
-    )
-    RATES_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return trials / best_time(fn, repeats=repeats)
 
 
 @pytest.mark.parametrize("workflow", ["cholesky", "lu", "qr"])
@@ -106,7 +68,7 @@ def test_kernel_wavefront_throughput(workflow):
     rng = np.random.default_rng(20160814)
     entries = []
     print()
-    for k in bench_sizes():
+    for k in throughput_bench_sizes(DEFAULT_SIZES):
         graph = build_dag(workflow, k)
         idx = graph.index()
         n = idx.num_tasks
@@ -155,4 +117,4 @@ def test_kernel_wavefront_throughput(workflow):
                 f"{GUARD_FLOAT32}x on {n}-task cholesky"
             )
 
-    _archive(entries)
+    archive_rates(entries)

@@ -76,6 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--seed", type=int, default=None, help="Monte Carlo seed")
     est.add_argument("--dtype", choices=["float64", "float32"], default=None,
                      help="Monte Carlo kernel precision (float32 halves memory traffic)")
+    est.add_argument("--workers", type=int, default=None,
+                     help="Monte Carlo batch-evaluation threads (default 1)")
     est.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     # experiment ---------------------------------------------------------
@@ -88,6 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--seed", type=int, default=None)
     fig.add_argument("--dtype", choices=["float64", "float32"], default=None,
                      help="Monte Carlo kernel precision")
+    fig.add_argument("--workers", type=int, default=None,
+                     help="Monte Carlo batch-evaluation threads (default 1)")
     fig.add_argument("--no-plot", action="store_true")
 
     tab = exp_sub.add_parser("table1", help="the scalability study (Table I)")
@@ -97,6 +101,8 @@ def build_parser() -> argparse.ArgumentParser:
     tab.add_argument("--seed", type=int, default=None)
     tab.add_argument("--dtype", choices=["float64", "float32"], default=None,
                      help="Monte Carlo kernel precision")
+    tab.add_argument("--workers", type=int, default=None,
+                     help="Monte Carlo batch-evaluation threads (default 1)")
 
     allp = exp_sub.add_parser("all", help="all figures and Table I")
     allp.add_argument("--trials", type=int, default=None)
@@ -104,6 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
     allp.add_argument("--seed", type=int, default=None)
     allp.add_argument("--dtype", choices=["float64", "float32"], default=None,
                       help="Monte Carlo kernel precision")
+    allp.add_argument("--workers", type=int, default=None,
+                      help="Monte Carlo batch-evaluation threads (default 1)")
     allp.add_argument("--output-dir", default=None, help="directory for CSV archives")
 
     # schedule -----------------------------------------------------------
@@ -145,6 +153,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 kwargs["seed"] = args.seed
             if args.dtype is not None:
                 kwargs["dtype"] = args.dtype
+            if args.workers is not None:
+                kwargs["workers"] = args.workers
         result = estimate_expected_makespan(graph, model, method=method, **kwargs)
         outputs.append(result)
         if not args.json:
@@ -177,6 +187,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             args.figure,
             mc_trials=args.trials,
             mc_dtype=args.dtype,
+            mc_workers=args.workers,
             seed=args.seed,
             progress=progress,
         )
@@ -193,6 +204,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             config,
             mc_trials=args.trials,
             mc_dtype=args.dtype,
+            mc_workers=args.workers,
             seed=args.seed,
             progress=progress,
         )
@@ -202,6 +214,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     results = run_everything(
         mc_trials=args.trials,
         mc_dtype=args.dtype,
+        mc_workers=args.workers,
         table1_size=args.table1_size,
         seed=args.seed,
         output_dir=args.output_dir,

@@ -7,7 +7,14 @@ task graphs built with this subpackage.
 """
 
 from .graph import GraphIndex, TaskGraph, compute_level_structure
-from .kernels import LevelSchedule, WavefrontKernel, wavefront_kernel
+from .kernels import (
+    LevelSchedule,
+    WavefrontKernel,
+    clark_max_moments_batched,
+    propagate_moments,
+    schedule_for,
+    wavefront_kernel,
+)
 from .task import Task, TaskId, validate_weight
 from .paths import (
     PathMetrics,
@@ -84,6 +91,9 @@ __all__ = [
     "WavefrontKernel",
     "LevelSchedule",
     "wavefront_kernel",
+    "schedule_for",
+    "clark_max_moments_batched",
+    "propagate_moments",
     # paths
     "PathMetrics",
     "compute_path_metrics",

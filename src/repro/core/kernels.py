@@ -41,6 +41,45 @@ A :class:`WavefrontKernel` mutates its buffer in place and is therefore
 private kernel per thread (the compiled schedule is immutable and safely
 shared).  The module-level path APIs built on the shared cached kernel
 inherit this single-threaded contract.
+
+Moment-propagation kernels
+--------------------------
+
+The same compiled schedules drive the *analytical* estimators: Sculli's
+normal propagation, its correlation-tracking extension and the expected
+bottom levels of the scheduling heuristics all evaluate a recurrence of the
+form ``C_i = X_i + reduce_{j -> i} C_j`` where the per-task state is a pair
+(or triple) of *moments* instead of a vector of sampled completion times.
+The building blocks are:
+
+* :func:`clark_max_moments_batched` — Clark's 1961 moment-matching formulas
+  for ``max(X1, X2)`` of jointly normal variables, evaluated element-wise on
+  arrays of ``(mean, variance[, correlation])``.  Branch-for-branch
+  identical to the scalar :func:`repro.rv.normal.clark_max_moments`
+  (including the degenerate ``a = 0`` case), so batched results agree with
+  the scalar reference to floating-point rounding of the underlying
+  ``erfc``.
+* :func:`schedule_for` — public accessor for the cached
+  :class:`LevelSchedule` of either sweep direction.  Estimators iterate its
+  ``groups`` and apply their own per-level gather/reduce; each group's
+  ``preds`` matrix lists the in-neighbour *rows* column-by-column **in CSR
+  order**, i.e. in exactly the order the sequential per-task loops fold
+  their predecessors.
+* :func:`propagate_moments` — one full sweep of the normal-propagation
+  recurrence: per level, gather the predecessor means/variances and reduce
+  them with the batched Clark maximum, then add the task's own moments.
+
+Exactness contract: with ``reduce="fold"`` (the default) predecessors are
+combined left-to-right in CSR order — the *same operand order* as the
+sequential per-task fold, so results match the scalar implementation to
+ulp-level rounding (the paper's figures use Clark's formulas, which are
+**not associative**, so the fold order is part of the method definition).
+``reduce="tree"`` combines predecessors pairwise (⌈log₂ d⌉ batched steps
+instead of ``d - 1``); for the plain ``max`` of the longest-path kernels
+the two orders are bit-identical, but for Clark's formulas the tree order
+is a *different approximation* of the same intractable maximum — use it
+only where the caller documents that the fold order is not part of its
+contract.
 """
 
 from __future__ import annotations
@@ -60,6 +99,9 @@ __all__ = [
     "LevelSchedule",
     "WavefrontKernel",
     "wavefront_kernel",
+    "schedule_for",
+    "clark_max_moments_batched",
+    "propagate_moments",
 ]
 
 #: The dtypes the kernels accept for their evaluation buffer.
@@ -200,6 +242,25 @@ def _index_cache(index: GraphIndex) -> dict:
         cache = {}
         object.__setattr__(index, _CACHE_ATTR, cache)
     return cache
+
+
+def schedule_for(
+    graph: Union[TaskGraph, GraphIndex], direction: str = "up"
+) -> LevelSchedule:
+    """The compiled (and cached) :class:`LevelSchedule` of one direction.
+
+    Public accessor for estimators that run their own per-level
+    gather/reduce over the schedule's ``groups`` (moment propagation,
+    batched discrete sweeps, ...).  ``"up"`` groups each task's
+    *predecessors*, ``"down"`` its *successors*; either way, the columns of
+    a group's ``preds`` matrix follow CSR order — the order the sequential
+    per-task loops fold their in-neighbours.
+    """
+    if direction not in _DIRECTIONS:
+        raise GraphError(
+            f"unknown sweep direction {direction!r}; choose 'up' or 'down'"
+        )
+    return _schedule_for(_as_index(graph), direction)
 
 
 def _schedule_for(index: GraphIndex, direction: str) -> LevelSchedule:
@@ -453,3 +514,160 @@ def wavefront_kernel(
         kernel = WavefrontKernel(index, direction=direction, dtype=resolved)
         cache[key] = kernel
     return kernel
+
+
+# ----------------------------------------------------------------------
+# Moment-propagation kernels (batched Clark maximum)
+# ----------------------------------------------------------------------
+
+_SQRT2 = float(np.sqrt(2.0))
+_INV_SQRT_2PI = float(1.0 / np.sqrt(2.0 * np.pi))
+
+
+def _erfc(x: np.ndarray) -> np.ndarray:
+    # scipy's erfc is the vectorised counterpart of math.erfc used by the
+    # scalar formulas in repro.rv.normal (numpy has no erfc ufunc).
+    from scipy.special import erfc
+
+    return erfc(x)
+
+
+def norm_cdf_batched(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF ``Φ(x)``, element-wise."""
+    return 0.5 * _erfc(-np.asarray(x, dtype=np.float64) / _SQRT2)
+
+
+def norm_pdf_batched(x: np.ndarray) -> np.ndarray:
+    """Standard normal density ``φ(x)``, element-wise."""
+    x = np.asarray(x, dtype=np.float64)
+    return _INV_SQRT_2PI * np.exp(-0.5 * x * x)
+
+
+def clark_max_moments_batched(
+    mean1: np.ndarray,
+    var1: np.ndarray,
+    mean2: np.ndarray,
+    var2: np.ndarray,
+    correlation: Union[float, np.ndarray] = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Element-wise Clark moments of ``max(X1, X2)`` for normal operands.
+
+    The batched twin of :func:`repro.rv.normal.clark_max_moments`: inputs
+    are broadcastable arrays of means/variances (plus an optional
+    correlation array), the result is the pair ``(mean, variance)`` of the
+    moment-matched maximum.  Branches mirror the scalar function exactly —
+    in particular the degenerate case ``a = 0`` (deterministic difference)
+    selects the operand with the larger mean.
+    """
+    mean1 = np.asarray(mean1, dtype=np.float64)
+    var1 = np.asarray(var1, dtype=np.float64)
+    mean2 = np.asarray(mean2, dtype=np.float64)
+    var2 = np.asarray(var2, dtype=np.float64)
+    rho = np.clip(np.asarray(correlation, dtype=np.float64), -1.0, 1.0)
+
+    sigma1 = np.sqrt(var1)
+    sigma2 = np.sqrt(var2)
+    a = np.sqrt(np.maximum(var1 + var2 - 2.0 * rho * sigma1 * sigma2, 0.0))
+
+    degenerate = a == 0.0
+    safe_a = np.where(degenerate, 1.0, a)
+    alpha = (mean1 - mean2) / safe_a
+    phi = norm_pdf_batched(alpha)
+    cdf_pos = norm_cdf_batched(alpha)
+    cdf_neg = norm_cdf_batched(-alpha)
+
+    first = mean1 * cdf_pos + mean2 * cdf_neg + a * phi
+    second = (
+        (mean1 * mean1 + var1) * cdf_pos
+        + (mean2 * mean2 + var2) * cdf_neg
+        + (mean1 + mean2) * a * phi
+    )
+    variance = np.maximum(0.0, second - first * first)
+
+    one_larger = mean1 >= mean2
+    mean_out = np.where(degenerate, np.where(one_larger, mean1, mean2), first)
+    var_out = np.where(degenerate, np.where(one_larger, var1, var2), variance)
+    return mean_out, var_out
+
+
+def _reduce_group_moments(
+    preds: np.ndarray,
+    mean_buf: np.ndarray,
+    var_buf: np.ndarray,
+    reduce: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Combine one group's predecessor moments with the batched Clark max."""
+    if reduce == "fold":
+        mean = mean_buf[preds[:, 0]]
+        var = var_buf[preds[:, 0]]
+        for j in range(1, preds.shape[1]):
+            mean, var = clark_max_moments_batched(
+                mean, var, mean_buf[preds[:, j]], var_buf[preds[:, j]]
+            )
+        return mean, var
+    # Pairwise tree reduction: ⌈log₂ d⌉ batched Clark steps.  Bit-identical
+    # to the fold only for associative reducers; for Clark's formulas this
+    # is a *different* (documented) approximation of the same maximum.
+    means = [mean_buf[preds[:, j]] for j in range(preds.shape[1])]
+    vars_ = [var_buf[preds[:, j]] for j in range(preds.shape[1])]
+    while len(means) > 1:
+        next_means, next_vars = [], []
+        for k in range(0, len(means) - 1, 2):
+            m, v = clark_max_moments_batched(
+                means[k], vars_[k], means[k + 1], vars_[k + 1]
+            )
+            next_means.append(m)
+            next_vars.append(v)
+        if len(means) % 2:
+            next_means.append(means[-1])
+            next_vars.append(vars_[-1])
+        means, vars_ = next_means, next_vars
+    return means[0], vars_[0]
+
+
+def propagate_moments(
+    graph: Union[TaskGraph, GraphIndex],
+    task_mean: np.ndarray,
+    task_var: np.ndarray,
+    *,
+    direction: str = "up",
+    reduce: str = "fold",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normal (Sculli) moment propagation over the compiled level schedule.
+
+    Evaluates ``C_i = X_i + max_{j -> i} C_j`` where every ``X_i`` is an
+    independent normal with the given per-task ``(task_mean[i],
+    task_var[i])`` and the maximum is Clark's independence approximation
+    (correlation 0, as in Sculli's classical method).  Direction ``"up"``
+    propagates along predecessor edges (completion times), ``"down"`` along
+    successor edges (bottom-level style tail times).
+
+    Returns the per-task ``(mean, variance)`` arrays in task-index order.
+    ``reduce="fold"`` (default) matches the sequential per-task CSR fold to
+    floating-point rounding; ``reduce="tree"`` is the faster pairwise
+    approximation (see module docstring).
+    """
+    if reduce not in ("fold", "tree"):
+        raise GraphError(f"unknown reduce mode {reduce!r}; choose 'fold' or 'tree'")
+    schedule = schedule_for(graph, direction)
+    n = schedule.num_tasks
+    task_mean = np.asarray(task_mean, dtype=np.float64)
+    task_var = np.asarray(task_var, dtype=np.float64)
+    if task_mean.shape != (n,) or task_var.shape != (n,):
+        raise GraphError(
+            f"task moment vectors must have shape ({n},), got "
+            f"{task_mean.shape} and {task_var.shape}"
+        )
+    if n == 0:
+        return np.zeros(0, dtype=np.float64), np.zeros(0, dtype=np.float64)
+
+    perm = schedule.perm
+    mean_buf = task_mean[perm].copy()
+    var_buf = task_var[perm].copy()
+    for group in schedule.groups:
+        ready_mean, ready_var = _reduce_group_moments(
+            group.preds, mean_buf, var_buf, reduce
+        )
+        mean_buf[group.start : group.stop] += ready_mean
+        var_buf[group.start : group.stop] += ready_var
+    return mean_buf[schedule.rank], var_buf[schedule.rank]

@@ -19,23 +19,147 @@ between task completion times:
 The cost is ``Θ(|V|·(|V| + |E|))`` time and ``Θ(|V|²)`` memory, which is why
 the classical Sculli variant remains the default "Normal" method for the
 paper's comparisons; this estimator is an accuracy/cost ablation.
+
+Level-wavefront evaluation
+--------------------------
+
+The propagation runs one topological *level* at a time on the compiled
+``"up"`` :class:`~repro.core.kernels.LevelSchedule`: all tasks of a level
+fold their predecessors simultaneously with the batched Clark formulas, the
+third-variable update becoming one ``(tasks_in_level, n)`` row operation
+per fold step.  Because tasks of one level are mutually independent, the
+only order-sensitive quantities are the correlations *between tasks of the
+same level*: the sequential recurrence computes the pair entry ``(i, i')``
+in whichever task comes later in topological order, reading the fresh row
+of the earlier one.  The batched sweep reproduces this with a second fold
+pass per level after the level's rows/columns are written (correlation
+entries are column-independent in Clark's third-variable formula, so the
+second pass recovers exactly the sequential pair entries, selected by
+topological rank).  Results match the sequential reference (retained as
+:func:`sequential_correlated_estimate`) to floating-point rounding.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..core.graph import TaskGraph
+from ..core.kernels import (
+    clark_max_moments_batched,
+    norm_cdf_batched,
+    schedule_for,
+)
 from ..core.paths import critical_path_length
 from ..exceptions import EstimationError
 from ..failures.models import ErrorModel
-from ..failures.twostate import TwoStateDistribution
+from ..failures.twostate import TwoStateDistribution, two_state_moment_vectors
 from ..rv.normal import NormalRV, clark_max_moments, norm_cdf
 from .base import EstimateResult, MakespanEstimator
 
-__all__ = ["CorrelatedNormalEstimator"]
+__all__ = ["CorrelatedNormalEstimator", "sequential_correlated_estimate"]
+
+
+def _fold_sinks_correlated(
+    index, mean: np.ndarray, var: np.ndarray, corr: np.ndarray
+) -> NormalRV:
+    """Clark-fold the sink completion times, tracking their correlations."""
+    n = mean.shape[0]
+    sinks = index.sink_indices()
+    final = NormalRV(float(mean[sinks[0]]), float(var[sinks[0]]))
+    final_corr = corr[int(sinks[0])].copy()
+    for s_raw in sinks[1:]:
+        s = int(s_raw)
+        rho = float(np.clip(final_corr[s], -1.0, 1.0))
+        m, v = clark_max_moments(final.mean, final.variance, mean[s], var[s], rho)
+        sigma1, sigma2 = final.std, math.sqrt(max(var[s], 0.0))
+        a = math.sqrt(max(final.variance + var[s] - 2 * rho * sigma1 * sigma2, 0.0))
+        if v <= 0.0:
+            final_corr = np.zeros(n, dtype=np.float64)
+        elif a == 0.0:
+            final_corr = final_corr if final.mean >= mean[s] else corr[s].copy()
+        else:
+            alpha = (final.mean - mean[s]) / a
+            final_corr = (
+                sigma1 * norm_cdf(alpha) * final_corr + sigma2 * norm_cdf(-alpha) * corr[s]
+            ) / math.sqrt(v)
+            np.clip(final_corr, -1.0, 1.0, out=final_corr)
+        final = NormalRV(m, v)
+    return final
+
+
+def sequential_correlated_estimate(
+    graph: TaskGraph, model: ErrorModel, *, reexecution_factor: float = 2.0
+) -> Tuple[float, float]:
+    """Reference per-task propagation returning ``(mean, variance)``.
+
+    The pre-kernel implementation (one Python iteration per task, scalar
+    Clark formulas), retained verbatim as the oracle of the differential
+    tests.
+    """
+    index = graph.index()
+    n = index.num_tasks
+    weights = index.weights
+    indptr, indices = index.pred_indptr, index.pred_indices
+
+    mean = np.zeros(n, dtype=np.float64)
+    var = np.zeros(n, dtype=np.float64)
+    corr = np.eye(n, dtype=np.float64)
+
+    for i in index.topo_order:
+        law = TwoStateDistribution.from_model(
+            float(weights[i]), model, reexecution_factor=reexecution_factor
+        )
+        task_mean, task_var = law.mean, law.variance
+
+        preds = indices[indptr[i] : indptr[i + 1]]
+        if preds.size == 0:
+            ready_mean, ready_var = 0.0, 0.0
+            ready_corr = np.zeros(n, dtype=np.float64)
+        else:
+            first = int(preds[0])
+            ready_mean, ready_var = mean[first], var[first]
+            ready_corr = corr[first].copy()
+            for p_raw in preds[1:]:
+                p = int(p_raw)
+                rho12 = float(np.clip(ready_corr[p], -1.0, 1.0))
+                m, v = clark_max_moments(ready_mean, ready_var, mean[p], var[p], rho12)
+                # Correlation of the new maximum with every other
+                # completion variable (Clark's third-variable formula).
+                sigma1 = math.sqrt(max(ready_var, 0.0))
+                sigma2 = math.sqrt(max(var[p], 0.0))
+                a_sq = ready_var + var[p] - 2.0 * rho12 * sigma1 * sigma2
+                a = math.sqrt(max(a_sq, 0.0))
+                if v <= 0.0:
+                    new_corr = np.zeros(n, dtype=np.float64)
+                elif a == 0.0:
+                    new_corr = ready_corr if ready_mean >= mean[p] else corr[p].copy()
+                else:
+                    alpha = (ready_mean - mean[p]) / a
+                    w1 = norm_cdf(alpha)
+                    w2 = norm_cdf(-alpha)
+                    new_corr = (
+                        sigma1 * w1 * ready_corr + sigma2 * w2 * corr[p]
+                    ) / math.sqrt(v)
+                    np.clip(new_corr, -1.0, 1.0, out=new_corr)
+                ready_mean, ready_var, ready_corr = m, v, new_corr
+
+        # C_i = ready + X_i with X_i independent of everything.
+        mean[i] = ready_mean + task_mean
+        var[i] = ready_var + task_var
+        if var[i] > 0.0:
+            scale = math.sqrt(max(ready_var, 0.0)) / math.sqrt(var[i])
+            row = ready_corr * scale
+        else:
+            row = np.zeros(n, dtype=np.float64)
+        row[i] = 1.0
+        corr[i, :] = row
+        corr[:, i] = row
+
+    final = _fold_sinks_correlated(index, mean, var, corr)
+    return final.mean, final.variance
 
 
 class CorrelatedNormalEstimator(MakespanEstimator):
@@ -49,88 +173,181 @@ class CorrelatedNormalEstimator(MakespanEstimator):
             raise EstimationError("re-execution factor must be >= 1")
         self.reexecution_factor = reexecution_factor
 
+    @staticmethod
+    def _fold_level_rows(
+        groups,
+        pred_tasks,
+        mean: np.ndarray,
+        var: np.ndarray,
+        corr: np.ndarray,
+        task_mean: np.ndarray,
+        task_var: np.ndarray,
+        targets: np.ndarray,
+        level_start: int,
+        columns: Optional[np.ndarray] = None,
+        rho_record: Optional[list] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One batched fold over a level's groups against the current matrix.
+
+        Returns the level's completion ``(mean, variance)`` values and
+        correlation rows, without mutating any input.  With ``columns=None``
+        (pass 1) the rows span all ``n`` correlation columns and every fold
+        step's operand correlation ``rho12`` is appended to ``rho_record``;
+        with an explicit column subset (pass 2) only those columns are
+        folded and the ``rho12`` sequence is replayed from the record —
+        the operand correlations live at *predecessor* columns, which a
+        within-level re-fold never changes, so recording them is what
+        allows pass 2 to skip the other ``n - m_level`` columns entirely.
+        """
+        width = corr.shape[0] if columns is None else columns.shape[0]
+        m_level = targets.shape[0]
+        level_mean = np.empty(m_level, dtype=np.float64)
+        level_var = np.empty(m_level, dtype=np.float64)
+        rows = np.empty((m_level, width), dtype=np.float64)
+        replay = iter(()) if rho_record is None or columns is None else iter(rho_record)
+        for group, ptasks in zip(groups, pred_tasks):
+            m = ptasks.shape[0]
+            sel = np.arange(m)
+            first = ptasks[:, 0]
+            ready_mean = mean[first].copy()
+            ready_var = var[first].copy()
+            if columns is None:
+                ready_corr = corr[first].copy()
+            else:
+                ready_corr = corr[np.ix_(first, columns)]
+            for j in range(1, ptasks.shape[1]):
+                p = ptasks[:, j]
+                if columns is None:
+                    rho12 = np.clip(ready_corr[sel, p], -1.0, 1.0)
+                    if rho_record is not None:
+                        rho_record.append(rho12)
+                else:
+                    rho12 = next(replay)
+                new_mean, new_var = clark_max_moments_batched(
+                    ready_mean, ready_var, mean[p], var[p], rho12
+                )
+                sigma1 = np.sqrt(np.maximum(ready_var, 0.0))
+                sigma2 = np.sqrt(np.maximum(var[p], 0.0))
+                a = np.sqrt(
+                    np.maximum(
+                        ready_var + var[p] - 2.0 * rho12 * sigma1 * sigma2, 0.0
+                    )
+                )
+                corr_p = corr[p] if columns is None else corr[np.ix_(p, columns)]
+                safe_a = np.where(a > 0.0, a, 1.0)
+                alpha = (ready_mean - mean[p]) / safe_a
+                w1 = norm_cdf_batched(alpha)
+                w2 = norm_cdf_batched(-alpha)
+                safe_v = np.sqrt(np.where(new_var > 0.0, new_var, 1.0))
+                new_corr = (sigma1 * w1)[:, None] * ready_corr
+                new_corr += (sigma2 * w2)[:, None] * corr_p
+                new_corr /= safe_v[:, None]
+                np.clip(new_corr, -1.0, 1.0, out=new_corr)
+                # The degenerate branches are per-row conditions and rare;
+                # patch those rows instead of re-selecting the whole
+                # (m, width) matrix twice.
+                flat = a == 0.0
+                if flat.any():
+                    new_corr[flat] = np.where(
+                        (ready_mean >= mean[p])[flat, None],
+                        ready_corr[flat],
+                        corr_p[flat],
+                    )
+                dead = new_var <= 0.0
+                if dead.any():
+                    new_corr[dead] = 0.0
+                ready_mean, ready_var, ready_corr = new_mean, new_var, new_corr
+
+            offset = group.start - level_start
+            tgt = targets[offset : offset + m]
+            total_var = ready_var + task_var[tgt]
+            level_mean[offset : offset + m] = ready_mean + task_mean[tgt]
+            level_var[offset : offset + m] = total_var
+            scale = np.where(
+                total_var > 0.0,
+                np.sqrt(np.maximum(ready_var, 0.0))
+                / np.sqrt(np.where(total_var > 0.0, total_var, 1.0)),
+                0.0,
+            )
+            group_rows = ready_corr * scale[:, None]
+            if columns is None:
+                group_rows[sel, tgt] = 1.0
+            rows[offset : offset + m] = group_rows
+        return level_mean, level_var, rows
+
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         index = graph.index()
         n = index.num_tasks
-        weights = index.weights
-        indptr, indices = index.pred_indptr, index.pred_indices
+        task_mean, task_var = two_state_moment_vectors(
+            index.weights, model, reexecution_factor=self.reexecution_factor
+        )
 
-        # Completion-time moments and the correlation matrix between
-        # completion times (built incrementally in topological order).
+        schedule = schedule_for(index, "up")
+        perm = schedule.perm
+        level_indptr = schedule.level_indptr
+        topo_rank = index.topo_rank
+
         mean = np.zeros(n, dtype=np.float64)
         var = np.zeros(n, dtype=np.float64)
         corr = np.eye(n, dtype=np.float64)
 
-        for i in index.topo_order:
-            law = TwoStateDistribution.from_model(
-                float(weights[i]), model, reexecution_factor=self.reexecution_factor
+        # Level 0 (entry tasks): C_i = X_i, correlation row stays the
+        # identity row (zero ready variance).
+        if schedule.num_levels:
+            entry = perm[: level_indptr[1]]
+            mean[entry] = task_mean[entry]
+            var[entry] = task_var[entry]
+
+        # Group the schedule's degree groups by level, with predecessor
+        # *task* indices (the schedule stores buffer rows).
+        group_idx = 0
+        for level in range(1, schedule.num_levels):
+            start, stop = int(level_indptr[level]), int(level_indptr[level + 1])
+            targets = perm[start:stop]
+            groups = []
+            pred_tasks = []
+            while group_idx < len(schedule.groups) and schedule.groups[group_idx].start < stop:
+                group = schedule.groups[group_idx]
+                groups.append(group)
+                pred_tasks.append(perm[group.preds])
+                group_idx += 1
+
+            # Pass 1: fold against the pre-level matrix; correct for every
+            # entry except the pairs inside this level.  The operand
+            # correlations of each fold step are recorded for pass 2.
+            rho_steps: list = []
+            level_mean, level_var, rows = self._fold_level_rows(
+                groups, pred_tasks, mean, var, corr,
+                task_mean, task_var, targets, start,
+                rho_record=rho_steps,
             )
-            task_mean, task_var = law.mean, law.variance
+            mean[targets] = level_mean
+            var[targets] = level_var
+            corr[targets, :] = rows
+            corr[:, targets] = rows.T
 
-            preds = indices[indptr[i] : indptr[i + 1]]
-            if preds.size == 0:
-                ready_mean, ready_var = 0.0, 0.0
-                ready_corr = np.zeros(n, dtype=np.float64)
-            else:
-                first = int(preds[0])
-                ready_mean, ready_var = mean[first], var[first]
-                ready_corr = corr[first].copy()
-                for p_raw in preds[1:]:
-                    p = int(p_raw)
-                    rho12 = float(np.clip(ready_corr[p], -1.0, 1.0))
-                    m, v = clark_max_moments(ready_mean, ready_var, mean[p], var[p], rho12)
-                    # Correlation of the new maximum with every other
-                    # completion variable (Clark's third-variable formula).
-                    sigma1 = math.sqrt(max(ready_var, 0.0))
-                    sigma2 = math.sqrt(max(var[p], 0.0))
-                    a_sq = ready_var + var[p] - 2.0 * rho12 * sigma1 * sigma2
-                    a = math.sqrt(max(a_sq, 0.0))
-                    if v <= 0.0:
-                        new_corr = np.zeros(n, dtype=np.float64)
-                    elif a == 0.0:
-                        new_corr = ready_corr if ready_mean >= mean[p] else corr[p].copy()
-                    else:
-                        alpha = (ready_mean - mean[p]) / a
-                        w1 = norm_cdf(alpha)
-                        w2 = norm_cdf(-alpha)
-                        new_corr = (
-                            sigma1 * w1 * ready_corr + sigma2 * w2 * corr[p]
-                        ) / math.sqrt(v)
-                        np.clip(new_corr, -1.0, 1.0, out=new_corr)
-                    ready_mean, ready_var, ready_corr = m, v, new_corr
+            if targets.shape[0] > 1:
+                # Pass 2: re-fold now that the level's columns are written,
+                # restricted to those columns (the only entries pass 1 got
+                # wrong); the recorded rho12 sequences stand in for the
+                # full-width gathers.  Clark's third-variable update is
+                # independent per column, so the re-fold recovers, for
+                # every within-level pair, the entry the *later* task (in
+                # topological order) computes from the earlier task's
+                # fresh row — exactly the value the sequential recurrence
+                # leaves in the matrix.
+                _, _, block = self._fold_level_rows(
+                    groups, pred_tasks, mean, var, corr,
+                    task_mean, task_var, targets, start,
+                    columns=targets, rho_record=rho_steps,
+                )
+                order = topo_rank[targets]
+                later = order[:, None] > order[None, :]
+                final_block = np.where(later, block, block.T)
+                np.fill_diagonal(final_block, 1.0)
+                corr[np.ix_(targets, targets)] = final_block
 
-            # C_i = ready + X_i with X_i independent of everything.
-            mean[i] = ready_mean + task_mean
-            var[i] = ready_var + task_var
-            if var[i] > 0.0:
-                scale = math.sqrt(max(ready_var, 0.0)) / math.sqrt(var[i])
-                row = ready_corr * scale
-            else:
-                row = np.zeros(n, dtype=np.float64)
-            row[i] = 1.0
-            corr[i, :] = row
-            corr[:, i] = row
-
-        sinks = index.sink_indices()
-        final = NormalRV(mean[sinks[0]], var[sinks[0]])
-        final_corr = corr[int(sinks[0])].copy()
-        for s_raw in sinks[1:]:
-            s = int(s_raw)
-            rho = float(np.clip(final_corr[s], -1.0, 1.0))
-            m, v = clark_max_moments(final.mean, final.variance, mean[s], var[s], rho)
-            sigma1, sigma2 = final.std, math.sqrt(max(var[s], 0.0))
-            a = math.sqrt(max(final.variance + var[s] - 2 * rho * sigma1 * sigma2, 0.0))
-            if v <= 0.0:
-                final_corr = np.zeros(n, dtype=np.float64)
-            elif a == 0.0:
-                final_corr = final_corr if final.mean >= mean[s] else corr[s].copy()
-            else:
-                alpha = (final.mean - mean[s]) / a
-                final_corr = (
-                    sigma1 * norm_cdf(alpha) * final_corr + sigma2 * norm_cdf(-alpha) * corr[s]
-                ) / math.sqrt(v)
-                np.clip(final_corr, -1.0, 1.0, out=final_corr)
-            final = NormalRV(m, v)
+        final = _fold_sinks_correlated(index, mean, var, corr)
 
         return EstimateResult(
             method=self.name,

@@ -156,8 +156,9 @@ class DodinEstimator(MakespanEstimator):
         network = _ReductionNetwork(self.max_support)
 
         # Topological rank of every task, reused as vertex rank so that the
-        # duplication rule can resolve the earliest joins first.
-        rank_of_task = {int(t): pos for pos, t in enumerate(index.topo_order)}
+        # duplication rule can resolve the earliest joins first — the
+        # cached inverse permutation on the index, not a per-call dict.
+        rank_of_task = index.topo_rank
 
         source = network.new_vertex(-1)
         sink = network.new_vertex(len(index.task_ids) + 1)
@@ -166,7 +167,7 @@ class DodinEstimator(MakespanEstimator):
         zero = DiscreteRV.constant(0.0)
 
         for i, tid in enumerate(index.task_ids):
-            r = rank_of_task[i]
+            r = int(rank_of_task[i])
             vertex_in[i] = network.new_vertex(r)
             vertex_out[i] = network.new_vertex(r)
             law = TwoStateDistribution.from_model(

@@ -40,6 +40,34 @@ __all__ = ["ExactEstimator"]
 _DEFAULT_MAX_TASKS = 22
 
 
+def _vector_from_table(index, table: Dict, what: str) -> np.ndarray:
+    """Aligned per-task vector from a ``{task_id: value}`` table.
+
+    One pass over the table builds the id → index gather array and the
+    value array; a single scatter then aligns the values with the graph's
+    integer task indices (instead of one dictionary lookup per task per
+    table, three times over).
+    """
+    n = index.num_tasks
+    if len(table) != n:
+        raise EstimationError(
+            f"{what} table has {len(table)} entries, expected {n}"
+        )
+    index_of = index.index_of
+    try:
+        gather = np.fromiter(
+            (index_of[t] for t in table), dtype=np.int64, count=n
+        )
+    except KeyError as exc:
+        raise EstimationError(f"{what} table names unknown task {exc.args[0]!r}") from None
+    values = np.fromiter(
+        (float(v) for v in table.values()), dtype=np.float64, count=n
+    )
+    out = np.empty(n, dtype=np.float64)
+    out[gather] = values
+    return out
+
+
 class ExactEstimator(MakespanEstimator):
     """Exhaustive enumeration of all failure subsets.
 
@@ -139,10 +167,9 @@ class ExactEstimator(MakespanEstimator):
         n = index.num_tasks
         if n > self.max_tasks:
             raise EstimationError(f"too many tasks for exact enumeration ({n})")
-        ids = index.task_ids
-        nominal_vec = np.array([float(nominal[t]) for t in ids])
-        alt_vec = np.array([float(alternative[t]) for t in ids])
-        q = np.array([float(pfail[t]) for t in ids])
+        nominal_vec = _vector_from_table(index, nominal, "nominal")
+        alt_vec = _vector_from_table(index, alternative, "alternative")
+        q = _vector_from_table(index, pfail, "pfail")
         if np.any((q < 0) | (q > 1)):
             raise EstimationError("probabilities must lie in [0, 1]")
 

@@ -38,6 +38,9 @@ class MonteCarloEstimator(MakespanEstimator):
         Precision of the longest-path kernel: ``"float64"`` (default,
         bit-identical results) or ``"float32"`` (halves kernel memory
         traffic; the rounding error is far below Monte Carlo noise).
+    workers:
+        Number of batch-evaluation threads (default 1, the bit-reproducible
+        single-threaded path); see :class:`repro.sim.MonteCarloEngine`.
     batch_size, keep_samples, target_relative_half_width:
         Forwarded to :class:`repro.sim.MonteCarloEngine`.
     """
@@ -55,6 +58,7 @@ class MonteCarloEstimator(MakespanEstimator):
         keep_samples: bool = False,
         target_relative_half_width: Optional[float] = None,
         dtype: Optional[str] = None,
+        workers: int = 1,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -66,6 +70,7 @@ class MonteCarloEstimator(MakespanEstimator):
         self.keep_samples = keep_samples
         self.target_relative_half_width = target_relative_half_width
         self.dtype = dtype
+        self.workers = workers
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         engine = MonteCarloEngine(
@@ -79,6 +84,7 @@ class MonteCarloEstimator(MakespanEstimator):
             keep_samples=self.keep_samples,
             target_relative_half_width=self.target_relative_half_width,
             dtype=self.dtype,
+            workers=self.workers,
         )
         result = engine.run()
         details = {
@@ -89,6 +95,7 @@ class MonteCarloEstimator(MakespanEstimator):
             "maximum": result.maximum,
             "batch_size": result.batch_size,
             "dtype": result.dtype,
+            "workers": result.workers,
         }
         if result.samples is not None:
             details["median"] = result.samples.quantile(0.5)

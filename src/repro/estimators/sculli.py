@@ -15,23 +15,76 @@ times are then propagated through the DAG:
 
 The expected makespan estimate is the mean of the (approximately normal)
 completion time of the whole graph, i.e. of the maximum over exit tasks.
+
+The propagation runs on the level-wavefront moment kernel of
+:mod:`repro.core.kernels`: one batched Clark fold per topological level
+instead of one Python iteration (and one :class:`~repro.rv.normal.NormalRV`
+allocation) per task, with the predecessor fold applied in the same CSR
+order as the sequential recurrence — results agree with the per-task
+reference (kept below as :func:`sequential_completion_moments` for the
+differential tests and benchmarks) to floating-point rounding.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
-from ..core.graph import TaskGraph
+from ..core.graph import GraphIndex, TaskGraph
+from ..core.kernels import propagate_moments
 from ..core.paths import critical_path_length
 from ..exceptions import EstimationError
 from ..failures.models import ErrorModel
-from ..failures.twostate import TwoStateDistribution
+from ..failures.twostate import TwoStateDistribution, two_state_moment_vectors
 from ..rv.normal import NormalRV, clark_max
 from .base import EstimateResult, MakespanEstimator
 
-__all__ = ["SculliEstimator"]
+__all__ = ["SculliEstimator", "sequential_completion_moments"]
+
+
+def _fold_sinks(
+    index: GraphIndex, mean: np.ndarray, var: np.ndarray
+) -> NormalRV:
+    """Clark-fold the sink completion times into the makespan normal."""
+    sinks = index.sink_indices()
+    makespan = NormalRV(float(mean[sinks[0]]), float(var[sinks[0]]))
+    for s in sinks[1:]:
+        makespan = clark_max(makespan, NormalRV(float(mean[s]), float(var[s])), 0.0)
+    return makespan
+
+
+def sequential_completion_moments(
+    index: GraphIndex, model: ErrorModel, reexecution_factor: float = 2.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference per-task propagation (one Python iteration per task).
+
+    This is the pre-kernel implementation, retained verbatim as the ground
+    truth of the differential tests and the baseline of the estimator
+    throughput benchmark.
+    """
+    n = index.num_tasks
+    weights = index.weights
+    completion_mean = np.zeros(n, dtype=np.float64)
+    completion_var = np.zeros(n, dtype=np.float64)
+    indptr, indices = index.pred_indptr, index.pred_indices
+    for i in index.topo_order:
+        law = TwoStateDistribution.from_model(
+            float(weights[i]), model, reexecution_factor=reexecution_factor
+        )
+        preds = indices[indptr[i] : indptr[i + 1]]
+        if preds.size == 0:
+            ready = NormalRV.degenerate(0.0)
+        else:
+            ready = NormalRV(completion_mean[preds[0]], completion_var[preds[0]])
+            for p in preds[1:]:
+                ready = clark_max(
+                    ready, NormalRV(completion_mean[p], completion_var[p]), 0.0
+                )
+        total = ready.add_independent(NormalRV(law.mean, law.variance))
+        completion_mean[i] = total.mean
+        completion_var[i] = total.variance
+    return completion_mean, completion_var
 
 
 class SculliEstimator(MakespanEstimator):
@@ -52,42 +105,18 @@ class SculliEstimator(MakespanEstimator):
             raise EstimationError("re-execution factor must be >= 1")
         self.reexecution_factor = reexecution_factor
 
-    def _task_normal(self, weight: float, model: ErrorModel) -> NormalRV:
-        """Normal moment-match of the task's 2-state execution-time law."""
-        law = TwoStateDistribution.from_model(
-            weight, model, reexecution_factor=self.reexecution_factor
+    def _completion_moments(
+        self, index: GraphIndex, model: ErrorModel
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        task_mean, task_var = two_state_moment_vectors(
+            index.weights, model, reexecution_factor=self.reexecution_factor
         )
-        return NormalRV(law.mean, law.variance)
+        return propagate_moments(index, task_mean, task_var, direction="up")
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         index = graph.index()
-        n = index.num_tasks
-        weights = index.weights
-
-        # Completion-time normal approximation per task, in topological order.
-        completion_mean = np.zeros(n, dtype=np.float64)
-        completion_var = np.zeros(n, dtype=np.float64)
-        indptr, indices = index.pred_indptr, index.pred_indices
-
-        for i in index.topo_order:
-            task_rv = self._task_normal(float(weights[i]), model)
-            preds = indices[indptr[i] : indptr[i + 1]]
-            if preds.size == 0:
-                ready = NormalRV.degenerate(0.0)
-            else:
-                ready = NormalRV(completion_mean[preds[0]], completion_var[preds[0]])
-                for p in preds[1:]:
-                    ready = clark_max(
-                        ready, NormalRV(completion_mean[p], completion_var[p]), 0.0
-                    )
-            total = ready.add_independent(task_rv)
-            completion_mean[i] = total.mean
-            completion_var[i] = total.variance
-
-        sinks = index.sink_indices()
-        makespan = NormalRV(completion_mean[sinks[0]], completion_var[sinks[0]])
-        for s in sinks[1:]:
-            makespan = clark_max(makespan, NormalRV(completion_mean[s], completion_var[s]), 0.0)
+        completion_mean, completion_var = self._completion_moments(index, model)
+        makespan = _fold_sinks(index, completion_mean, completion_var)
 
         return EstimateResult(
             method=self.name,
@@ -110,25 +139,7 @@ class SculliEstimator(MakespanEstimator):
         tasks by expected bottom level.
         """
         index = graph.index()
-        n = index.num_tasks
-        weights = index.weights
-        completion_mean = np.zeros(n, dtype=np.float64)
-        completion_var = np.zeros(n, dtype=np.float64)
-        indptr, indices = index.pred_indptr, index.pred_indices
-        for i in index.topo_order:
-            task_rv = self._task_normal(float(weights[i]), model)
-            preds = indices[indptr[i] : indptr[i + 1]]
-            if preds.size == 0:
-                ready = NormalRV.degenerate(0.0)
-            else:
-                ready = NormalRV(completion_mean[preds[0]], completion_var[preds[0]])
-                for p in preds[1:]:
-                    ready = clark_max(
-                        ready, NormalRV(completion_mean[p], completion_var[p]), 0.0
-                    )
-            total = ready.add_independent(task_rv)
-            completion_mean[i] = total.mean
-            completion_var[i] = total.variance
+        completion_mean, completion_var = self._completion_moments(index, model)
         return {
             tid: (float(completion_mean[j]), float(completion_var[j]))
             for j, tid in enumerate(index.task_ids)

@@ -22,21 +22,57 @@ paths: for a fixed ``i``, recompute the ``up``/``down`` arrays of ``G_i``
 
 because doubling ``a_j`` on top of ``G_i`` stretches exactly the paths
 through ``j``.  The total cost is ``O(|V|·(|V| + |E|))``.
+
+The ``n`` up/down recomputations are evaluated in *chunks* on two private
+level-wavefront kernels (one per direction): a chunk of doubled-weight
+scenarios forms a ``(chunk, tasks)`` weight matrix whose per-task completion
+times the kernel returns in one batched sweep — float64 results are
+bit-identical to the per-task reference recurrence (retained as
+:func:`sequential_pair_up_down` for the differential tests) because ``max``
+and the single addition per task are order-independent at fixed precision.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Tuple
 
 import numpy as np
 
-from ..core.graph import TaskGraph
+from ..core.graph import GraphIndex, TaskGraph
+from ..core.kernels import WavefrontKernel
 from ..core.paths import compute_path_metrics
 from ..exceptions import EstimationError
 from ..failures.models import ErrorModel
 from .base import EstimateResult, MakespanEstimator
 
-__all__ = ["SecondOrderEstimator"]
+__all__ = ["SecondOrderEstimator", "sequential_pair_up_down"]
+
+#: Scenarios evaluated per batched kernel sweep (memory ~ 2 x chunk x tasks
+#: float64 on top of the kernel buffers).
+_PAIR_CHUNK = 128
+
+
+def sequential_pair_up_down(
+    index: GraphIndex, weights: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference per-task ``up``/``down`` sweep for one weight assignment.
+
+    The pre-kernel inner loops of the pair-term computation, kept as the
+    bit-exactness oracle of the differential tests.
+    """
+    n = index.num_tasks
+    indptr_p, indices_p = index.pred_indptr, index.pred_indices
+    indptr_s, indices_s = index.succ_indptr, index.succ_indices
+    topo = index.topo_order
+    up = np.zeros(n, dtype=np.float64)
+    for v in topo:
+        preds = indices_p[indptr_p[v] : indptr_p[v + 1]]
+        up[v] = weights[v] + (up[preds].max() if preds.size else 0.0)
+    down = np.zeros(n, dtype=np.float64)
+    for v in topo[::-1]:
+        succs = indices_s[indptr_s[v] : indptr_s[v + 1]]
+        down[v] = weights[v] + (down[succs].max() if succs.size else 0.0)
+    return up, down
 
 
 class SecondOrderEstimator(MakespanEstimator):
@@ -89,36 +125,39 @@ class SecondOrderEstimator(MakespanEstimator):
         expected = p_none * d_g + float(np.dot(p_single, d_single))
         probability_covered = p_none + float(p_single.sum())
 
-        # Pair terms: iterate over i, recompute up/down with a_i doubled.
-        indptr_p, indices_p = index.pred_indptr, index.pred_indices
-        indptr_s, indices_s = index.succ_indptr, index.succ_indices
-        topo = index.topo_order
+        # Pair terms: for every i, recompute up/down with a_i doubled.  The
+        # n scenarios are evaluated in chunks of _PAIR_CHUNK batched kernel
+        # sweeps (one per direction) instead of two per-task Python loops
+        # per scenario; the per-i accumulation order is unchanged.
         worst_pair = d_g
         pair_contribution = 0.0
         pair_probability = 0.0
         if n >= 2:
             base = np.exp(log_all - np.log(one_minus_q))  # prod_{l != i} (1-q_l)
-            for i in range(n):
-                w_i = weights.copy()
-                w_i[i] *= 2.0
-                up = np.zeros(n, dtype=np.float64)
-                for v in topo:
-                    preds = indices_p[indptr_p[v] : indptr_p[v + 1]]
-                    up[v] = w_i[v] + (up[preds].max() if preds.size else 0.0)
-                down = np.zeros(n, dtype=np.float64)
-                for v in topo[::-1]:
-                    succs = indices_s[indptr_s[v] : indptr_s[v + 1]]
-                    down[v] = w_i[v] + (down[succs].max() if succs.size else 0.0)
-                d_i = d_single[i]
-                d_pair = np.maximum(d_i, up + down)  # L({i, j}) for all j
-                # P({i, j}) = q_i q_j prod_{l not in {i,j}} (1 - q_l)
-                p_pair = q[i] * q * base / one_minus_q[i]
-                p_pair[i] = 0.0
-                d_pair[i] = 0.0
-                pair_contribution += float(np.dot(p_pair, d_pair))
-                pair_probability += float(p_pair.sum())
-                if d_pair.size:
-                    worst_pair = max(worst_pair, float(d_pair.max()))
+            kernel_up = WavefrontKernel(index, direction="up", dtype=np.float64)
+            kernel_down = WavefrontKernel(index, direction="down", dtype=np.float64)
+            for start in range(0, n, _PAIR_CHUNK):
+                stop = min(start + _PAIR_CHUNK, n)
+                chunk = np.arange(start, stop)
+                scenario = np.broadcast_to(weights, (chunk.size, n)).copy()
+                scenario[np.arange(chunk.size), chunk] *= 2.0
+                kernel_up.load(scenario)
+                kernel_up.propagate(chunk.size)
+                ups = kernel_up.completion_matrix(chunk.size)  # (tasks, chunk)
+                kernel_down.load(scenario)
+                kernel_down.propagate(chunk.size)
+                downs = kernel_down.completion_matrix(chunk.size)
+                through = ups + downs
+                for offset, i in enumerate(chunk):
+                    d_pair = np.maximum(d_single[i], through[:, offset])
+                    # P({i, j}) = q_i q_j prod_{l not in {i,j}} (1 - q_l)
+                    p_pair = q[i] * q * base / one_minus_q[i]
+                    p_pair[i] = 0.0
+                    d_pair[i] = 0.0
+                    pair_contribution += float(np.dot(p_pair, d_pair))
+                    pair_probability += float(p_pair.sum())
+                    if d_pair.size:
+                        worst_pair = max(worst_pair, float(d_pair.max()))
             # Every unordered pair was counted twice (once per orientation).
             pair_contribution *= 0.5
             pair_probability *= 0.5

@@ -6,7 +6,9 @@ from .config import (
     TABLE1,
     FigureConfig,
     ScalabilityConfig,
+    monte_carlo_dtype,
     monte_carlo_trials,
+    monte_carlo_workers,
 )
 from .error_vs_size import ErrorPoint, FigureResult, run_error_vs_size, run_figure
 from .scalability import ScalabilityResult, ScalabilityRow, run_scalability, run_table1
@@ -27,6 +29,8 @@ __all__ = [
     "TABLE1",
     "PAPER_MC_TRIALS",
     "monte_carlo_trials",
+    "monte_carlo_dtype",
+    "monte_carlo_workers",
     "ErrorPoint",
     "FigureResult",
     "run_error_vs_size",

@@ -23,6 +23,7 @@ __all__ = [
     "TABLE1",
     "monte_carlo_trials",
     "monte_carlo_dtype",
+    "monte_carlo_workers",
     "MC_DTYPES",
     "PAPER_MC_TRIALS",
 ]
@@ -81,6 +82,32 @@ def monte_carlo_dtype(default: Optional[str] = None) -> str:
     return value
 
 
+def monte_carlo_workers(default: Optional[int] = None) -> int:
+    """Resolve the Monte Carlo batch-worker count.
+
+    Priority: ``REPRO_MC_WORKERS`` environment variable, then the explicit
+    ``default`` argument, then 1 (the single-threaded, bit-reproducible
+    path).  With ``k > 1`` the engine evaluates batches on ``k`` threads,
+    each with a private wavefront kernel and an independent
+    ``SeedSequence``-spawned RNG stream.
+    """
+    env = os.environ.get("REPRO_MC_WORKERS")
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"REPRO_MC_WORKERS must be an integer, got {env!r}"
+            ) from exc
+    elif default is not None:
+        value = int(default)
+    else:
+        return 1
+    if value <= 0:
+        raise ExperimentError("Monte Carlo worker count must be positive")
+    return value
+
+
 @dataclass(frozen=True)
 class FigureConfig:
     """Configuration of one error-vs-graph-size figure (Figures 4-12)."""
@@ -92,6 +119,7 @@ class FigureConfig:
     estimators: Tuple[str, ...] = ("dodin", "normal", "first-order")
     mc_trials: Optional[int] = None
     mc_dtype: Optional[str] = None
+    mc_workers: Optional[int] = None
     seed: int = 20160814  # date of the paper's HAL deposit, used as base seed
 
     def __post_init__(self) -> None:
@@ -105,6 +133,8 @@ class FigureConfig:
             raise ExperimentError(
                 f"mc_dtype must be one of {MC_DTYPES}, got {self.mc_dtype!r}"
             )
+        if self.mc_workers is not None and self.mc_workers <= 0:
+            raise ExperimentError("mc_workers must be positive")
 
     @property
     def trials(self) -> int:
@@ -115,6 +145,11 @@ class FigureConfig:
     def dtype(self) -> str:
         """Monte Carlo kernel precision after the environment override."""
         return monte_carlo_dtype(self.mc_dtype)
+
+    @property
+    def workers(self) -> int:
+        """Monte Carlo worker count after the environment override."""
+        return monte_carlo_workers(self.mc_workers)
 
     def describe(self) -> str:
         """Human-readable one-line description."""
@@ -134,6 +169,7 @@ class ScalabilityConfig:
     estimators: Tuple[str, ...] = ("dodin", "normal", "first-order")
     mc_trials: Optional[int] = None
     mc_dtype: Optional[str] = None
+    mc_workers: Optional[int] = None
     seed: int = 20160814
 
     def __post_init__(self) -> None:
@@ -145,6 +181,8 @@ class ScalabilityConfig:
             raise ExperimentError(
                 f"mc_dtype must be one of {MC_DTYPES}, got {self.mc_dtype!r}"
             )
+        if self.mc_workers is not None and self.mc_workers <= 0:
+            raise ExperimentError("mc_workers must be positive")
 
     @property
     def trials(self) -> int:
@@ -155,6 +193,11 @@ class ScalabilityConfig:
     def dtype(self) -> str:
         """Monte Carlo kernel precision after the environment override."""
         return monte_carlo_dtype(self.mc_dtype)
+
+    @property
+    def workers(self) -> int:
+        """Monte Carlo worker count after the environment override."""
+        return monte_carlo_workers(self.mc_workers)
 
 
 def _figures() -> Dict[str, FigureConfig]:

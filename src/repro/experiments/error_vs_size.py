@@ -88,6 +88,7 @@ def run_error_vs_size(
     *,
     mc_trials: Optional[int] = None,
     mc_dtype: Optional[str] = None,
+    mc_workers: Optional[int] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
     progress: Optional[callable] = None,
@@ -105,6 +106,9 @@ def run_error_vs_size(
         Override of the Monte Carlo kernel precision (``"float64"`` /
         ``"float32"``; defaults to the config's value, itself overridable
         through ``REPRO_MC_DTYPE``).
+    mc_workers:
+        Override of the Monte Carlo batch-worker count (defaults to the
+        config's value, itself overridable through ``REPRO_MC_WORKERS``).
     seed:
         Base seed for the Monte Carlo runs (one independent stream per
         graph size).
@@ -117,6 +121,7 @@ def run_error_vs_size(
     """
     trials = mc_trials if mc_trials is not None else config.trials
     dtype = mc_dtype if mc_dtype is not None else config.dtype
+    workers = mc_workers if mc_workers is not None else config.workers
     base_seed = seed if seed is not None else config.seed
     options = estimator_options or {}
     result = FigureResult(config=config)
@@ -126,7 +131,11 @@ def run_error_vs_size(
         model = ExponentialErrorModel.for_graph(graph, config.pfail)
 
         reference = get_estimator(
-            "monte-carlo", trials=trials, seed=base_seed + offset, dtype=dtype
+            "monte-carlo",
+            trials=trials,
+            seed=base_seed + offset,
+            dtype=dtype,
+            workers=workers,
         ).estimate(graph, model)
         if progress:
             progress(

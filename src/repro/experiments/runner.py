@@ -40,6 +40,7 @@ def run_all_figures(
     *,
     mc_trials: Optional[int] = None,
     mc_dtype: Optional[str] = None,
+    mc_workers: Optional[int] = None,
     seed: Optional[int] = None,
     output_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[str], None]] = None,
@@ -60,7 +61,12 @@ def run_all_figures(
             )
         config = PAPER_FIGURES[key]
         result = run_error_vs_size(
-            config, mc_trials=mc_trials, mc_dtype=mc_dtype, seed=seed, progress=progress
+            config,
+            mc_trials=mc_trials,
+            mc_dtype=mc_dtype,
+            mc_workers=mc_workers,
+            seed=seed,
+            progress=progress,
         )
         results[key] = result
         if output_dir is not None:
@@ -72,6 +78,7 @@ def run_everything(
     *,
     mc_trials: Optional[int] = None,
     mc_dtype: Optional[str] = None,
+    mc_workers: Optional[int] = None,
     table1_trials: Optional[int] = None,
     table1_size: Optional[int] = None,
     seed: Optional[int] = None,
@@ -86,6 +93,8 @@ def run_everything(
         Monte Carlo trials for the figures.
     mc_dtype:
         Monte Carlo kernel precision (``"float64"`` / ``"float32"``).
+    mc_workers:
+        Monte Carlo batch-worker count (1 = single-threaded).
     table1_trials:
         Monte Carlo trials for Table I (defaults to ``mc_trials``).
     table1_size:
@@ -102,6 +111,7 @@ def run_everything(
     figures = run_all_figures(
         mc_trials=mc_trials,
         mc_dtype=mc_dtype,
+        mc_workers=mc_workers,
         seed=seed,
         output_dir=output_dir,
         progress=progress,
@@ -113,6 +123,7 @@ def run_everything(
         table_config,
         mc_trials=table1_trials if table1_trials is not None else mc_trials,
         mc_dtype=mc_dtype,
+        mc_workers=mc_workers,
         seed=seed,
         progress=progress,
     )

@@ -71,6 +71,7 @@ def run_scalability(
     *,
     mc_trials: Optional[int] = None,
     mc_dtype: Optional[str] = None,
+    mc_workers: Optional[int] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
     progress: Optional[callable] = None,
@@ -78,6 +79,7 @@ def run_scalability(
     """Run the scalability study described by ``config``."""
     trials = mc_trials if mc_trials is not None else config.trials
     dtype = mc_dtype if mc_dtype is not None else config.dtype
+    workers = mc_workers if mc_workers is not None else config.workers
     base_seed = seed if seed is not None else config.seed
     options = estimator_options or {}
 
@@ -85,7 +87,7 @@ def run_scalability(
     model = ExponentialErrorModel.for_graph(graph, config.pfail)
 
     reference = get_estimator(
-        "monte-carlo", trials=trials, seed=base_seed, dtype=dtype
+        "monte-carlo", trials=trials, seed=base_seed, dtype=dtype, workers=workers
     ).estimate(graph, model)
     if progress:
         progress(

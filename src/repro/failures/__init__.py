@@ -7,7 +7,12 @@ from .models import (
     calibrate_lambda,
     pfail_from_lambda,
 )
-from .twostate import TwoStateDistribution, geometric_expected_time, two_state_table
+from .twostate import (
+    TwoStateDistribution,
+    geometric_expected_time,
+    two_state_moment_vectors,
+    two_state_table,
+)
 from .dvfs import DvfsErrorModel, EnergyModel, speed_sweep
 
 __all__ = [
@@ -18,6 +23,7 @@ __all__ = [
     "pfail_from_lambda",
     "TwoStateDistribution",
     "two_state_table",
+    "two_state_moment_vectors",
     "geometric_expected_time",
     "DvfsErrorModel",
     "EnergyModel",

@@ -26,7 +26,37 @@ from ..core.task import TaskId
 from ..exceptions import ModelError
 from .models import ErrorModel, ExponentialErrorModel
 
-__all__ = ["TwoStateDistribution", "two_state_table", "geometric_expected_time"]
+__all__ = [
+    "TwoStateDistribution",
+    "two_state_table",
+    "two_state_moment_vectors",
+    "geometric_expected_time",
+]
+
+
+def two_state_moment_vectors(
+    weights: np.ndarray,
+    model: ErrorModel,
+    *,
+    reexecution_factor: float = 2.0,
+):
+    """Vectorised per-task ``(mean, variance)`` of the two-state laws.
+
+    One call to the model's vectorised ``failure_probabilities`` replaces
+    one scalar :class:`TwoStateDistribution` construction per task; the
+    moment formulas are the same closed forms the scalar class evaluates
+    (``mean = (1-q)·a + q·f·a``, ``var = q(1-q)((f-1)a)²``).  This is the
+    input of the level-wavefront moment propagation used by the Sculli
+    estimator and the expected-bottom-level priorities.
+    """
+    if reexecution_factor < 1.0:
+        raise ModelError("re-execution factor must be >= 1")
+    w = np.asarray(weights, dtype=np.float64)
+    q = np.asarray(model.failure_probabilities(w), dtype=np.float64)
+    extra = (reexecution_factor - 1.0) * w
+    mean = (1.0 - q) * w + q * (reexecution_factor * w)
+    var = q * (1.0 - q) * extra * extra
+    return mean, var
 
 
 @dataclass(frozen=True)

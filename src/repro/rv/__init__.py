@@ -1,6 +1,7 @@
 """Random-variable algebra: finite discrete laws, normal laws (Clark), empirical samples."""
 
 from .discrete import DiscreteRV
+from .discrete_batch import DiscreteBatch
 from .normal import (
     NormalRV,
     clark_correlation_with_third,
@@ -13,6 +14,7 @@ from .empirical import EmpiricalDistribution, RunningMoments, mean_confidence_in
 
 __all__ = [
     "DiscreteRV",
+    "DiscreteBatch",
     "NormalRV",
     "clark_max",
     "clark_max_moments",

@@ -17,6 +17,14 @@ This module provides:
 * :func:`expected_bottom_levels_sculli` — bottom levels from the normal
   (Sculli) propagation, for comparison;
 * :func:`upward_ranks` — HEFT's upward rank for heterogeneous platforms.
+
+All four recurrences over ``topo_order`` run on the compiled ``"down"``
+:class:`~repro.core.kernels.LevelSchedule` of the graph: the deterministic
+bottom levels and the (expectation-inflated) HEFT ranks are plain
+longest-path sweeps evaluated by the shared wavefront kernel (bit-identical
+to the per-task fold at float64), while the Sculli bottom levels use the
+batched Clark moment propagation (same CSR fold order as the sequential
+recurrence, so results agree to floating-point rounding).
 """
 
 from __future__ import annotations
@@ -26,11 +34,12 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.graph import TaskGraph
+from ..core.kernels import propagate_moments
+from ..core.paths import downward_lengths
 from ..core.task import TaskId
 from ..exceptions import SchedulingError
 from ..failures.models import ErrorModel
-from ..failures.twostate import TwoStateDistribution
-from ..rv.normal import NormalRV, clark_max
+from ..failures.twostate import two_state_moment_vectors
 from .platform import Platform
 
 __all__ = [
@@ -46,15 +55,11 @@ def deterministic_bottom_levels(graph: TaskGraph) -> Dict[TaskId, float]:
 
     Note: this follows the list-scheduling convention where a task's
     priority includes its own execution time, i.e. the returned value is the
-    ``down(i)`` of :mod:`repro.core.paths`.
+    ``down(i)`` of :mod:`repro.core.paths` — evaluated by the level-wavefront
+    kernel, one batched update per topological level.
     """
     index = graph.index()
-    down = np.zeros(index.num_tasks, dtype=np.float64)
-    indptr, indices = index.succ_indptr, index.succ_indices
-    for i in index.topo_order[::-1]:
-        succs = indices[indptr[i] : indptr[i + 1]]
-        down[i] = index.weights[i] + (down[succs].max() if succs.size else 0.0)
-    return dict(zip(index.task_ids, down.tolist()))
+    return dict(zip(index.task_ids, downward_lengths(index).tolist()))
 
 
 def expected_bottom_levels_first_order(
@@ -87,11 +92,9 @@ def expected_bottom_levels_first_order(
     indptr_s, indices_s = index.succ_indptr, index.succ_indices
     topo = index.topo_order
 
-    # down[j]: longest path starting at j (inclusive) -- shared by all roots.
-    down = np.zeros(n, dtype=np.float64)
-    for j in topo[::-1]:
-        succs = indices_s[indptr_s[j] : indptr_s[j + 1]]
-        down[j] = weights[j] + (down[succs].max() if succs.size else 0.0)
+    # down[j]: longest path starting at j (inclusive) -- shared by all
+    # roots, evaluated on the compiled "down" level schedule.
+    down = downward_lengths(index)
 
     result: Dict[TaskId, float] = {}
     # For each root i, compute within the descendant cone:
@@ -123,28 +126,14 @@ def expected_bottom_levels_sculli(
     """Expected bottom levels from the normal (Sculli) propagation.
 
     The propagation runs backwards: ``B_i = X_i + max_{s ∈ Succ(i)} B_s``
-    with normal approximations of sums and maxima.
+    with normal approximations of sums and maxima — one batched Clark fold
+    per level of the ``"down"`` schedule.
     """
     index = graph.index()
-    n = index.num_tasks
-    weights = index.weights
-    indptr, indices = index.succ_indptr, index.succ_indices
-    mean = np.zeros(n, dtype=np.float64)
-    var = np.zeros(n, dtype=np.float64)
-    for i in index.topo_order[::-1]:
-        law = TwoStateDistribution.from_model(
-            float(weights[i]), model, reexecution_factor=reexecution_factor
-        )
-        succs = indices[indptr[i] : indptr[i + 1]]
-        if succs.size == 0:
-            tail = NormalRV.degenerate(0.0)
-        else:
-            tail = NormalRV(mean[succs[0]], var[succs[0]])
-            for s in succs[1:]:
-                tail = clark_max(tail, NormalRV(mean[s], var[s]), 0.0)
-        total = tail.add_independent(NormalRV(law.mean, law.variance))
-        mean[i] = total.mean
-        var[i] = total.variance
+    task_mean, task_var = two_state_moment_vectors(
+        index.weights, model, reexecution_factor=reexecution_factor
+    )
+    mean, _ = propagate_moments(index, task_mean, task_var, direction="down")
     return dict(zip(index.task_ids, mean.tolist()))
 
 
@@ -162,19 +151,22 @@ def upward_ranks(
     error model is given, the average execution time is inflated to its
     expected value under the two-state failure model, which yields the
     silent-error-aware HEFT variant.
+
+    The recurrence is the ``"down"`` longest-path sweep with the average
+    (or expectation-inflated) execution times as weights, so it runs on the
+    same compiled level schedule as the deterministic bottom levels.
     """
     if platform.num_processors <= 0:
         raise SchedulingError("platform must have at least one processor")
     index = graph.index()
     n = index.num_tasks
-    ranks = np.zeros(n, dtype=np.float64)
-    indptr, indices = index.succ_indptr, index.succ_indices
-    for i in index.topo_order[::-1]:
-        task = graph.task(index.task_ids[i])
-        avg = platform.average_execution_time(task)
-        if model is not None:
-            q = model.failure_probability(task.weight)
-            avg *= 1.0 + (reexecution_factor - 1.0) * q
-        succs = indices[indptr[i] : indptr[i + 1]]
-        ranks[i] = avg + (ranks[succs].max() if succs.size else 0.0)
+    avg = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        avg[i] = platform.average_execution_time(graph.task(index.task_ids[i]))
+    if model is not None:
+        q = np.asarray(
+            model.failure_probabilities(index.weights), dtype=np.float64
+        )
+        avg *= 1.0 + (reexecution_factor - 1.0) * q
+    ranks = downward_lengths(index, avg)
     return dict(zip(index.task_ids, ranks.tolist()))

@@ -12,18 +12,31 @@ The engine is a *zero-copy pipeline* around the level-wavefront kernel of
   engine, not once per batch;
 * all working buffers — the uniform-variate matrix fed to the RNG, the
   failure mask, and the kernel's task-major ``(tasks, batch)`` completion
-  buffer — are allocated once in the constructor and reused by every batch;
+  buffer — are allocated once per *worker* and reused by every batch;
 * in two-state mode the effective times ``w + mask * (f - 1) w`` are fused
   directly into the kernel buffer (one multiply + one add, no intermediate
   ``(trials, tasks)`` weight matrix), and the longest-path recurrence then
   runs in place on that same buffer.
 
+Independent batches are embarrassingly parallel, and the wavefront kernel
+spends its time inside GIL-releasing NumPy primitives, so the engine ships
+a *threaded batch scheduler*: ``workers=k`` partitions the batch sequence
+round-robin over ``k`` workers, each owning a private
+:class:`~repro.core.kernels.WavefrontKernel` (the kernel is not reentrant),
+private sampling buffers and a private RNG stream derived via
+``numpy.random.SeedSequence.spawn``.  Batch results are folded into the
+streaming statistics in batch-index order, so a run is bit-reproducible
+for a fixed ``(seed, workers)`` pair.  With ``workers=1`` (the default) no
+thread pool is created and the RNG consumption order is exactly that of
+the single-threaded pipeline: results are bit-identical to the
+pre-threading engine for a given seed.
+
 Randomness is drawn in the same trial-major ``(batch, tasks)`` order as the
-pre-pipeline implementation, so results for a given seed are unchanged
-(bit-identical at float64).  A ``dtype`` knob selects the kernel precision:
-``float64`` (default) or ``float32``, which halves the memory traffic of
-the recurrence at a relative rounding error (~1e-7) far below Monte Carlo
-standard error.
+pre-pipeline implementation, so single-worker results for a given seed are
+unchanged (bit-identical at float64).  A ``dtype`` knob selects the kernel
+precision: ``float64`` (default) or ``float32``, which halves the memory
+traffic of the recurrence at a relative rounding error (~1e-7) far below
+Monte Carlo standard error.
 
 Statistics are accumulated in a streaming fashion so memory stays bounded
 regardless of the trial count; optionally the full sample can be kept for
@@ -33,13 +46,14 @@ distribution-level analyses.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.graph import GraphIndex, TaskGraph
-from ..core.kernels import WavefrontKernel, normalize_dtype
+from ..core.kernels import WavefrontKernel, normalize_dtype, schedule_for
 from ..exceptions import EstimationError, GraphError
 from ..failures.models import ErrorModel
 from ..rv.empirical import EmpiricalDistribution, RunningMoments
@@ -76,6 +90,7 @@ class MonteCarloResult:
     samples: Optional[EmpiricalDistribution] = None
     history: Tuple[Tuple[int, float], ...] = field(default_factory=tuple)
     dtype: str = "float64"
+    workers: int = 1
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -84,6 +99,65 @@ class MonteCarloResult:
             f"MC[{self.trials} trials]: mean={self.mean:.6g} "
             f"(95% CI [{low:.6g}, {high:.6g}], {self.wall_time:.2f}s)"
         )
+
+
+class _BatchWorker:
+    """One worker's private evaluation state: kernel, buffers, RNG stream.
+
+    The engine owns one instance per worker; each instance is only ever
+    used by a single thread at a time, which satisfies the wavefront
+    kernel's non-reentrancy contract while the compiled schedule stays
+    shared through the index cache.
+    """
+
+    def __init__(self, engine: "MonteCarloEngine", rng: np.random.Generator) -> None:
+        self.rng = rng
+        self.kernel = WavefrontKernel(
+            engine.index, direction="up", dtype=engine.dtype
+        )
+        self.engine = engine
+        n = engine.index.num_tasks
+        capacity = engine._capacity
+        if n:
+            # Grow the kernel's completion buffer to its final size now.
+            self.kernel.weight_view(capacity)
+        if engine.mode == "two-state" and n:
+            #: Uniform variates, trial-major to preserve the RNG stream.
+            self.uniform = np.empty((capacity, n), dtype=np.float64)
+            #: First-attempt failure mask, task-major (rows = task order).
+            self.mask = np.empty((n, capacity), dtype=bool)
+        else:
+            self.uniform = None
+            self.mask = None
+
+    def evaluate(self, batch: int) -> np.ndarray:
+        """Sample one batch in place and return its makespans."""
+        engine = self.engine
+        n = engine.index.num_tasks
+        if n == 0:
+            return np.zeros(batch, dtype=np.float64)
+        kernel = self.kernel
+        # batch <= capacity by construction; slicing the full-capacity view
+        # keeps the buffer at its one-time allocation.
+        view = kernel.weight_view(engine._capacity)[:, :batch]
+        perm = kernel.perm
+        if engine.mode == "two-state":
+            uniform = self.uniform[:batch]
+            self.rng.random(out=uniform)
+            mask = self.mask[:, :batch]
+            np.less(uniform.T, engine._q_rows, out=mask)
+            # Fused two-state weights, written straight into the kernel
+            # buffer: w + mask * (factor - 1) * w, rows in kernel order.
+            np.multiply(mask[perm], engine._extra_rows, out=view)
+            view += engine._w_rows
+        else:
+            # Executions until success, capped; same RNG stream as the
+            # trial-major sampler.
+            draws = self.rng.geometric(engine._success, size=(batch, n))
+            np.minimum(draws, DEFAULT_MAX_EXECUTIONS, out=draws)
+            np.multiply(draws.T[perm], engine._w_rows, out=view)
+        kernel.propagate(batch)
+        return kernel.makespans(batch)
 
 
 class MonteCarloEngine:
@@ -99,7 +173,8 @@ class MonteCarloEngine:
         Total number of trials.
     batch_size:
         Trials evaluated per vectorised batch (memory ~ ``batch_size x
-        num_tasks`` values of the chosen dtype, plus the sampling buffers).
+        num_tasks`` values of the chosen dtype, plus the sampling buffers,
+        per worker).
     seed:
         Seed (or generator) for reproducibility.
     mode:
@@ -118,6 +193,14 @@ class MonteCarloEngine:
         (default, results bit-identical to the reference implementation) or
         ``"float32"`` (halves kernel memory traffic; the rounding error is
         orders of magnitude below Monte Carlo noise).
+    workers:
+        Number of batch-evaluation threads.  ``1`` (default) keeps the
+        single-threaded pipeline — and its exact RNG stream — so seeded
+        results are bit-identical to the pre-threading engine.  With
+        ``k > 1`` workers, batch ``b`` of the run is evaluated by worker
+        ``b mod k`` on a private RNG stream spawned from the seed; results
+        are bit-reproducible for a fixed ``(seed, workers)`` pair but
+        differ (by Monte Carlo noise only) across worker counts.
     """
 
     def __init__(
@@ -134,6 +217,7 @@ class MonteCarloEngine:
         confidence: float = 0.95,
         target_relative_half_width: Optional[float] = None,
         dtype: Union[str, np.dtype, type, None] = np.float64,
+        workers: int = 1,
     ) -> None:
         if trials <= 0:
             raise EstimationError("number of trials must be positive")
@@ -143,17 +227,19 @@ class MonteCarloEngine:
             raise EstimationError(f"unknown sampling mode {mode!r}")
         if reexecution_factor < 1.0:
             raise EstimationError("re-execution factor must be >= 1")
+        if workers < 1:
+            raise EstimationError("number of workers must be at least 1")
         self.graph = graph
         self.index: GraphIndex = graph.index()
         self.model = model
         self.trials = int(trials)
         self.batch_size = int(batch_size)
-        self.rng = np.random.default_rng(seed)
         self.mode = mode
         self.reexecution_factor = reexecution_factor
         self.keep_samples = keep_samples
         self.confidence = confidence
         self.target_relative_half_width = target_relative_half_width
+        self.workers = int(workers)
         try:
             self.dtype = normalize_dtype(dtype)
         except GraphError as exc:
@@ -165,23 +251,15 @@ class MonteCarloEngine:
         weights = self.index.weights
         #: Per-task failure probabilities, computed and validated once.
         self._q = task_failure_probabilities(model, weights)
-        self._kernel = WavefrontKernel(self.index, direction="up", dtype=self.dtype)
         capacity = min(self.batch_size, self.trials)
         self._capacity = capacity
-        if n:
-            # Grow the kernel's completion buffer to its final size now.
-            self._kernel.weight_view(capacity)
-        perm = self._kernel.perm
         # Column vectors in the kernel's (permuted) row order, ready to
         # broadcast over the batch axis of the task-major buffer.
+        perm = schedule_for(self.index, "up").perm
         self._w_rows = weights[perm][:, None]
         self._q_rows = self._q[:, None]  # task order: compared against rng rows
         if mode == "two-state":
             self._extra_rows = ((reexecution_factor - 1.0) * weights)[perm][:, None]
-            #: Uniform variates, trial-major to preserve the RNG stream.
-            self._uniform = np.empty((capacity, n), dtype=np.float64)
-            #: First-attempt failure mask, task-major (rows = task order).
-            self._mask = np.empty((n, capacity), dtype=bool)
         else:
             self._success = 1.0 - self._q
             if np.any(self._success <= 0.0):
@@ -189,34 +267,57 @@ class MonteCarloEngine:
                     "some task never succeeds; geometric sampling diverges"
                 )
 
-    # ------------------------------------------------------------------
-    def _evaluate_batch(self, batch: int) -> np.ndarray:
-        """Sample one batch in place and return its makespans."""
-        n = self.index.num_tasks
-        if n == 0:
-            return np.zeros(batch, dtype=np.float64)
-        kernel = self._kernel
-        # batch <= capacity by construction; slicing the full-capacity view
-        # keeps the buffer at its one-time allocation.
-        view = kernel.weight_view(self._capacity)[:, :batch]
-        perm = kernel.perm
-        if self.mode == "two-state":
-            uniform = self._uniform[:batch]
-            self.rng.random(out=uniform)
-            mask = self._mask[:, :batch]
-            np.less(uniform.T, self._q_rows, out=mask)
-            # Fused two-state weights, written straight into the kernel
-            # buffer: w + mask * (factor - 1) * w, rows in kernel order.
-            np.multiply(mask[perm], self._extra_rows, out=view)
-            view += self._w_rows
+        # One private kernel + buffer set + RNG stream per worker.  A
+        # single worker consumes the seed exactly like the pre-threading
+        # engine (``default_rng(seed)``); k > 1 workers draw from
+        # independent SeedSequence-spawned streams.  All `workers` streams
+        # are spawned (the (seed, workers) pair defines the sample), but
+        # kernels and buffers are only allocated for workers that can
+        # actually receive a batch of the plan.
+        if self.workers == 1:
+            rngs = [np.random.default_rng(seed)]
         else:
-            # Executions until success, capped; same RNG stream as the
-            # trial-major sampler.
-            draws = self.rng.geometric(self._success, size=(batch, n))
-            np.minimum(draws, DEFAULT_MAX_EXECUTIONS, out=draws)
-            np.multiply(draws.T[perm], self._w_rows, out=view)
-        kernel.propagate(batch)
-        return kernel.makespans(batch)
+            active = min(self.workers, len(self._batch_plan()))
+            rngs = [
+                np.random.default_rng(ss)
+                for ss in np.random.SeedSequence(seed).spawn(self.workers)[:active]
+            ]
+        self._slots = [_BatchWorker(self, rng) for rng in rngs]
+
+    # ------------------------------------------------------------------
+    # Single-worker compatibility accessors (slot 0 owns the buffers the
+    # pre-threading engine kept on `self`).
+    # ------------------------------------------------------------------
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._slots[0].rng
+
+    @property
+    def _kernel(self) -> WavefrontKernel:
+        return self._slots[0].kernel
+
+    @property
+    def _uniform(self) -> Optional[np.ndarray]:
+        return self._slots[0].uniform
+
+    @property
+    def _mask(self) -> Optional[np.ndarray]:
+        return self._slots[0].mask
+
+    def _evaluate_batch(self, batch: int) -> np.ndarray:
+        """Sample one batch on worker 0 and return its makespans."""
+        return self._slots[0].evaluate(batch)
+
+    # ------------------------------------------------------------------
+    def _batch_plan(self) -> List[int]:
+        """The deterministic sequence of batch sizes covering all trials."""
+        plan = []
+        remaining = self.trials
+        while remaining > 0:
+            batch = min(self.batch_size, remaining)
+            plan.append(batch)
+            remaining -= batch
+        return plan
 
     def run(self) -> MonteCarloResult:
         """Run the simulation and return the aggregated result."""
@@ -227,16 +328,40 @@ class MonteCarloEngine:
         )
         kept = [] if self.keep_samples else None
 
-        remaining = self.trials
-        while remaining > 0:
-            batch = min(self.batch_size, remaining)
-            makespans = self._evaluate_batch(batch)
-            tracker.update(makespans)
-            if kept is not None:
-                kept.append(np.asarray(makespans, dtype=np.float64))
-            remaining -= batch
-            if tracker.converged:
-                break
+        if self.workers == 1:
+            remaining = self.trials
+            while remaining > 0:
+                batch = min(self.batch_size, remaining)
+                makespans = self._evaluate_batch(batch)
+                tracker.update(makespans)
+                if kept is not None:
+                    kept.append(np.asarray(makespans, dtype=np.float64))
+                remaining -= batch
+                if tracker.converged:
+                    break
+        else:
+            # Rounds of one batch per worker: within a round the batches
+            # run concurrently, between rounds results are folded into the
+            # tracker in batch-index order (deterministic aggregation) and
+            # the convergence criterion is re-evaluated.
+            plan = self._batch_plan()
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                for base in range(0, len(plan), self.workers):
+                    round_sizes = plan[base : base + self.workers]
+                    futures = [
+                        pool.submit(self._slots[offset].evaluate, batch)
+                        for offset, batch in enumerate(round_sizes)
+                    ]
+                    converged = False
+                    for future in futures:
+                        makespans = future.result()
+                        tracker.update(makespans)
+                        if kept is not None:
+                            kept.append(np.asarray(makespans, dtype=np.float64))
+                        if tracker.converged:
+                            converged = True
+                    if converged:
+                        break
 
         elapsed = time.perf_counter() - start
         moments: RunningMoments = tracker.moments
@@ -257,6 +382,7 @@ class MonteCarloEngine:
             samples=samples,
             history=tuple(tracker.history),
             dtype=self.dtype.name,
+            workers=self.workers,
         )
 
 
@@ -268,7 +394,10 @@ def simulate_expected_makespan(
     seed: Optional[int] = None,
     mode: SamplingMode = "two-state",
     dtype: Union[str, np.dtype, type, None] = np.float64,
+    workers: int = 1,
 ) -> float:
     """Functional shortcut returning only the Monte Carlo mean."""
-    engine = MonteCarloEngine(graph, model, trials=trials, seed=seed, mode=mode, dtype=dtype)
+    engine = MonteCarloEngine(
+        graph, model, trials=trials, seed=seed, mode=mode, dtype=dtype, workers=workers
+    )
     return engine.run().mean

@@ -77,7 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--dtype", choices=["float64", "float32"], default=None,
                      help="Monte Carlo kernel precision (float32 halves memory traffic)")
     est.add_argument("--workers", type=int, default=None,
-                     help="Monte Carlo batch-evaluation threads (default 1)")
+                     help="Monte Carlo parallel evaluation workers (default 1)")
+    est.add_argument("--backend", choices=["serial", "threads", "processes"], default=None,
+                     help="Monte Carlo execution backend (default: serial for 1 "
+                          "worker, threads otherwise; processes sidesteps the GIL)")
+    est.add_argument("--streaming", action="store_true", default=None,
+                     help="streaming statistics: mean/std/CI/quantiles in O(batch) "
+                          "memory, no materialised sample")
     est.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     # experiment ---------------------------------------------------------
@@ -91,7 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--dtype", choices=["float64", "float32"], default=None,
                      help="Monte Carlo kernel precision")
     fig.add_argument("--workers", type=int, default=None,
-                     help="Monte Carlo batch-evaluation threads (default 1)")
+                     help="Monte Carlo parallel evaluation workers (default 1)")
+    fig.add_argument("--backend", choices=["serial", "threads", "processes"], default=None,
+                     help="Monte Carlo execution backend")
+    fig.add_argument("--streaming", action="store_true", default=None,
+                     help="Monte Carlo streaming statistics (O(batch) memory)")
     fig.add_argument("--no-plot", action="store_true")
 
     tab = exp_sub.add_parser("table1", help="the scalability study (Table I)")
@@ -102,7 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
     tab.add_argument("--dtype", choices=["float64", "float32"], default=None,
                      help="Monte Carlo kernel precision")
     tab.add_argument("--workers", type=int, default=None,
-                     help="Monte Carlo batch-evaluation threads (default 1)")
+                     help="Monte Carlo parallel evaluation workers (default 1)")
+    tab.add_argument("--backend", choices=["serial", "threads", "processes"], default=None,
+                     help="Monte Carlo execution backend")
+    tab.add_argument("--streaming", action="store_true", default=None,
+                     help="Monte Carlo streaming statistics (O(batch) memory)")
 
     allp = exp_sub.add_parser("all", help="all figures and Table I")
     allp.add_argument("--trials", type=int, default=None)
@@ -111,7 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
     allp.add_argument("--dtype", choices=["float64", "float32"], default=None,
                       help="Monte Carlo kernel precision")
     allp.add_argument("--workers", type=int, default=None,
-                      help="Monte Carlo batch-evaluation threads (default 1)")
+                      help="Monte Carlo parallel evaluation workers (default 1)")
+    allp.add_argument("--backend", choices=["serial", "threads", "processes"], default=None,
+                      help="Monte Carlo execution backend")
+    allp.add_argument("--streaming", action="store_true", default=None,
+                      help="Monte Carlo streaming statistics (O(batch) memory)")
     allp.add_argument("--output-dir", default=None, help="directory for CSV archives")
 
     # schedule -----------------------------------------------------------
@@ -155,6 +173,10 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 kwargs["dtype"] = args.dtype
             if args.workers is not None:
                 kwargs["workers"] = args.workers
+            if args.backend is not None:
+                kwargs["backend"] = args.backend
+            if args.streaming is not None:
+                kwargs["streaming"] = args.streaming
         result = estimate_expected_makespan(graph, model, method=method, **kwargs)
         outputs.append(result)
         if not args.json:
@@ -188,6 +210,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             mc_trials=args.trials,
             mc_dtype=args.dtype,
             mc_workers=args.workers,
+            mc_backend=args.backend,
+            mc_streaming=args.streaming,
             seed=args.seed,
             progress=progress,
         )
@@ -205,6 +229,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             mc_trials=args.trials,
             mc_dtype=args.dtype,
             mc_workers=args.workers,
+            mc_backend=args.backend,
+            mc_streaming=args.streaming,
             seed=args.seed,
             progress=progress,
         )
@@ -215,6 +241,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         mc_trials=args.trials,
         mc_dtype=args.dtype,
         mc_workers=args.workers,
+        mc_backend=args.backend,
+        mc_streaming=args.streaming,
         table1_size=args.table1_size,
         seed=args.seed,
         output_dir=args.output_dir,

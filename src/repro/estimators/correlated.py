@@ -162,16 +162,65 @@ def sequential_correlated_estimate(
     return final.mean, final.variance
 
 
+#: Default ceiling on the correlation-matrix footprint.  The projection
+#: counts two ``(n, n)`` float64 matrices (the matrix itself plus the
+#: worst-case level rows of the two-pass fold), so 4 GiB admits DAGs up to
+#: ~16,000 tasks.  The estimator refuses — with a clear error — instead of
+#: letting the ``Θ(|V|²)`` allocation take the process down.
+DEFAULT_MAX_MATRIX_BYTES = 4 * 1024**3
+
+
 class CorrelatedNormalEstimator(MakespanEstimator):
-    """Clark/Sculli propagation with full correlation tracking."""
+    """Clark/Sculli propagation with full correlation tracking.
+
+    Parameters
+    ----------
+    reexecution_factor:
+        Execution-time multiplier of a failed task (2 = full re-execution).
+    max_matrix_bytes:
+        Ceiling on the projected ``Θ(|V|²)`` correlation-matrix footprint.
+        Exceeding it raises a :class:`~repro.exceptions.ReproError` naming
+        the task count and the projected bytes *before* any allocation,
+        instead of OOM-ing mid-propagation.  ``None`` restores the
+        default (:data:`DEFAULT_MAX_MATRIX_BYTES`).
+    """
 
     name = "normal-correlated"
 
-    def __init__(self, *, reexecution_factor: float = 2.0, validate: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        reexecution_factor: float = 2.0,
+        max_matrix_bytes: Optional[int] = None,
+        validate: bool = True,
+    ) -> None:
         super().__init__(validate=validate)
         if reexecution_factor < 1.0:
             raise EstimationError("re-execution factor must be >= 1")
         self.reexecution_factor = reexecution_factor
+        if max_matrix_bytes is None:
+            max_matrix_bytes = DEFAULT_MAX_MATRIX_BYTES
+        if max_matrix_bytes <= 0:
+            raise EstimationError("max_matrix_bytes must be positive")
+        self.max_matrix_bytes = int(max_matrix_bytes)
+
+    def _check_memory(self, n: int) -> None:
+        """Refuse up front when the correlation matrix cannot fit.
+
+        The estimate covers the ``(n, n)`` float64 matrix plus the level
+        rows/blocks of the two-pass fold (bounded by one extra matrix in
+        the worst case of a single huge level).
+        """
+        projected = 2 * n * n * np.dtype(np.float64).itemsize
+        if projected > self.max_matrix_bytes:
+            raise EstimationError(
+                f"correlated estimator needs a Θ(|V|²) correlation matrix: "
+                f"{n} tasks project to ~{projected:,} bytes "
+                f"({projected / 1024**3:.2f} GiB), above the "
+                f"max_matrix_bytes ceiling of {self.max_matrix_bytes:,}; "
+                f"raise max_matrix_bytes, or use the 'normal' (Sculli) "
+                f"estimator whose memory is Θ(|V|)"
+            )
 
     @staticmethod
     def _fold_level_rows(
@@ -278,6 +327,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         index = graph.index()
         n = index.num_tasks
+        self._check_memory(n)
         task_mean, task_var = two_state_moment_vectors(
             index.weights, model, reexecution_factor=self.reexecution_factor
         )

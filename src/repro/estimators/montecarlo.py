@@ -39,8 +39,16 @@ class MonteCarloEstimator(MakespanEstimator):
         bit-identical results) or ``"float32"`` (halves kernel memory
         traffic; the rounding error is far below Monte Carlo noise).
     workers:
-        Number of batch-evaluation threads (default 1, the bit-reproducible
-        single-threaded path); see :class:`repro.sim.MonteCarloEngine`.
+        Number of parallel evaluation workers (default 1, the
+        bit-reproducible serial path); see :class:`repro.sim.MonteCarloEngine`.
+    backend:
+        Execution backend: ``"serial"``, ``"threads"`` or ``"processes"``
+        (``None`` resolves from the worker count); see
+        :mod:`repro.sim.executors`.
+    streaming:
+        Accumulate quantile sketches instead of materialising samples, so
+        million-trial references fit in O(batch) memory; the estimate's
+        ``details`` still report median/p99 (sketch accuracy).
     batch_size, keep_samples, target_relative_half_width:
         Forwarded to :class:`repro.sim.MonteCarloEngine`.
     """
@@ -59,6 +67,8 @@ class MonteCarloEstimator(MakespanEstimator):
         target_relative_half_width: Optional[float] = None,
         dtype: Optional[str] = None,
         workers: int = 1,
+        backend: Optional[str] = None,
+        streaming: bool = False,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -71,6 +81,8 @@ class MonteCarloEstimator(MakespanEstimator):
         self.target_relative_half_width = target_relative_half_width
         self.dtype = dtype
         self.workers = workers
+        self.backend = backend
+        self.streaming = streaming
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         engine = MonteCarloEngine(
@@ -85,6 +97,8 @@ class MonteCarloEstimator(MakespanEstimator):
             target_relative_half_width=self.target_relative_half_width,
             dtype=self.dtype,
             workers=self.workers,
+            backend=self.backend,
+            streaming=self.streaming,
         )
         result = engine.run()
         details = {
@@ -96,10 +110,12 @@ class MonteCarloEstimator(MakespanEstimator):
             "batch_size": result.batch_size,
             "dtype": result.dtype,
             "workers": result.workers,
+            "backend": result.backend,
+            "streaming": result.streaming,
         }
-        if result.samples is not None:
-            details["median"] = result.samples.quantile(0.5)
-            details["p99"] = result.samples.quantile(0.99)
+        if result.samples is not None or result.sketch is not None:
+            details["median"] = result.quantile(0.5)
+            details["p99"] = result.quantile(0.99)
         return EstimateResult(
             method=self.name,
             expected_makespan=result.mean,

@@ -24,7 +24,10 @@ __all__ = [
     "monte_carlo_trials",
     "monte_carlo_dtype",
     "monte_carlo_workers",
+    "monte_carlo_backend",
+    "monte_carlo_streaming",
     "MC_DTYPES",
+    "MC_BACKENDS",
     "PAPER_MC_TRIALS",
 ]
 
@@ -108,6 +111,60 @@ def monte_carlo_workers(default: Optional[int] = None) -> int:
     return value
 
 
+#: The Monte Carlo execution backends (mirrors
+#: :data:`repro.sim.executors.BACKENDS` without importing the sim stack).
+MC_BACKENDS = ("serial", "threads", "processes")
+
+#: Truthy / falsy spellings accepted by boolean environment knobs.
+_TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("0", "false", "no", "off")
+
+
+def monte_carlo_backend(default: Optional[str] = None) -> Optional[str]:
+    """Resolve the Monte Carlo execution backend.
+
+    Priority: ``REPRO_MC_BACKEND`` environment variable, then the explicit
+    ``default`` argument, then ``None`` (the engine picks ``serial`` for one
+    worker and ``threads`` otherwise).  ``processes`` sidesteps the GIL with
+    a process pool over shared-memory result buffers — the recommended
+    backend at >= 8 workers.
+    """
+    env = os.environ.get("REPRO_MC_BACKEND")
+    value = env if env is not None else default
+    if value is None:
+        return None
+    value = value.strip().lower()
+    if value not in MC_BACKENDS:
+        raise ExperimentError(
+            f"Monte Carlo backend must be one of {MC_BACKENDS}, got {value!r}"
+        )
+    return value
+
+
+def monte_carlo_streaming(default: Optional[bool] = None) -> bool:
+    """Resolve the Monte Carlo streaming-statistics switch.
+
+    Priority: ``REPRO_MC_STREAMING`` environment variable (``1/true/yes/on``
+    vs ``0/false/no/off``), then the explicit ``default`` argument, then
+    ``False``.  Streaming mode serves mean/std/CI/quantiles in O(batch)
+    memory without materialising the sample vector.
+    """
+    env = os.environ.get("REPRO_MC_STREAMING")
+    if env is not None:
+        value = env.strip().lower()
+        if value in _TRUTHY:
+            return True
+        if value in _FALSY:
+            return False
+        raise ExperimentError(
+            f"REPRO_MC_STREAMING must be a boolean flag "
+            f"({'/'.join(_TRUTHY)} or {'/'.join(_FALSY)}), got {env!r}"
+        )
+    if default is None:
+        return False
+    return bool(default)
+
+
 @dataclass(frozen=True)
 class FigureConfig:
     """Configuration of one error-vs-graph-size figure (Figures 4-12)."""
@@ -120,6 +177,8 @@ class FigureConfig:
     mc_trials: Optional[int] = None
     mc_dtype: Optional[str] = None
     mc_workers: Optional[int] = None
+    mc_backend: Optional[str] = None
+    mc_streaming: Optional[bool] = None
     seed: int = 20160814  # date of the paper's HAL deposit, used as base seed
 
     def __post_init__(self) -> None:
@@ -135,6 +194,10 @@ class FigureConfig:
             )
         if self.mc_workers is not None and self.mc_workers <= 0:
             raise ExperimentError("mc_workers must be positive")
+        if self.mc_backend is not None and self.mc_backend not in MC_BACKENDS:
+            raise ExperimentError(
+                f"mc_backend must be one of {MC_BACKENDS}, got {self.mc_backend!r}"
+            )
 
     @property
     def trials(self) -> int:
@@ -150,6 +213,16 @@ class FigureConfig:
     def workers(self) -> int:
         """Monte Carlo worker count after the environment override."""
         return monte_carlo_workers(self.mc_workers)
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Monte Carlo execution backend after the environment override."""
+        return monte_carlo_backend(self.mc_backend)
+
+    @property
+    def streaming(self) -> bool:
+        """Monte Carlo streaming mode after the environment override."""
+        return monte_carlo_streaming(self.mc_streaming)
 
     def describe(self) -> str:
         """Human-readable one-line description."""
@@ -170,6 +243,8 @@ class ScalabilityConfig:
     mc_trials: Optional[int] = None
     mc_dtype: Optional[str] = None
     mc_workers: Optional[int] = None
+    mc_backend: Optional[str] = None
+    mc_streaming: Optional[bool] = None
     seed: int = 20160814
 
     def __post_init__(self) -> None:
@@ -183,6 +258,10 @@ class ScalabilityConfig:
             )
         if self.mc_workers is not None and self.mc_workers <= 0:
             raise ExperimentError("mc_workers must be positive")
+        if self.mc_backend is not None and self.mc_backend not in MC_BACKENDS:
+            raise ExperimentError(
+                f"mc_backend must be one of {MC_BACKENDS}, got {self.mc_backend!r}"
+            )
 
     @property
     def trials(self) -> int:
@@ -198,6 +277,16 @@ class ScalabilityConfig:
     def workers(self) -> int:
         """Monte Carlo worker count after the environment override."""
         return monte_carlo_workers(self.mc_workers)
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Monte Carlo execution backend after the environment override."""
+        return monte_carlo_backend(self.mc_backend)
+
+    @property
+    def streaming(self) -> bool:
+        """Monte Carlo streaming mode after the environment override."""
+        return monte_carlo_streaming(self.mc_streaming)
 
 
 def _figures() -> Dict[str, FigureConfig]:

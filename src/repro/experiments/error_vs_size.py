@@ -89,6 +89,8 @@ def run_error_vs_size(
     mc_trials: Optional[int] = None,
     mc_dtype: Optional[str] = None,
     mc_workers: Optional[int] = None,
+    mc_backend: Optional[str] = None,
+    mc_streaming: Optional[bool] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
     progress: Optional[callable] = None,
@@ -109,6 +111,14 @@ def run_error_vs_size(
     mc_workers:
         Override of the Monte Carlo batch-worker count (defaults to the
         config's value, itself overridable through ``REPRO_MC_WORKERS``).
+    mc_backend:
+        Override of the Monte Carlo execution backend (``"serial"`` /
+        ``"threads"`` / ``"processes"``; defaults to the config's value,
+        itself overridable through ``REPRO_MC_BACKEND``).
+    mc_streaming:
+        Override of the Monte Carlo streaming-statistics switch (defaults
+        to the config's value, itself overridable through
+        ``REPRO_MC_STREAMING``).
     seed:
         Base seed for the Monte Carlo runs (one independent stream per
         graph size).
@@ -122,6 +132,8 @@ def run_error_vs_size(
     trials = mc_trials if mc_trials is not None else config.trials
     dtype = mc_dtype if mc_dtype is not None else config.dtype
     workers = mc_workers if mc_workers is not None else config.workers
+    backend = mc_backend if mc_backend is not None else config.backend
+    streaming = mc_streaming if mc_streaming is not None else config.streaming
     base_seed = seed if seed is not None else config.seed
     options = estimator_options or {}
     result = FigureResult(config=config)
@@ -136,6 +148,8 @@ def run_error_vs_size(
             seed=base_seed + offset,
             dtype=dtype,
             workers=workers,
+            backend=backend,
+            streaming=streaming,
         ).estimate(graph, model)
         if progress:
             progress(

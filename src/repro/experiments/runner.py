@@ -41,6 +41,8 @@ def run_all_figures(
     mc_trials: Optional[int] = None,
     mc_dtype: Optional[str] = None,
     mc_workers: Optional[int] = None,
+    mc_backend: Optional[str] = None,
+    mc_streaming: Optional[bool] = None,
     seed: Optional[int] = None,
     output_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[str], None]] = None,
@@ -65,6 +67,8 @@ def run_all_figures(
             mc_trials=mc_trials,
             mc_dtype=mc_dtype,
             mc_workers=mc_workers,
+            mc_backend=mc_backend,
+            mc_streaming=mc_streaming,
             seed=seed,
             progress=progress,
         )
@@ -79,6 +83,8 @@ def run_everything(
     mc_trials: Optional[int] = None,
     mc_dtype: Optional[str] = None,
     mc_workers: Optional[int] = None,
+    mc_backend: Optional[str] = None,
+    mc_streaming: Optional[bool] = None,
     table1_trials: Optional[int] = None,
     table1_size: Optional[int] = None,
     seed: Optional[int] = None,
@@ -95,6 +101,11 @@ def run_everything(
         Monte Carlo kernel precision (``"float64"`` / ``"float32"``).
     mc_workers:
         Monte Carlo batch-worker count (1 = single-threaded).
+    mc_backend:
+        Monte Carlo execution backend (``"serial"`` / ``"threads"`` /
+        ``"processes"``).
+    mc_streaming:
+        Monte Carlo streaming-statistics switch (O(batch) memory).
     table1_trials:
         Monte Carlo trials for Table I (defaults to ``mc_trials``).
     table1_size:
@@ -112,6 +123,8 @@ def run_everything(
         mc_trials=mc_trials,
         mc_dtype=mc_dtype,
         mc_workers=mc_workers,
+        mc_backend=mc_backend,
+        mc_streaming=mc_streaming,
         seed=seed,
         output_dir=output_dir,
         progress=progress,
@@ -124,6 +137,8 @@ def run_everything(
         mc_trials=table1_trials if table1_trials is not None else mc_trials,
         mc_dtype=mc_dtype,
         mc_workers=mc_workers,
+        mc_backend=mc_backend,
+        mc_streaming=mc_streaming,
         seed=seed,
         progress=progress,
     )

@@ -72,6 +72,8 @@ def run_scalability(
     mc_trials: Optional[int] = None,
     mc_dtype: Optional[str] = None,
     mc_workers: Optional[int] = None,
+    mc_backend: Optional[str] = None,
+    mc_streaming: Optional[bool] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
     progress: Optional[callable] = None,
@@ -80,6 +82,8 @@ def run_scalability(
     trials = mc_trials if mc_trials is not None else config.trials
     dtype = mc_dtype if mc_dtype is not None else config.dtype
     workers = mc_workers if mc_workers is not None else config.workers
+    backend = mc_backend if mc_backend is not None else config.backend
+    streaming = mc_streaming if mc_streaming is not None else config.streaming
     base_seed = seed if seed is not None else config.seed
     options = estimator_options or {}
 
@@ -87,7 +91,13 @@ def run_scalability(
     model = ExponentialErrorModel.for_graph(graph, config.pfail)
 
     reference = get_estimator(
-        "monte-carlo", trials=trials, seed=base_seed, dtype=dtype, workers=workers
+        "monte-carlo",
+        trials=trials,
+        seed=base_seed,
+        dtype=dtype,
+        workers=workers,
+        backend=backend,
+        streaming=streaming,
     ).estimate(graph, model)
     if progress:
         progress(

@@ -84,6 +84,28 @@ class DiscreteBatch:
         )
 
     @classmethod
+    def from_rvs(cls, rvs: "list[DiscreteRV]") -> "DiscreteBatch":
+        """Pack scalar :class:`DiscreteRV` instances as rows of one batch.
+
+        The scalar class invariant (ascending support, normalised mass)
+        matches the batch invariant directly, so packing is a pad-only
+        copy — no re-normalisation that could perturb the atoms.  This is
+        the bridge Dodin's batched reduction rounds use to lift arc laws
+        into row-parallel operations.
+        """
+        if not rvs:
+            raise EstimationError("cannot build a batch from zero variables")
+        sizes = np.array([rv.support_size for rv in rvs], dtype=np.int64)
+        width = int(sizes.max())
+        values = np.full((len(rvs), width), np.inf)
+        probs = np.zeros((len(rvs), width))
+        for i, rv in enumerate(rvs):
+            size = int(sizes[i])
+            values[i, :size] = rv.values
+            probs[i, :size] = rv.probabilities
+        return cls(values=values, probs=probs, sizes=sizes)
+
+    @classmethod
     def two_state(
         cls, nominal: np.ndarray, reexecuted: np.ndarray, pfail: np.ndarray
     ) -> "DiscreteBatch":

@@ -74,6 +74,29 @@ class RunningMoments:
         self.minimum = min(self.minimum, float(batch.min()))
         self.maximum = max(self.maximum, float(batch.max()))
 
+    def merge(self, other: "RunningMoments") -> None:
+        """Fold another accumulator into this one (Chan's pairwise update).
+
+        Merging ``B`` into ``A`` leaves ``A`` holding exactly the moments of
+        the concatenated sample, which is what lets parallel Monte Carlo
+        backends accumulate per-batch (or per-process) partial moments and
+        combine them deterministically afterwards.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+        else:
+            delta = other.mean - self.mean
+            total = self.count + other.count
+            self.m2 += other.m2 + delta * delta * self.count * other.count / total
+            self.mean += delta * other.count / total
+            self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
     @property
     def variance(self) -> float:
         """Sample variance (ddof=1)."""

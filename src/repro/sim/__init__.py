@@ -1,4 +1,5 @@
-"""Monte Carlo simulation: sampling, batched longest paths, streaming stats."""
+"""Monte Carlo simulation: sampling, batched longest paths, pluggable
+execution backends and streaming statistics."""
 
 from .sampler import (
     SamplingMode,
@@ -13,8 +14,17 @@ from .engine import (
     MonteCarloResult,
     simulate_expected_makespan,
 )
+from .executors import BACKENDS, batch_stream, resolve_backend
 from .longest_path import batch_makespans_with_details, streaming_makespans
-from .stats import ConvergenceTracker, relative_half_width, required_trials
+from .stats import (
+    ConvergenceTracker,
+    P2Quantile,
+    QuantileSketch,
+    ReservoirSample,
+    StreamingSummary,
+    relative_half_width,
+    required_trials,
+)
 
 __all__ = [
     "sample_failure_mask",
@@ -26,9 +36,16 @@ __all__ = [
     "simulate_expected_makespan",
     "DEFAULT_TRIALS",
     "DEFAULT_BATCH",
+    "BACKENDS",
+    "batch_stream",
+    "resolve_backend",
     "batch_makespans_with_details",
     "streaming_makespans",
     "ConvergenceTracker",
+    "P2Quantile",
+    "QuantileSketch",
+    "ReservoirSample",
+    "StreamingSummary",
     "relative_half_width",
     "required_trials",
 ]

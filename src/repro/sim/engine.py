@@ -12,41 +12,50 @@ The engine is a *zero-copy pipeline* around the level-wavefront kernel of
   engine, not once per batch;
 * all working buffers — the uniform-variate matrix fed to the RNG, the
   failure mask, and the kernel's task-major ``(tasks, batch)`` completion
-  buffer — are allocated once per *worker* and reused by every batch;
+  buffer — are allocated once per *evaluation slot* and reused by every
+  batch;
 * in two-state mode the effective times ``w + mask * (f - 1) w`` are fused
   directly into the kernel buffer (one multiply + one add, no intermediate
   ``(trials, tasks)`` weight matrix), and the longest-path recurrence then
   runs in place on that same buffer.
 
-Independent batches are embarrassingly parallel, and the wavefront kernel
-spends its time inside GIL-releasing NumPy primitives, so the engine ships
-a *threaded batch scheduler*: ``workers=k`` partitions the batch sequence
-round-robin over ``k`` workers, each owning a private
-:class:`~repro.core.kernels.WavefrontKernel` (the kernel is not reentrant),
-private sampling buffers and a private RNG stream derived via
-``numpy.random.SeedSequence.spawn``.  Batch results are folded into the
-streaming statistics in batch-index order, so a run is bit-reproducible
-for a fixed ``(seed, workers)`` pair.  With ``workers=1`` (the default) no
-thread pool is created and the RNG consumption order is exactly that of
-the single-threaded pipeline: results are bit-identical to the
-pre-threading engine for a given seed.
+Execution backends
+------------------
 
-Randomness is drawn in the same trial-major ``(batch, tasks)`` order as the
-pre-pipeline implementation, so single-worker results for a given seed are
-unchanged (bit-identical at float64).  A ``dtype`` knob selects the kernel
-precision: ``float64`` (default) or ``float32``, which halves the memory
-traffic of the recurrence at a relative rounding error (~1e-7) far below
-Monte Carlo standard error.
+Batch scheduling is delegated to the pluggable backends of
+:mod:`repro.sim.executors`:
 
-Statistics are accumulated in a streaming fashion so memory stays bounded
-regardless of the trial count; optionally the full sample can be kept for
-distribution-level analyses.
+* ``"serial"`` (default for ``workers=1``) evaluates batches sequentially
+  on a single RNG stream — bit-identical to the historical single-threaded
+  engine for a given seed;
+* ``"threads"`` (default for ``workers>1``) runs batches on a thread pool
+  of private evaluation slots;
+* ``"processes"`` runs batches on a process pool with per-process compiled
+  kernels and a ``multiprocessing.shared_memory`` result buffer, bypassing
+  the GIL entirely.
+
+The parallel backends derive the RNG stream of batch ``b`` from
+``SeedSequence(seed).spawn``-style per-batch keys and fold results in
+batch-index order, so ``threads`` and ``processes`` produce identical
+merged estimates for a fixed seed at any worker count (see the
+determinism contract in :mod:`repro.sim.executors`).
+
+Streaming statistics
+--------------------
+
+Statistics are always accumulated in a streaming fashion (Welford/Chan
+moments), so memory stays bounded regardless of the trial count.  With
+``streaming=True`` the engine additionally folds every batch into a
+fixed-grid :class:`~repro.sim.stats.QuantileSketch` (and optionally a
+:class:`~repro.sim.stats.ReservoirSample`), so a million-trial run serves
+mean/std/CI *and* quantiles in O(batch) additional memory with
+``samples=None``; ``keep_samples=True`` keeps the historical materialised
+:class:`~repro.rv.empirical.EmpiricalDistribution` instead.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
@@ -57,12 +66,18 @@ from ..core.kernels import WavefrontKernel, normalize_dtype, schedule_for
 from ..exceptions import EstimationError, GraphError
 from ..failures.models import ErrorModel
 from ..rv.empirical import EmpiricalDistribution, RunningMoments
+from .executors import batch_stream, create_backend, resolve_backend
 from .sampler import (
     DEFAULT_MAX_EXECUTIONS,
     SamplingMode,
     task_failure_probabilities,
 )
-from .stats import ConvergenceTracker
+from .stats import (
+    DEFAULT_SKETCH_BINS,
+    ConvergenceTracker,
+    QuantileSketch,
+    ReservoirSample,
+)
 
 __all__ = ["MonteCarloResult", "MonteCarloEngine", "simulate_expected_makespan"]
 
@@ -71,6 +86,10 @@ __all__ = ["MonteCarloResult", "MonteCarloEngine", "simulate_expected_makespan"]
 #: experiment drivers override it explicitly.
 DEFAULT_TRIALS = 50_000
 DEFAULT_BATCH = 8_192
+
+#: Spawn key of the reservoir's dedicated RNG stream — far outside the
+#: per-batch key range so enabling the reservoir never perturbs a trial.
+_RESERVOIR_SPAWN_KEY = 2**48
 
 
 @dataclass
@@ -91,6 +110,26 @@ class MonteCarloResult:
     history: Tuple[Tuple[int, float], ...] = field(default_factory=tuple)
     dtype: str = "float64"
     workers: int = 1
+    backend: str = "serial"
+    streaming: bool = False
+    sketch: Optional[QuantileSketch] = None
+    reservoir: Optional[np.ndarray] = None
+
+    def quantile(self, q: float) -> float:
+        """Quantile of the makespan distribution.
+
+        Served exactly from the materialised sample when ``keep_samples``
+        was set, and approximately (one sketch-bin accuracy) from the
+        streaming quantile sketch otherwise.
+        """
+        if self.samples is not None:
+            return self.samples.quantile(q)
+        if self.sketch is not None:
+            return self.sketch.quantile(q)
+        raise EstimationError(
+            "no distribution information kept: run with keep_samples=True "
+            "or streaming=True to query quantiles"
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -102,15 +141,19 @@ class MonteCarloResult:
 
 
 class _BatchWorker:
-    """One worker's private evaluation state: kernel, buffers, RNG stream.
+    """One slot's private evaluation state: kernel, buffers, RNG stream.
 
-    The engine owns one instance per worker; each instance is only ever
-    used by a single thread at a time, which satisfies the wavefront
-    kernel's non-reentrancy contract while the compiled schedule stays
-    shared through the index cache.
+    The engine owns one instance per in-process worker; each instance is
+    only ever used by a single thread at a time, which satisfies the
+    wavefront kernel's non-reentrancy contract while the compiled schedule
+    stays shared through the index cache.  The slot either owns a
+    sequential RNG stream (serial backend) or receives a per-batch stream
+    with every :meth:`evaluate` call (parallel backends).
     """
 
-    def __init__(self, engine: "MonteCarloEngine", rng: np.random.Generator) -> None:
+    def __init__(
+        self, engine: "MonteCarloEngine", rng: Optional[np.random.Generator]
+    ) -> None:
         self.rng = rng
         self.kernel = WavefrontKernel(
             engine.index, direction="up", dtype=engine.dtype
@@ -130,9 +173,13 @@ class _BatchWorker:
             self.uniform = None
             self.mask = None
 
-    def evaluate(self, batch: int) -> np.ndarray:
+    def evaluate(
+        self, batch: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
         """Sample one batch in place and return its makespans."""
         engine = self.engine
+        if rng is None:
+            rng = self.rng
         n = engine.index.num_tasks
         if n == 0:
             return np.zeros(batch, dtype=np.float64)
@@ -143,7 +190,7 @@ class _BatchWorker:
         perm = kernel.perm
         if engine.mode == "two-state":
             uniform = self.uniform[:batch]
-            self.rng.random(out=uniform)
+            rng.random(out=uniform)
             mask = self.mask[:, :batch]
             np.less(uniform.T, engine._q_rows, out=mask)
             # Fused two-state weights, written straight into the kernel
@@ -153,7 +200,7 @@ class _BatchWorker:
         else:
             # Executions until success, capped; same RNG stream as the
             # trial-major sampler.
-            draws = self.rng.geometric(engine._success, size=(batch, n))
+            draws = rng.geometric(engine._success, size=(batch, n))
             np.minimum(draws, DEFAULT_MAX_EXECUTIONS, out=draws)
             np.multiply(draws.T[perm], engine._w_rows, out=view)
         kernel.propagate(batch)
@@ -182,7 +229,8 @@ class MonteCarloEngine:
     reexecution_factor:
         Cost multiplier of a re-execution in two-state mode.
     keep_samples:
-        Keep the full sample (needed for quantiles / histograms).
+        Keep the full sample (exact quantiles / histograms; incompatible
+        with ``streaming``).
     confidence:
         Confidence level of the reported interval.
     target_relative_half_width:
@@ -194,13 +242,27 @@ class MonteCarloEngine:
         ``"float32"`` (halves kernel memory traffic; the rounding error is
         orders of magnitude below Monte Carlo noise).
     workers:
-        Number of batch-evaluation threads.  ``1`` (default) keeps the
-        single-threaded pipeline — and its exact RNG stream — so seeded
-        results are bit-identical to the pre-threading engine.  With
-        ``k > 1`` workers, batch ``b`` of the run is evaluated by worker
-        ``b mod k`` on a private RNG stream spawned from the seed; results
-        are bit-reproducible for a fixed ``(seed, workers)`` pair but
-        differ (by Monte Carlo noise only) across worker counts.
+        Number of parallel evaluation workers for the ``threads`` and
+        ``processes`` backends.  ``1`` (default) selects the serial
+        reference backend unless ``backend`` says otherwise.
+    backend:
+        Execution backend: ``"serial"``, ``"threads"`` or ``"processes"``
+        (see :mod:`repro.sim.executors`).  ``None`` (default) resolves to
+        ``"serial"`` for one worker and ``"threads"`` otherwise —
+        the historical behaviour.
+    streaming:
+        Fold every batch into a fixed-grid quantile sketch (and optional
+        reservoir) instead of materialising anything: the result still
+        serves mean/std/CI *and* quantiles with ``samples=None`` in
+        O(batch) additional memory.  Recommended together with
+        ``dtype="float32"`` for exploratory million-trial runs.
+    sketch_bins:
+        Bin count of the streaming quantile sketch.
+    reservoir:
+        Capacity of the streaming reservoir subsample (0 disables it;
+        requires ``streaming=True``).  The reservoir draws from a
+        dedicated RNG stream, so enabling it does not change the sampled
+        trials.
     """
 
     def __init__(
@@ -218,6 +280,10 @@ class MonteCarloEngine:
         target_relative_half_width: Optional[float] = None,
         dtype: Union[str, np.dtype, type, None] = np.float64,
         workers: int = 1,
+        backend: Optional[str] = None,
+        streaming: bool = False,
+        sketch_bins: int = DEFAULT_SKETCH_BINS,
+        reservoir: int = 0,
     ) -> None:
         if trials <= 0:
             raise EstimationError("number of trials must be positive")
@@ -229,6 +295,18 @@ class MonteCarloEngine:
             raise EstimationError("re-execution factor must be >= 1")
         if workers < 1:
             raise EstimationError("number of workers must be at least 1")
+        if streaming and keep_samples:
+            raise EstimationError(
+                "streaming mode replaces the materialised sample; "
+                "choose streaming=True or keep_samples=True, not both"
+            )
+        if reservoir < 0:
+            raise EstimationError("reservoir capacity must be non-negative")
+        if reservoir > 0 and not streaming:
+            raise EstimationError(
+                "the reservoir subsample is part of streaming mode; "
+                "pass streaming=True (or keep_samples=True for the full sample)"
+            )
         self.graph = graph
         self.index: GraphIndex = graph.index()
         self.model = model
@@ -240,6 +318,10 @@ class MonteCarloEngine:
         self.confidence = confidence
         self.target_relative_half_width = target_relative_half_width
         self.workers = int(workers)
+        self.backend = resolve_backend(backend, self.workers)
+        self.streaming = bool(streaming)
+        self.sketch_bins = int(sketch_bins)
+        self.reservoir = int(reservoir)
         try:
             self.dtype = normalize_dtype(dtype)
         except GraphError as exc:
@@ -267,45 +349,62 @@ class MonteCarloEngine:
                     "some task never succeeds; geometric sampling diverges"
                 )
 
-        # One private kernel + buffer set + RNG stream per worker.  A
-        # single worker consumes the seed exactly like the pre-threading
-        # engine (``default_rng(seed)``); k > 1 workers draw from
-        # independent SeedSequence-spawned streams.  All `workers` streams
-        # are spawned (the (seed, workers) pair defines the sample), but
-        # kernels and buffers are only allocated for workers that can
-        # actually receive a batch of the plan.
-        if self.workers == 1:
-            rngs = [np.random.default_rng(seed)]
-        else:
-            active = min(self.workers, len(self._batch_plan()))
-            rngs = [
-                np.random.default_rng(ss)
-                for ss in np.random.SeedSequence(seed).spawn(self.workers)[:active]
+        # The seed entropy is the root of every derived stream: the serial
+        # backend consumes ``default_rng(seed)`` sequentially (exactly like
+        # the historical engine), the parallel backends spawn one child
+        # stream per *batch* from this entropy (see executors.batch_stream).
+        self._seed = seed
+        self._root_sequence = np.random.SeedSequence(seed)
+
+        # In-process evaluation slots.  The serial backend owns exactly one
+        # slot with the sequential stream; the thread backend owns one slot
+        # per worker that can receive a batch (streams arrive per batch);
+        # the process backend builds its slots inside the worker processes.
+        if self.backend == "serial":
+            rngs: List[Optional[np.random.Generator]] = [
+                np.random.default_rng(seed)
             ]
+        elif self.backend == "threads":
+            rngs = [None] * min(self.workers, len(self._batch_plan()))
+        else:
+            rngs = []
         self._slots = [_BatchWorker(self, rng) for rng in rngs]
+        self._executor = create_backend(self)
+
+    # ------------------------------------------------------------------
+    # RNG stream derivation
+    # ------------------------------------------------------------------
+    @property
+    def seed_entropy(self):
+        """Root entropy shared by every derived per-batch stream."""
+        return self._root_sequence.entropy
+
+    def batch_rng(self, batch_index: int) -> np.random.Generator:
+        """The parallel backends' RNG stream of one batch of the plan."""
+        return batch_stream(self.seed_entropy, batch_index)
 
     # ------------------------------------------------------------------
     # Single-worker compatibility accessors (slot 0 owns the buffers the
     # pre-threading engine kept on `self`).
     # ------------------------------------------------------------------
     @property
-    def rng(self) -> np.random.Generator:
-        return self._slots[0].rng
+    def rng(self) -> Optional[np.random.Generator]:
+        return self._slots[0].rng if self._slots else None
 
     @property
-    def _kernel(self) -> WavefrontKernel:
-        return self._slots[0].kernel
+    def _kernel(self) -> Optional[WavefrontKernel]:
+        return self._slots[0].kernel if self._slots else None
 
     @property
     def _uniform(self) -> Optional[np.ndarray]:
-        return self._slots[0].uniform
+        return self._slots[0].uniform if self._slots else None
 
     @property
     def _mask(self) -> Optional[np.ndarray]:
-        return self._slots[0].mask
+        return self._slots[0].mask if self._slots else None
 
     def _evaluate_batch(self, batch: int) -> np.ndarray:
-        """Sample one batch on worker 0 and return its makespans."""
+        """Sample one batch on slot 0 and return its makespans."""
         return self._slots[0].evaluate(batch)
 
     # ------------------------------------------------------------------
@@ -326,47 +425,39 @@ class MonteCarloEngine:
             confidence=self.confidence,
             target_relative_half_width=self.target_relative_half_width,
         )
-        kept = [] if self.keep_samples else None
+        kept: Optional[List[np.ndarray]] = [] if self.keep_samples else None
+        sketch: Optional[QuantileSketch] = None
+        reservoir: Optional[ReservoirSample] = None
+        if self.streaming:
+            sketch = QuantileSketch(bins=self.sketch_bins)
+            if self.reservoir > 0:
+                reservoir_rng = np.random.default_rng(
+                    np.random.SeedSequence(
+                        entropy=self.seed_entropy,
+                        spawn_key=(_RESERVOIR_SPAWN_KEY,),
+                    )
+                )
+                reservoir = ReservoirSample(self.reservoir, rng=reservoir_rng)
 
-        if self.workers == 1:
-            remaining = self.trials
-            while remaining > 0:
-                batch = min(self.batch_size, remaining)
-                makespans = self._evaluate_batch(batch)
-                tracker.update(makespans)
-                if kept is not None:
-                    kept.append(np.asarray(makespans, dtype=np.float64))
-                remaining -= batch
-                if tracker.converged:
-                    break
-        else:
-            # Rounds of one batch per worker: within a round the batches
-            # run concurrently, between rounds results are folded into the
-            # tracker in batch-index order (deterministic aggregation) and
-            # the convergence criterion is re-evaluated.
-            plan = self._batch_plan()
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                for base in range(0, len(plan), self.workers):
-                    round_sizes = plan[base : base + self.workers]
-                    futures = [
-                        pool.submit(self._slots[offset].evaluate, batch)
-                        for offset, batch in enumerate(round_sizes)
-                    ]
-                    converged = False
-                    for future in futures:
-                        makespans = future.result()
-                        tracker.update(makespans)
-                        if kept is not None:
-                            kept.append(np.asarray(makespans, dtype=np.float64))
-                        if tracker.converged:
-                            converged = True
-                    if converged:
-                        break
+        def consume(makespans: np.ndarray) -> bool:
+            data = np.asarray(makespans, dtype=np.float64).ravel()
+            tracker.update(data)
+            if kept is not None:
+                kept.append(data)
+            if sketch is not None:
+                sketch.update(data)
+            if reservoir is not None:
+                reservoir.update(data)
+            return tracker.converged
+
+        self._executor.run(consume)
 
         elapsed = time.perf_counter() - start
         moments: RunningMoments = tracker.moments
         samples = (
-            EmpiricalDistribution(np.concatenate(kept)) if kept is not None and kept else None
+            EmpiricalDistribution(np.concatenate(kept))
+            if kept is not None and kept
+            else None
         )
         return MonteCarloResult(
             mean=moments.mean,
@@ -383,6 +474,10 @@ class MonteCarloEngine:
             history=tuple(tracker.history),
             dtype=self.dtype.name,
             workers=self.workers,
+            backend=self.backend,
+            streaming=self.streaming,
+            sketch=sketch,
+            reservoir=reservoir.samples() if reservoir is not None else None,
         )
 
 
@@ -395,9 +490,19 @@ def simulate_expected_makespan(
     mode: SamplingMode = "two-state",
     dtype: Union[str, np.dtype, type, None] = np.float64,
     workers: int = 1,
+    backend: Optional[str] = None,
+    streaming: bool = False,
 ) -> float:
     """Functional shortcut returning only the Monte Carlo mean."""
     engine = MonteCarloEngine(
-        graph, model, trials=trials, seed=seed, mode=mode, dtype=dtype, workers=workers
+        graph,
+        model,
+        trials=trials,
+        seed=seed,
+        mode=mode,
+        dtype=dtype,
+        workers=workers,
+        backend=backend,
+        streaming=streaming,
     )
     return engine.run().mean

@@ -1,0 +1,368 @@
+"""Pluggable parallel execution backends for the Monte Carlo engine.
+
+:class:`repro.sim.MonteCarloEngine` owns the *what* of a simulation — the
+sampling pipeline, the wavefront kernel, the statistics — while the classes
+here own the *how*: scheduling the deterministic batch plan onto compute
+resources.  Three interchangeable backends are provided:
+
+``serial``
+    Evaluates batches one after the other on a single sequential RNG stream
+    (``numpy.random.default_rng(seed)``).  Bit-identical to the historical
+    ``workers=1`` engine: the reference backend.
+
+``threads``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` over per-worker
+    evaluation slots (private kernel + buffers each, satisfying the
+    wavefront kernel's non-reentrancy contract).  The kernel spends its
+    time in GIL-releasing NumPy primitives, so threads scale until the
+    sampling and small-level updates serialise on the GIL.
+
+``processes``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` sidestepping the GIL
+    entirely: every worker process compiles its own kernel once (from a
+    compact, cache-free graph payload) and writes batch makespans straight
+    into a :mod:`multiprocessing.shared_memory` result buffer — no pickling
+    of sample arrays on the hot path.  The error model must be picklable.
+
+Determinism contract
+--------------------
+
+RNG streams for the parallel backends are derived **per batch**, not per
+worker: batch ``b`` always draws from
+``SeedSequence(entropy=root, spawn_key=(b,))`` where ``root`` is the
+engine's seed entropy.  Results are folded into the statistics in
+batch-index order, and early stopping cuts the fold at the same batch
+regardless of scheduling.  Consequently ``threads`` and ``processes``
+produce *identical* merged estimates for a fixed seed at **any** worker
+count — the worker count is purely a throughput knob.  The ``serial``
+backend intentionally keeps the historical single sequential stream
+instead, so seeded results remain bit-identical with earlier releases;
+it therefore differs from the parallel backends by Monte Carlo noise only.
+
+Backends call ``consume(makespans)`` once per batch in batch-index order;
+``consume`` returns ``True`` to request an early stop.  Later backends
+(free-threaded builds, GPU queues) only need to honour that contract to
+slot in.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import EstimationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import MonteCarloEngine
+
+__all__ = [
+    "BACKENDS",
+    "resolve_backend",
+    "create_backend",
+    "batch_stream",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadsBackend",
+    "ProcessesBackend",
+]
+
+#: The available executor backends, in documentation order.
+BACKENDS = ("serial", "threads", "processes")
+
+#: ``consume(makespans) -> stop?`` — the per-batch folding callback.
+Consumer = Callable[[np.ndarray], bool]
+
+
+def batch_stream(entropy, batch_index: int) -> np.random.Generator:
+    """The RNG stream of one batch of the deterministic plan.
+
+    Equivalent to ``SeedSequence(entropy).spawn(B)[batch_index]`` for any
+    ``B > batch_index``, but O(1): children of a spawn differ only by their
+    ``spawn_key``.  Every parallel backend — in-process or not — derives
+    batch ``b``'s stream this way, which is what makes the merged result
+    independent of the worker count and of the threads/processes choice.
+    """
+    root = np.random.SeedSequence(entropy=entropy, spawn_key=(int(batch_index),))
+    return np.random.default_rng(root)
+
+
+def resolve_backend(name: Optional[str], workers: int) -> str:
+    """Resolve (and validate) the backend name.
+
+    ``None`` keeps the historical behaviour: one worker means the serial
+    reference path, several workers mean the thread pool.
+    """
+    if name is None:
+        return "serial" if workers == 1 else "threads"
+    resolved = str(name).strip().lower()
+    if resolved not in BACKENDS:
+        raise EstimationError(
+            f"unknown execution backend {name!r}; choose one of {', '.join(BACKENDS)}"
+        )
+    if resolved == "serial" and workers != 1:
+        raise EstimationError(
+            "the serial backend evaluates on exactly one worker; "
+            "use backend='threads' or 'processes' for workers > 1"
+        )
+    return resolved
+
+
+def create_backend(engine: "MonteCarloEngine") -> "ExecutorBackend":
+    """Instantiate the engine's configured backend."""
+    cls = {
+        "serial": SerialBackend,
+        "threads": ThreadsBackend,
+        "processes": ProcessesBackend,
+    }[engine.backend]
+    return cls(engine)
+
+
+class ExecutorBackend:
+    """Base class: schedule the engine's batch plan onto compute resources."""
+
+    name = "abstract"
+
+    def __init__(self, engine: "MonteCarloEngine") -> None:
+        self.engine = engine
+
+    def run(self, consume: Consumer) -> None:
+        """Evaluate every batch of the plan, folding results in batch order.
+
+        Implementations must call ``consume`` exactly once per evaluated
+        batch, in batch-index order, and stop scheduling new work once it
+        returns ``True``.
+        """
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutorBackend):
+    """Sequential reference: one slot, one RNG stream, batches in order."""
+
+    name = "serial"
+
+    def run(self, consume: Consumer) -> None:
+        slot = self.engine._slots[0]
+        for batch in self.engine._batch_plan():
+            if consume(slot.evaluate(batch)):
+                break
+
+
+class ThreadsBackend(ExecutorBackend):
+    """Thread pool over private evaluation slots, per-batch RNG streams.
+
+    Batches are scheduled in rounds of one batch per slot: within a round
+    the evaluations run concurrently, between rounds the results fold into
+    the statistics in batch-index order and the stopping criterion is
+    re-checked.  The round barrier is what lets a slot's buffers be reused
+    without synchronisation.
+    """
+
+    name = "threads"
+
+    def run(self, consume: Consumer) -> None:
+        engine = self.engine
+        plan = engine._batch_plan()
+        slots = engine._slots
+        k = len(slots)
+        with ThreadPoolExecutor(max_workers=k) as pool:
+            for base in range(0, len(plan), k):
+                futures = [
+                    pool.submit(
+                        slots[offset].evaluate,
+                        batch,
+                        engine.batch_rng(base + offset),
+                    )
+                    for offset, batch in enumerate(plan[base : base + k])
+                ]
+                stop = False
+                for future in futures:
+                    if not stop and consume(future.result()):
+                        stop = True
+                    elif stop:
+                        # Drain the round (results are discarded) so the
+                        # slots are quiescent before the pool shuts down.
+                        future.result()
+                if stop:
+                    return
+
+
+# ----------------------------------------------------------------------
+# Process backend
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ProcessSpec:
+    """Everything a worker process needs to rebuild the evaluation state.
+
+    The graph travels as its compact :func:`repro.core.serialize.graph_to_dict`
+    payload (plain dicts — no index caches, no kernel buffers), the error
+    model is pickled directly, and the shared-memory block is referenced by
+    name.
+    """
+
+    graph_payload: dict
+    model: object
+    mode: str
+    reexecution_factor: float
+    dtype: str
+    capacity: int
+    entropy: object
+    shm_name: str
+    total_trials: int
+
+
+class _ProcessWorkerState:
+    """Per-process state: a single-slot engine plus the shared buffer.
+
+    Both are set up once per worker (pool initializer): the kernel compiles
+    once, and the shared-memory block is attached and mapped once — batch
+    evaluations then write into the cached view with no per-batch attach
+    syscalls.  The mapping lives until the worker process exits.
+    """
+
+    def __init__(self, spec: _ProcessSpec) -> None:
+        from ..core.serialize import graph_from_dict
+        from .engine import MonteCarloEngine
+
+        graph = graph_from_dict(spec.graph_payload)
+        # A one-slot serial engine: the kernel is compiled once per process,
+        # the sampling buffers are allocated once at full batch capacity.
+        self.engine = MonteCarloEngine(
+            graph,
+            spec.model,
+            trials=spec.capacity,
+            batch_size=spec.capacity,
+            mode=spec.mode,
+            reexecution_factor=spec.reexecution_factor,
+            dtype=spec.dtype,
+            backend="serial",
+        )
+        self.entropy = spec.entropy
+        self.shm = _attach_shared_memory(spec.shm_name)
+        self.out = np.ndarray(
+            (spec.total_trials,), dtype=np.float64, buffer=self.shm.buf
+        )
+
+
+_WORKER_STATE: Optional[_ProcessWorkerState] = None
+
+
+def _attach_shared_memory(name: str):
+    """Attach to an existing shared-memory block without tracking it.
+
+    On Python >= 3.13 ``track=False`` prevents the attaching process's
+    resource tracker from adopting a segment it does not own.  On earlier
+    versions the duplicate registration is harmless here: the tracker's
+    cache is a set (re-registrations collapse) and the parent's ``unlink``
+    clears the entry once every worker is done.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _process_worker_init(spec: _ProcessSpec) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = _ProcessWorkerState(spec)
+
+
+def _process_worker_eval(batch_index: int, batch: int, offset: int) -> int:
+    """Evaluate one batch and write its makespans into the shared buffer."""
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - initializer always ran
+        raise EstimationError("process worker used before initialisation")
+    rng = batch_stream(state.entropy, batch_index)
+    makespans = state.engine._slots[0].evaluate(batch, rng=rng)
+    state.out[offset : offset + batch] = makespans
+    return batch_index
+
+
+class ProcessesBackend(ExecutorBackend):
+    """Process pool with a shared-memory result buffer.
+
+    Every worker process compiles its own wavefront kernel once (in the
+    pool initializer) and then evaluates batches of the plan, writing the
+    resulting makespans directly into one shared ``float64`` buffer sized
+    for the whole run (8 bytes/trial — 8 MB for a million trials).  The
+    parent folds finished batches into the statistics in batch-index order
+    as they land, so the merged result is identical to the ``threads``
+    backend at any worker count.
+    """
+
+    name = "processes"
+
+    def run(self, consume: Consumer) -> None:
+        from multiprocessing import shared_memory
+
+        from ..core.serialize import graph_to_dict
+
+        engine = self.engine
+        plan = engine._batch_plan()
+        offsets: List[int] = [0]
+        for batch in plan:
+            offsets.append(offsets[-1] + batch)
+        total = offsets[-1]
+        k = min(engine.workers, len(plan))
+
+        shm = shared_memory.SharedMemory(create=True, size=max(8, total * 8))
+        try:
+            view = np.ndarray((total,), dtype=np.float64, buffer=shm.buf)
+            spec = _ProcessSpec(
+                graph_payload=graph_to_dict(engine.graph),
+                model=engine.model,
+                mode=engine.mode,
+                reexecution_factor=engine.reexecution_factor,
+                dtype=engine.dtype.name,
+                capacity=engine._capacity,
+                entropy=engine.seed_entropy,
+                shm_name=shm.name,
+                total_trials=total,
+            )
+            with ProcessPoolExecutor(
+                max_workers=k,
+                initializer=_process_worker_init,
+                initargs=(spec,),
+            ) as pool:
+                futures: Dict[object, int] = {
+                    pool.submit(_process_worker_eval, b, batch, offsets[b]): b
+                    for b, batch in enumerate(plan)
+                }
+                pending = set(futures)
+                finished = set()
+                next_fold = 0
+                stopped = False
+                while pending and not stopped:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        future.result()  # re-raise worker failures eagerly
+                        finished.add(futures[future])
+                    while next_fold < len(plan) and next_fold in finished:
+                        makespans = view[
+                            offsets[next_fold] : offsets[next_fold + 1]
+                        ].copy()
+                        finished.discard(next_fold)
+                        next_fold += 1
+                        if consume(makespans):
+                            stopped = True
+                            break
+                if stopped:
+                    for future in pending:
+                        future.cancel()
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - tracker raced us
+                pass

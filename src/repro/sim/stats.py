@@ -1,9 +1,35 @@
-"""Convergence diagnostics for Monte Carlo estimation.
+"""Convergence diagnostics and streaming statistics for Monte Carlo runs.
 
 The paper uses a very large number of trials (300,000, and a ten-hour run
 for the largest graph) so that the Monte Carlo mean can serve as ground
 truth.  When running with fewer trials it is important to know how much
 Monte Carlo noise remains; the helpers here quantify it.
+
+Beyond the convergence tracker, this module provides the *streaming
+statistics layer* that lets :class:`repro.sim.MonteCarloEngine` execute
+million-trial runs in O(batch) memory instead of materialising the full
+sample vector:
+
+* :class:`~repro.rv.empirical.RunningMoments` (re-exported) accumulates
+  mean/variance/extrema with Welford/Chan batch updates and supports exact
+  pairwise :meth:`~repro.rv.empirical.RunningMoments.merge`;
+* :class:`QuantileSketch` is a fixed-grid streaming histogram: the grid is
+  frozen from the first batch (with padding), later batches fold in as
+  vectorised histogram counts, and quantiles are read off the cumulative
+  counts with linear interpolation — the approximation error is bounded by
+  one bin width (out-of-grid mass is tracked separately and interpolated
+  against the exact running extrema);
+* :class:`P2Quantile` is the classical P² (Jain & Chlamtac 1985) single
+  quantile estimator: five markers, O(1) memory, no grid to freeze.  It is
+  the reference implementation for the sketch's accuracy tests; the engine
+  uses the vectorised sketch;
+* :class:`ReservoirSample` keeps a uniform random subsample of a stream of
+  unknown length (vectorised Algorithm R), so distribution-level plots stay
+  possible in streaming mode;
+* :class:`StreamingSummary` bundles the three behind one ``update`` for
+  library users with their own sample streams.  (The engine composes the
+  pieces directly because its moments live inside the
+  :class:`ConvergenceTracker` that drives early stopping.)
 """
 
 from __future__ import annotations
@@ -17,7 +43,24 @@ import numpy as np
 from ..exceptions import EstimationError
 from ..rv.empirical import RunningMoments, mean_confidence_interval
 
-__all__ = ["ConvergenceTracker", "required_trials", "relative_half_width"]
+__all__ = [
+    "ConvergenceTracker",
+    "required_trials",
+    "relative_half_width",
+    "QuantileSketch",
+    "P2Quantile",
+    "ReservoirSample",
+    "StreamingSummary",
+    "RunningMoments",
+]
+
+#: Default number of bins of the streaming quantile sketch.  At 4,096 bins
+#: the sketch costs ~32 KiB and the quantile interpolation error is bounded
+#: by ~0.05% of the (padded) sample range.
+DEFAULT_SKETCH_BINS = 4_096
+
+#: Default capacity of the streaming reservoir subsample.
+DEFAULT_RESERVOIR = 10_000
 
 
 def relative_half_width(moments: RunningMoments, confidence: float = 0.95) -> float:
@@ -92,3 +135,282 @@ class ConvergenceTracker:
             "relative_half_width": relative_half_width(self.moments, self.confidence),
             "batches": len(self.history),
         }
+
+
+# ----------------------------------------------------------------------
+# Streaming statistics layer
+# ----------------------------------------------------------------------
+
+
+class QuantileSketch:
+    """Fixed-grid streaming histogram serving approximate quantiles.
+
+    The grid is frozen from the first batch: ``bins`` equal-width cells
+    spanning the first batch's range padded by ``padding`` on each side.
+    Every later batch folds in as one vectorised ``np.histogram`` count
+    update; mass falling outside the frozen grid is counted separately and
+    interpolated against the exact running minimum/maximum, so quantiles
+    stay finite and monotone even when later batches escape the initial
+    range.  The absolute quantile error is at most one bin width (of the
+    padded range) for in-grid mass.
+    """
+
+    def __init__(self, bins: int = DEFAULT_SKETCH_BINS) -> None:
+        if bins < 2:
+            raise EstimationError("quantile sketch needs at least two bins")
+        self.bins = int(bins)
+        self.padding = 0.25
+        self._edges: Optional[np.ndarray] = None
+        self._counts = np.zeros(self.bins, dtype=np.int64)
+        self._below = 0
+        self._above = 0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded in so far."""
+        return self._count
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the sketch's arrays."""
+        total = self._counts.nbytes
+        if self._edges is not None:
+            total += self._edges.nbytes
+        return total
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold one batch of observations into the sketch."""
+        batch = np.asarray(batch, dtype=np.float64).ravel()
+        if batch.size == 0:
+            return
+        lo = float(batch.min())
+        hi = float(batch.max())
+        self._min = min(self._min, lo)
+        self._max = max(self._max, hi)
+        self._count += batch.size
+        if self._edges is None:
+            span = hi - lo
+            pad = self.padding * span if span > 0.0 else max(1.0, abs(hi)) * 1e-6
+            self._edges = np.linspace(lo - pad, hi + pad, self.bins + 1)
+        edges = self._edges
+        inside = batch[(batch >= edges[0]) & (batch <= edges[-1])]
+        self._below += int((batch < edges[0]).sum())
+        self._above += int((batch > edges[-1]).sum())
+        if inside.size:
+            counts, _ = np.histogram(inside, bins=edges)
+            self._counts += counts
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile of the folded stream."""
+        if not (0.0 <= q <= 1.0):
+            raise EstimationError("quantile level must be in [0, 1]")
+        if self._count == 0 or self._edges is None:
+            raise EstimationError("quantile sketch is empty")
+        target = q * self._count
+        if target <= self._below:
+            # Interpolate inside the below-grid tail [min, edge0].
+            frac = target / self._below if self._below else 0.0
+            return self._min + frac * (self._edges[0] - self._min)
+        in_grid = self._count - self._above
+        if target >= in_grid:
+            over = target - in_grid
+            frac = over / self._above if self._above else 1.0
+            return float(self._edges[-1] + frac * (self._max - self._edges[-1]))
+        # Cumulative counts: first bin whose cumulative mass reaches target.
+        cum = self._below + np.cumsum(self._counts)
+        k = int(np.searchsorted(cum, target, side="left"))
+        prev = float(cum[k - 1]) if k else float(self._below)
+        mass = float(self._counts[k])
+        frac = (target - prev) / mass if mass > 0.0 else 0.0
+        left, right = self._edges[k], self._edges[k + 1]
+        # Clamp the outermost bins to the exact extrema.
+        left = max(float(left), self._min)
+        right = min(float(right), self._max)
+        return float(left + frac * (right - left))
+
+    def histogram(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The raw (counts, edges) pair of the frozen grid."""
+        if self._edges is None:
+            raise EstimationError("quantile sketch is empty")
+        return self._counts.copy(), self._edges.copy()
+
+
+class P2Quantile:
+    """P² single-quantile estimator (Jain & Chlamtac 1985).
+
+    Five markers track the running quantile in O(1) memory without storing
+    or sorting observations.  The per-observation update is a scalar Python
+    loop, so this is the *reference* streaming quantile (used to validate
+    the vectorised :class:`QuantileSketch`), not the engine's hot path.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not (0.0 < q < 1.0):
+            raise EstimationError("P² quantile level must be in (0, 1)")
+        self.q = float(q)
+        self._initial: List[float] = []
+        self._heights: Optional[List[float]] = None
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold a batch of observations, one at a time."""
+        for x in np.asarray(batch, dtype=np.float64).ravel():
+            self._observe(float(x))
+
+    def _observe(self, x: float) -> None:
+        self._count += 1
+        if self._heights is None:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+            return
+        h, pos = self._heights, self._positions
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            d = self._desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate."""
+        if self._count == 0:
+            raise EstimationError("P² estimator is empty")
+        if self._heights is None:
+            data = sorted(self._initial)
+            return float(np.quantile(np.asarray(data), self.q))
+        return float(self._heights[2])
+
+
+class ReservoirSample:
+    """Uniform random subsample of a stream (vectorised Algorithm R).
+
+    Element ``t`` of the stream (1-based) replaces a uniformly random
+    reservoir slot with probability ``capacity / t``; replacements within a
+    batch are applied in stream order, which reproduces the sequential
+    algorithm exactly.  The reservoir draws from its *own* RNG stream so
+    that enabling it never perturbs the trial sampling streams.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RESERVOIR,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if capacity < 1:
+            raise EstimationError("reservoir capacity must be positive")
+        self.capacity = int(capacity)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._store = np.empty(self.capacity, dtype=np.float64)
+        self._filled = 0
+        self._seen = 0
+
+    @property
+    def count(self) -> int:
+        """Number of stream elements seen so far."""
+        return self._seen
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold one batch of stream elements into the reservoir."""
+        batch = np.asarray(batch, dtype=np.float64).ravel()
+        if batch.size == 0:
+            return
+        offset = 0
+        if self._filled < self.capacity:
+            take = min(self.capacity - self._filled, batch.size)
+            self._store[self._filled : self._filled + take] = batch[:take]
+            self._filled += take
+            self._seen += take
+            offset = take
+        rest = batch[offset:]
+        if rest.size:
+            t = self._seen + np.arange(1, rest.size + 1, dtype=np.float64)
+            accept = self.rng.random(rest.size) < (self.capacity / t)
+            hits = int(accept.sum())
+            if hits:
+                slots = self.rng.integers(0, self.capacity, size=hits)
+                self._store[slots] = rest[accept]
+            self._seen += rest.size
+
+    def samples(self) -> np.ndarray:
+        """A copy of the current reservoir contents."""
+        return self._store[: self._filled].copy()
+
+
+class StreamingSummary:
+    """Streaming per-batch statistics: moments + quantile sketch + reservoir.
+
+    A convenience bundle for library users folding their own sample
+    streams — the same accumulators the engine's streaming mode composes
+    (there the moments live inside its :class:`ConvergenceTracker`).
+    Memory is O(sketch bins + reservoir capacity), independent of the
+    stream length.
+    """
+
+    def __init__(
+        self,
+        *,
+        bins: int = DEFAULT_SKETCH_BINS,
+        reservoir: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.moments = RunningMoments()
+        self.sketch = QuantileSketch(bins=bins)
+        self.reservoir = (
+            ReservoirSample(reservoir, rng=rng) if reservoir > 0 else None
+        )
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold one batch into all accumulators."""
+        batch = np.asarray(batch, dtype=np.float64).ravel()
+        self.moments.update(batch)
+        self.sketch.update(batch)
+        if self.reservoir is not None:
+            self.reservoir.update(batch)
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the sketch."""
+        return self.sketch.quantile(q)

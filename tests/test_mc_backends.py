@@ -1,0 +1,408 @@
+"""Cross-backend determinism and streaming-statistics tests.
+
+The executor-backend contract (see :mod:`repro.sim.executors`):
+
+* ``serial`` is bit-identical to the historical ``workers=1`` engine;
+* ``threads`` and ``processes`` derive RNG streams per *batch* and fold in
+  batch-index order, so a fixed seed yields identical merged estimates at
+  any worker count with either parallel backend;
+* streaming mode serves mean/std/CI from the same fold (exact agreement)
+  and quantiles from the fixed-grid sketch (one-bin accuracy).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError, ReproError
+from repro.failures.models import ExponentialErrorModel, FixedProbabilityModel
+from repro.sim.engine import MonteCarloEngine
+from repro.sim.executors import BACKENDS, batch_stream, resolve_backend
+from repro.sim.stats import (
+    P2Quantile,
+    QuantileSketch,
+    ReservoirSample,
+    StreamingSummary,
+)
+from repro.rv.empirical import RunningMoments
+from repro.workflows.registry import build_dag
+
+
+@pytest.fixture(scope="module")
+def case():
+    graph = build_dag("cholesky", 5)
+    model = ExponentialErrorModel.for_graph(graph, 1e-2)
+    return graph, model
+
+
+KW = dict(trials=6_000, batch_size=1_024, seed=123, keep_samples=True)
+
+
+class TestBackendResolution:
+    def test_default_resolution(self):
+        assert resolve_backend(None, 1) == "serial"
+        assert resolve_backend(None, 4) == "threads"
+
+    def test_explicit_names(self):
+        for name in BACKENDS:
+            workers = 1 if name == "serial" else 2
+            assert resolve_backend(name, workers) == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EstimationError):
+            resolve_backend("gpu", 1)
+
+    def test_serial_with_many_workers_rejected(self, case):
+        graph, model = case
+        with pytest.raises(EstimationError):
+            MonteCarloEngine(graph, model, backend="serial", workers=4)
+
+    def test_batch_stream_matches_seedsequence_spawn(self):
+        root = np.random.SeedSequence(99)
+        children = root.spawn(5)
+        for b in range(5):
+            a = np.random.default_rng(children[b]).random(8)
+            c = batch_stream(99, b).random(8)
+            assert np.array_equal(a, c)
+
+
+class TestCrossBackendDeterminism:
+    def test_serial_bit_identical_to_default_engine(self, case):
+        graph, model = case
+        default = MonteCarloEngine(graph, model, **KW).run()
+        serial = MonteCarloEngine(graph, model, backend="serial", **KW).run()
+        assert serial.backend == "serial"
+        assert np.array_equal(
+            serial.samples.samples(), default.samples.samples()
+        )
+        assert serial.mean == default.mean
+        assert serial.std == default.std
+
+    def test_identical_across_parallel_backends_and_worker_counts(self, case):
+        graph, model = case
+        results = [
+            MonteCarloEngine(
+                graph, model, backend=backend, workers=workers, **KW
+            ).run()
+            for backend, workers in [
+                ("threads", 1),
+                ("threads", 2),
+                ("threads", 4),
+                ("processes", 2),
+            ]
+        ]
+        reference = results[0]
+        assert reference.trials == KW["trials"]
+        for other in results[1:]:
+            assert np.array_equal(
+                other.samples.samples(), reference.samples.samples()
+            ), f"{other.backend}/{other.workers} diverged"
+            assert other.mean == reference.mean
+            assert other.std == reference.std
+            assert other.minimum == reference.minimum
+            assert other.maximum == reference.maximum
+
+    def test_parallel_backends_agree_with_serial_statistically(self, case):
+        graph, model = case
+        serial = MonteCarloEngine(graph, model, backend="serial", **KW).run()
+        threads = MonteCarloEngine(
+            graph, model, backend="threads", workers=2, **KW
+        ).run()
+        assert abs(serial.mean - threads.mean) <= 6.0 * (
+            serial.standard_error + threads.standard_error
+        )
+
+    def test_processes_reproducible_across_runs(self, case):
+        graph, model = case
+        kw = dict(trials=3_000, batch_size=512, seed=5, keep_samples=True)
+        a = MonteCarloEngine(graph, model, backend="processes", workers=2, **kw).run()
+        b = MonteCarloEngine(graph, model, backend="processes", workers=2, **kw).run()
+        assert np.array_equal(a.samples.samples(), b.samples.samples())
+
+    def test_processes_geometric_mode_matches_threads(self, case):
+        graph, model = case
+        kw = dict(trials=2_000, batch_size=512, seed=11, mode="geometric",
+                  keep_samples=True)
+        t = MonteCarloEngine(graph, model, backend="threads", workers=2, **kw).run()
+        p = MonteCarloEngine(graph, model, backend="processes", workers=2, **kw).run()
+        assert np.array_equal(p.samples.samples(), t.samples.samples())
+
+    def test_early_stopping_identical_across_worker_counts(self, case):
+        graph, model = case
+        kw = dict(trials=100_000, batch_size=1_024, seed=9,
+                  target_relative_half_width=5e-3)
+        a = MonteCarloEngine(graph, model, backend="threads", workers=2, **kw).run()
+        b = MonteCarloEngine(graph, model, backend="threads", workers=4, **kw).run()
+        assert a.trials == b.trials < 100_000
+        assert a.mean == b.mean
+
+
+class TestStreamingMode:
+    def test_streaming_matches_materialised_moments(self, case):
+        graph, model = case
+        kept = MonteCarloEngine(graph, model, **KW).run()
+        streamed = MonteCarloEngine(
+            graph, model, trials=KW["trials"], batch_size=KW["batch_size"],
+            seed=KW["seed"], streaming=True,
+        ).run()
+        assert streamed.streaming and streamed.samples is None
+        assert abs(streamed.mean - kept.mean) <= 1e-9 * abs(kept.mean)
+        assert abs(streamed.std - kept.std) <= 1e-9 * abs(kept.std)
+        for a, b in zip(streamed.confidence_interval, kept.confidence_interval):
+            assert abs(a - b) <= 1e-9 * abs(b)
+        assert streamed.minimum == kept.minimum
+        assert streamed.maximum == kept.maximum
+
+    def test_streaming_quantiles_close_to_exact(self, case):
+        graph, model = case
+        kept = MonteCarloEngine(graph, model, **KW).run()
+        streamed = MonteCarloEngine(
+            graph, model, trials=KW["trials"], batch_size=KW["batch_size"],
+            seed=KW["seed"], streaming=True,
+        ).run()
+        span = kept.maximum - kept.minimum
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = kept.quantile(q)
+            approx = streamed.quantile(q)
+            # One (padded) sketch bin of the sample span.
+            assert abs(approx - exact) <= 1.5 * span / streamed.sketch.bins * (
+                1 + 2 * streamed.sketch.padding
+            ) + 1e-12
+
+    def test_streaming_works_on_parallel_backends(self, case):
+        graph, model = case
+        s = MonteCarloEngine(
+            graph, model, trials=4_000, batch_size=512, seed=3,
+            backend="threads", workers=2, streaming=True, reservoir=256,
+        ).run()
+        assert s.samples is None and s.sketch is not None
+        assert s.reservoir is not None and s.reservoir.shape == (256,)
+        assert s.minimum <= s.quantile(0.5) <= s.maximum
+        assert s.minimum <= s.reservoir.min() <= s.reservoir.max() <= s.maximum
+
+    def test_streaming_memory_is_batch_bounded(self, case):
+        graph, model = case
+        engine = MonteCarloEngine(
+            graph, model, trials=64_000, batch_size=1_024, seed=1, streaming=True
+        )
+        result = engine.run()
+        # The sketch is the only distribution state kept: a fixed grid,
+        # independent of the trial count.
+        assert result.sketch.nbytes < 100_000
+        assert result.sketch.count == 64_000
+
+    def test_streaming_and_keep_samples_conflict(self, case):
+        graph, model = case
+        with pytest.raises(EstimationError):
+            MonteCarloEngine(graph, model, streaming=True, keep_samples=True)
+
+    def test_quantile_requires_distribution_state(self, case):
+        graph, model = case
+        bare = MonteCarloEngine(
+            graph, model, trials=1_000, batch_size=512, seed=2
+        ).run()
+        with pytest.raises(EstimationError):
+            bare.quantile(0.5)
+
+
+class TestStreamingPrimitives:
+    def test_running_moments_merge_matches_concatenation(self, rng):
+        a_data = rng.normal(10.0, 2.0, size=5_000)
+        b_data = rng.normal(12.0, 0.5, size=3_000)
+        a = RunningMoments()
+        a.update(a_data)
+        b = RunningMoments()
+        b.update(b_data)
+        a.merge(b)
+        both = np.concatenate([a_data, b_data])
+        assert a.count == both.size
+        assert a.mean == pytest.approx(both.mean(), rel=1e-12)
+        assert a.std == pytest.approx(both.std(ddof=1), rel=1e-12)
+        assert a.minimum == both.min() and a.maximum == both.max()
+
+    def test_merge_into_empty(self):
+        a = RunningMoments()
+        b = RunningMoments()
+        b.update(np.array([1.0, 2.0, 3.0]))
+        a.merge(b)
+        assert a.count == 3 and a.mean == pytest.approx(2.0)
+        a.merge(RunningMoments())  # merging an empty accumulator is a no-op
+        assert a.count == 3
+
+    def test_sketch_quantiles_vs_numpy(self, rng):
+        data = rng.normal(50.0, 5.0, size=40_000)
+        sketch = QuantileSketch(bins=2_048)
+        for chunk in np.split(data, 10):
+            sketch.update(chunk)
+        for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+            assert sketch.quantile(q) == pytest.approx(
+                float(np.quantile(data, q)), abs=0.1
+            )
+
+    def test_sketch_handles_out_of_grid_mass(self, rng):
+        sketch = QuantileSketch(bins=128)
+        sketch.update(rng.uniform(0.0, 1.0, size=1_000))
+        # Later batches escape the frozen grid on both sides.
+        sketch.update(np.full(500, -10.0))
+        sketch.update(np.full(500, 20.0))
+        assert sketch.count == 2_000
+        assert sketch.quantile(0.0) == pytest.approx(-10.0)
+        assert sketch.quantile(1.0) == pytest.approx(20.0)
+        assert 0.0 <= sketch.quantile(0.5) <= 1.0
+
+    def test_sketch_validation(self):
+        with pytest.raises(EstimationError):
+            QuantileSketch(bins=1)
+        empty = QuantileSketch()
+        with pytest.raises(EstimationError):
+            empty.quantile(0.5)
+        sketch = QuantileSketch()
+        sketch.update(np.array([1.0, 2.0]))
+        with pytest.raises(EstimationError):
+            sketch.quantile(1.5)
+
+    def test_p2_quantile_vs_numpy(self, rng):
+        data = rng.normal(0.0, 1.0, size=20_000)
+        for q in (0.25, 0.5, 0.95):
+            p2 = P2Quantile(q)
+            p2.update(data)
+            assert p2.value() == pytest.approx(float(np.quantile(data, q)), abs=0.05)
+
+    def test_p2_small_samples(self):
+        p2 = P2Quantile(0.5)
+        p2.update(np.array([3.0, 1.0, 2.0]))
+        assert p2.value() == pytest.approx(2.0)
+        with pytest.raises(EstimationError):
+            P2Quantile(0.0)
+        with pytest.raises(EstimationError):
+            P2Quantile(1.0)
+
+    def test_reservoir_is_uniform_subsample(self):
+        rng = np.random.default_rng(0)
+        reservoir = ReservoirSample(500, rng=rng)
+        stream = np.arange(50_000, dtype=np.float64)
+        for chunk in np.split(stream, 25):
+            reservoir.update(chunk)
+        sample = reservoir.samples()
+        assert sample.shape == (500,)
+        assert reservoir.count == 50_000
+        # A uniform subsample's mean is close to the stream mean.
+        assert sample.mean() == pytest.approx(stream.mean(), rel=0.1)
+
+    def test_streaming_summary_bundle(self, rng):
+        summary = StreamingSummary(bins=256, reservoir=100, rng=rng)
+        data = rng.normal(5.0, 1.0, size=10_000)
+        for chunk in np.split(data, 5):
+            summary.update(chunk)
+        assert summary.moments.count == 10_000
+        assert summary.quantile(0.5) == pytest.approx(
+            float(np.median(data)), abs=0.1
+        )
+        assert summary.reservoir.samples().shape == (100,)
+
+
+class TestConfigResolution:
+    def test_backend_env_override(self, monkeypatch):
+        from repro.experiments.config import monte_carlo_backend
+
+        monkeypatch.delenv("REPRO_MC_BACKEND", raising=False)
+        assert monte_carlo_backend() is None
+        assert monte_carlo_backend("threads") == "threads"
+        monkeypatch.setenv("REPRO_MC_BACKEND", "processes")
+        assert monte_carlo_backend() == "processes"
+        assert monte_carlo_backend("serial") == "processes"  # environment wins
+
+    def test_backend_env_validation(self, monkeypatch):
+        from repro.exceptions import ExperimentError
+        from repro.experiments.config import monte_carlo_backend
+
+        monkeypatch.setenv("REPRO_MC_BACKEND", "gpu")
+        with pytest.raises(ExperimentError):
+            monte_carlo_backend()
+
+    def test_streaming_env_override(self, monkeypatch):
+        from repro.exceptions import ExperimentError
+        from repro.experiments.config import monte_carlo_streaming
+
+        monkeypatch.delenv("REPRO_MC_STREAMING", raising=False)
+        assert monte_carlo_streaming() is False
+        assert monte_carlo_streaming(True) is True
+        monkeypatch.setenv("REPRO_MC_STREAMING", "yes")
+        assert monte_carlo_streaming() is True
+        monkeypatch.setenv("REPRO_MC_STREAMING", "off")
+        assert monte_carlo_streaming(True) is False  # environment wins
+        monkeypatch.setenv("REPRO_MC_STREAMING", "maybe")
+        with pytest.raises(ExperimentError):
+            monte_carlo_streaming()
+
+    def test_config_properties(self):
+        from repro.experiments.config import FigureConfig, ScalabilityConfig
+        from repro.exceptions import ExperimentError
+
+        fig = FigureConfig(
+            figure="t", workflow="lu", pfail=1e-3,
+            mc_backend="processes", mc_streaming=True,
+        )
+        assert fig.backend == "processes"
+        assert fig.streaming is True
+        tab = ScalabilityConfig(mc_backend="threads")
+        assert tab.backend == "threads"
+        with pytest.raises(ExperimentError):
+            FigureConfig(figure="t", workflow="lu", pfail=1e-3, mc_backend="gpu")
+
+
+class TestCorrelatedMemoryGuard:
+    def test_guard_raises_before_allocation(self, cholesky4):
+        from repro.estimators.correlated import CorrelatedNormalEstimator
+
+        model = FixedProbabilityModel(0.1)
+        estimator = CorrelatedNormalEstimator(max_matrix_bytes=64)
+        with pytest.raises(ReproError) as excinfo:
+            estimator.estimate(cholesky4, model)
+        message = str(excinfo.value)
+        assert str(cholesky4.num_tasks) in message
+        assert "bytes" in message
+
+    def test_default_cap_admits_small_graphs(self, cholesky4):
+        from repro.estimators.correlated import CorrelatedNormalEstimator
+
+        model = FixedProbabilityModel(0.1)
+        result = CorrelatedNormalEstimator().estimate(cholesky4, model)
+        assert result.expected_makespan > 0.0
+
+    def test_invalid_cap_rejected(self):
+        from repro.estimators.correlated import CorrelatedNormalEstimator
+
+        with pytest.raises(EstimationError):
+            CorrelatedNormalEstimator(max_matrix_bytes=0)
+
+
+class TestBatchedDodinDifferential:
+    """Batched reduction rounds must match the scalar reference <= 1e-9."""
+
+    @pytest.mark.parametrize("workflow,size", [
+        ("cholesky", 6), ("lu", 5), ("qr", 5),
+    ])
+    def test_batched_matches_sequential(self, workflow, size):
+        from repro.estimators.dodin import DodinEstimator, sequential_dodin_estimate
+
+        graph = build_dag(workflow, size)
+        model = ExponentialErrorModel.for_graph(graph, 1e-2)
+        batched = DodinEstimator().estimate(graph, model).expected_makespan
+        sequential = sequential_dodin_estimate(graph, model)
+        assert abs(batched - sequential) <= 1e-9 * abs(sequential)
+
+    def test_batched_matches_sequential_coarse_pruning(self, lu4):
+        from repro.estimators.dodin import DodinEstimator, sequential_dodin_estimate
+
+        model = ExponentialErrorModel.for_graph(lu4, 5e-2)
+        batched = DodinEstimator(max_support=8).estimate(lu4, model).expected_makespan
+        sequential = sequential_dodin_estimate(lu4, model, max_support=8)
+        assert abs(batched - sequential) <= 1e-9 * abs(sequential)
+
+    def test_round_metadata_reported(self, cholesky4):
+        from repro.estimators.dodin import DodinEstimator
+
+        model = ExponentialErrorModel.for_graph(cholesky4, 1e-2)
+        details = DodinEstimator().estimate(cholesky4, model).details
+        assert details["reduction_rounds"] >= 1
+        assert details["batched"] is True

@@ -1,0 +1,104 @@
+"""Paper-scale memory smoke of the banded correlated estimator.
+
+The dense correlation matrix is ``Θ(|V|²)`` and fails fast above the
+``max_matrix_bytes`` ceiling; the banded backend stores ``Θ(|V|·band)``
+and opens the paper-scale DAGs.  This benchmark pins both behaviours:
+
+* the dense backend *refuses* (with an error naming the banded backend and
+  the bandwidth that would fit) under a ceiling the banded backend runs
+  comfortably within, producing the bit-identical estimate;
+* at CI smoke scale (``REPRO_CORR_SMOKE_K=40``: 11,480 tasks, where the
+  dense matrix alone would need ~2 GiB) the banded run's peak RSS stays
+  below 2 GiB, measured with ``resource.getrusage``.
+
+Knobs (environment variables):
+
+``REPRO_CORR_SMOKE_K``
+    Cholesky tile count of the smoke run (default 10 so the tier-1 suite
+    stays fast; CI sets 40; ``84`` reproduces the 102,340-task paper-scale
+    run, ~2-3 min and ~3.5 GiB peak RSS).  The RSS guard arms at k >= 40,
+    where the run should dominate the process high-water mark; it expects
+    a dedicated pytest process (as in CI), since ``ru_maxrss`` is
+    process-wide.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+
+import pytest
+
+from repro.core.kernels import schedule_for
+from repro.estimators.correlated import CorrelatedNormalEstimator
+from repro.estimators.correlation import exact_bandwidth, projected_store_bytes
+from repro.exceptions import ReproError
+from repro.failures.models import ExponentialErrorModel
+from repro.workflows.registry import build_dag
+
+SMOKE_K = int(os.environ.get("REPRO_CORR_SMOKE_K", "10"))
+
+#: Peak-RSS budget of the smoke run (bytes); armed at k >= 40.
+RSS_LIMIT_BYTES = 2 * 1024**3
+
+
+@pytest.fixture(scope="module")
+def smoke_case():
+    graph = build_dag("cholesky", SMOKE_K)
+    model = ExponentialErrorModel.for_graph(graph, 1e-3)
+    return graph, model
+
+
+def _peak_rss_bytes() -> int:
+    # ru_maxrss is bytes on macOS, KiB everywhere else.
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return raw if sys.platform == "darwin" else raw * 1024
+
+
+def test_dense_fails_fast_where_banded_fits(smoke_case):
+    graph, model = smoke_case
+    schedule = schedule_for(graph.index(), "up")
+    sink_rows = schedule.rank[graph.index().sink_indices()]
+    banded_bytes = projected_store_bytes(
+        schedule, "banded", exact_bandwidth(schedule, sink_rows)
+    )
+    dense_bytes = projected_store_bytes(schedule, "dense", 0)
+    assert banded_bytes < dense_bytes // 2, (
+        f"banded projection {banded_bytes:,} should be far below the dense "
+        f"projection {dense_bytes:,}"
+    )
+    cap = dense_bytes // 2
+    with pytest.raises(ReproError) as excinfo:
+        CorrelatedNormalEstimator(
+            correlation_backend="dense", max_matrix_bytes=cap
+        ).estimate(graph, model)
+    message = str(excinfo.value)
+    assert "banded" in message and "bandwidth<=" in message
+
+    result = CorrelatedNormalEstimator(
+        correlation_backend="banded", max_matrix_bytes=cap
+    ).estimate(graph, model)
+    assert result.expected_makespan > 0.0
+    assert result.details["correlation_store_bytes"] <= cap
+
+
+def test_banded_peak_rss_within_budget(smoke_case):
+    graph, model = smoke_case
+    result = CorrelatedNormalEstimator(correlation_backend="banded").estimate(
+        graph, model
+    )
+    peak = _peak_rss_bytes()
+    print(
+        f"\ncorrelated/banded cholesky k={SMOKE_K}: {graph.num_tasks} tasks, "
+        f"E[makespan]={result.expected_makespan:.6g}, "
+        f"store={result.details['correlation_store_bytes'] / 1024**2:.1f} MiB, "
+        f"bandwidth={result.details['correlation_bandwidth']}, "
+        f"peak RSS={peak / 1024**3:.2f} GiB"
+    )
+    assert result.expected_makespan >= result.failure_free_makespan
+    if SMOKE_K >= 40:
+        assert peak < RSS_LIMIT_BYTES, (
+            f"peak RSS {peak:,} bytes exceeds the {RSS_LIMIT_BYTES:,} budget "
+            f"at k={SMOKE_K}"
+        )

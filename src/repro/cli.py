@@ -84,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--streaming", action="store_true", default=None,
                      help="streaming statistics: mean/std/CI/quantiles in O(batch) "
                           "memory, no materialised sample")
+    est.add_argument("--corr-backend", choices=["dense", "banded", "lowrank"],
+                     default=None,
+                     help="correlation storage of the normal-correlated "
+                          "estimator (default dense; banded stores Θ(|V|·band) "
+                          "and is bit-equal to dense at the auto bandwidth)")
+    est.add_argument("--corr-bandwidth", type=int, default=None,
+                     help="level bandwidth of the banded/lowrank correlation "
+                          "stores (default: auto = the exact bandwidth)")
+    est.add_argument("--corr-rank", type=int, default=None,
+                     help="Nyström rank of the lowrank correlation store "
+                          "(default 32)")
     est.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     # experiment ---------------------------------------------------------
@@ -177,6 +188,13 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 kwargs["backend"] = args.backend
             if args.streaming is not None:
                 kwargs["streaming"] = args.streaming
+        if method in ("normal-correlated", "corlca"):
+            if args.corr_backend is not None:
+                kwargs["correlation_backend"] = args.corr_backend
+            if args.corr_bandwidth is not None:
+                kwargs["bandwidth"] = args.corr_bandwidth
+            if args.corr_rank is not None:
+                kwargs["rank"] = args.corr_rank
         result = estimate_expected_makespan(graph, model, method=method, **kwargs)
         outputs.append(result)
         if not args.json:

@@ -167,6 +167,17 @@ class LevelSchedule:
         without in-edges) needs no update and has no groups.
     max_group_rows:
         Largest group height; sizes the gather scratch buffers.
+    task_level:
+        ``task_level[i]`` is the level of task ``i`` (task-index space).
+    row_level:
+        ``row_level[r]`` is the level of buffer row ``r`` (permuted space;
+        equal to ``task_level[perm[r]]``, kept separately because the
+        banded correlation stores index by buffer row).
+    max_edge_level_span:
+        Largest level distance ``level[i] - level[j]`` over the edges
+        ``j -> i`` the schedule folds (0 for edge-free graphs).  A banded
+        correlation representation whose bandwidth covers this span reads
+        only in-band entries during the level sweep.
     """
 
     num_tasks: int
@@ -176,6 +187,9 @@ class LevelSchedule:
     rank: np.ndarray
     groups: Tuple[LevelGroup, ...]
     max_group_rows: int
+    task_level: np.ndarray
+    row_level: np.ndarray
+    max_edge_level_span: int
 
     @property
     def num_levels(self) -> int:
@@ -200,9 +214,15 @@ def _compile_schedule(
     perm = np.concatenate(perm_parts) if perm_parts else np.empty(0, dtype=np.int64)
     rank = np.empty(n, dtype=np.int64)
     rank[perm] = np.arange(n, dtype=np.int64)
+    row_level = np.repeat(
+        np.arange(num_levels, dtype=np.int64), np.diff(level_indptr)
+    )
+    task_level = np.empty(n, dtype=np.int64)
+    task_level[perm] = row_level
 
     groups = []
     max_group_rows = 0
+    max_edge_level_span = 0
     for level in range(1, num_levels):
         base = int(level_indptr[level])
         tasks = perm[base : int(level_indptr[level + 1])]
@@ -222,9 +242,14 @@ def _compile_schedule(
             preds.setflags(write=False)
             groups.append(LevelGroup(start=base + a, stop=base + b, preds=preds))
             max_group_rows = max(max_group_rows, b - a)
+            if preds.size:
+                span = level - int(row_level[preds].min())
+                max_edge_level_span = max(max_edge_level_span, span)
 
     perm.setflags(write=False)
     rank.setflags(write=False)
+    row_level.setflags(write=False)
+    task_level.setflags(write=False)
     return LevelSchedule(
         num_tasks=n,
         level_indptr=level_indptr,
@@ -233,6 +258,9 @@ def _compile_schedule(
         rank=rank,
         groups=tuple(groups),
         max_group_rows=max_group_rows,
+        task_level=task_level,
+        row_level=row_level,
+        max_edge_level_span=max_edge_level_span,
     )
 
 

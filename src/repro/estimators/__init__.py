@@ -11,6 +11,15 @@
 from .base import EstimateResult, MakespanEstimator, normalized_difference, relative_error
 from .bounds import LowerBoundEstimator, UpperBoundEstimator, makespan_bounds
 from .correlated import CorrelatedNormalEstimator
+from .correlation import (
+    CORRELATION_BACKENDS,
+    BandedCorrelationStore,
+    CorrelationStore,
+    DenseCorrelationStore,
+    LowRankCorrelationStore,
+    exact_bandwidth,
+    make_correlation_store,
+)
 from .dodin import DodinEstimator
 from .exact import ExactEstimator
 from .first_order import FirstOrderEstimator, first_order_expected_makespan
@@ -37,6 +46,13 @@ __all__ = [
     "DodinEstimator",
     "SculliEstimator",
     "CorrelatedNormalEstimator",
+    "CORRELATION_BACKENDS",
+    "CorrelationStore",
+    "DenseCorrelationStore",
+    "BandedCorrelationStore",
+    "LowRankCorrelationStore",
+    "exact_bandwidth",
+    "make_correlation_store",
     "MonteCarloEstimator",
     "DiscreteSweepEstimator",
     "LowerBoundEstimator",

@@ -5,8 +5,8 @@ are independent, which is wrong whenever two incoming paths share tasks —
 the very situation that makes the expected-makespan problem hard.  Clark's
 1961 paper also gives the correlation of the (normal-approximated) maximum
 with any third variable, which allows correlations to be *propagated*
-instead of ignored.  This estimator maintains the full correlation matrix
-between task completion times:
+instead of ignored.  This estimator maintains the correlation between task
+completion times:
 
 * ``C_i = max_{p ∈ Pred(i)} C_p + X_i`` with ``X_i`` independent of
   everything else;
@@ -16,27 +16,43 @@ between task completion times:
 * sums simply shift the mean, add the task variance, and rescale the
   correlation row accordingly.
 
-The cost is ``Θ(|V|·(|V| + |E|))`` time and ``Θ(|V|²)`` memory, which is why
-the classical Sculli variant remains the default "Normal" method for the
-paper's comparisons; this estimator is an accuracy/cost ablation.
-
 Level-wavefront evaluation
 --------------------------
 
 The propagation runs one topological *level* at a time on the compiled
 ``"up"`` :class:`~repro.core.kernels.LevelSchedule`: all tasks of a level
 fold their predecessors simultaneously with the batched Clark formulas, the
-third-variable update becoming one ``(tasks_in_level, n)`` row operation
-per fold step.  Because tasks of one level are mutually independent, the
-only order-sensitive quantities are the correlations *between tasks of the
-same level*: the sequential recurrence computes the pair entry ``(i, i')``
-in whichever task comes later in topological order, reading the fresh row
-of the earlier one.  The batched sweep reproduces this with a second fold
-pass per level after the level's rows/columns are written (correlation
-entries are column-independent in Clark's third-variable formula, so the
-second pass recovers exactly the sequential pair entries, selected by
-topological rank).  Results match the sequential reference (retained as
-:func:`sequential_correlated_estimate`) to floating-point rounding.
+third-variable update becoming one row operation per fold step.  Because
+tasks of one level are mutually independent, the only order-sensitive
+quantities are the correlations *between tasks of the same level*: the
+sequential recurrence computes the pair entry ``(i, i')`` in whichever task
+comes later in topological order, reading the fresh row of the earlier one.
+The batched sweep reproduces this with a second fold pass per level after
+the level's rows are written (correlation entries are column-independent in
+Clark's third-variable formula, so the second pass recovers exactly the
+sequential pair entries, selected by topological rank).  Results match the
+sequential reference (retained as :func:`sequential_correlated_estimate`)
+to floating-point rounding.
+
+Correlation storage backends
+----------------------------
+
+The classical implementation keeps the full ``Θ(|V|²)`` correlation matrix,
+which caps the estimator around ~23k tasks.  The matrix storage is
+pluggable (see :mod:`repro.estimators.correlation`):
+
+* ``correlation_backend="dense"`` — the full matrix, the bit-reference;
+* ``"banded"`` — only correlations between tasks at most ``bandwidth``
+  levels apart, in ``Θ(|V| · band)`` memory.  With the default
+  ``bandwidth=None`` (auto: the schedule's max edge level span joined with
+  the sinks' level spread) the banded sweep consumes exactly the entries
+  dense would, and is **bit-identical** to it;
+* ``"lowrank"`` — banded plus a rank-``r`` Nyström factor approximating
+  the dropped far-apart level pairs.
+
+Environment overrides: ``REPRO_CORR_BACKEND``, ``REPRO_CORR_BANDWIDTH``
+(``auto`` or an integer), ``REPRO_CORR_RANK`` fill any knob the caller
+left at ``None``.
 """
 
 from __future__ import annotations
@@ -58,14 +74,63 @@ from ..failures.models import ErrorModel
 from ..failures.twostate import TwoStateDistribution, two_state_moment_vectors
 from ..rv.normal import NormalRV, clark_max_moments, norm_cdf
 from .base import EstimateResult, MakespanEstimator
+from .correlation import (
+    DEFAULT_CORRELATION_RANK,
+    env_correlation_backend,
+    env_correlation_bandwidth,
+    env_correlation_rank,
+    exact_bandwidth,
+    make_correlation_store,
+    normalize_correlation_backend,
+)
 
-__all__ = ["CorrelatedNormalEstimator", "sequential_correlated_estimate"]
+__all__ = [
+    "CorrelatedNormalEstimator",
+    "sequential_correlated_estimate",
+    "DEFAULT_MAX_MATRIX_BYTES",
+]
 
 
 def _fold_sinks_correlated(
+    mean: np.ndarray, var: np.ndarray, corr: np.ndarray
+) -> NormalRV:
+    """Clark-fold the sink completion times, tracking their correlations.
+
+    Operates on the sinks' own ``(k,)`` moments and ``(k, k)`` correlation
+    matrix; Clark's third-variable update is column-independent, so
+    restricting the blend to the sink columns is exact.
+    """
+    k = mean.shape[0]
+    final = NormalRV(float(mean[0]), float(var[0]))
+    final_corr = corr[0].copy()
+    for s in range(1, k):
+        rho = float(np.clip(final_corr[s], -1.0, 1.0))
+        m, v = clark_max_moments(final.mean, final.variance, mean[s], var[s], rho)
+        sigma1, sigma2 = final.std, math.sqrt(max(var[s], 0.0))
+        a = math.sqrt(max(final.variance + var[s] - 2 * rho * sigma1 * sigma2, 0.0))
+        if v <= 0.0:
+            final_corr = np.zeros(k, dtype=np.float64)
+        elif a == 0.0:
+            final_corr = final_corr if final.mean >= mean[s] else corr[s].copy()
+        else:
+            alpha = (final.mean - mean[s]) / a
+            final_corr = (
+                sigma1 * norm_cdf(alpha) * final_corr + sigma2 * norm_cdf(-alpha) * corr[s]
+            ) / math.sqrt(v)
+            np.clip(final_corr, -1.0, 1.0, out=final_corr)
+        final = NormalRV(m, v)
+    return final
+
+
+def _sequential_fold_sinks(
     index, mean: np.ndarray, var: np.ndarray, corr: np.ndarray
 ) -> NormalRV:
-    """Clark-fold the sink completion times, tracking their correlations."""
+    """Full-matrix sink fold of the sequential reference.
+
+    Kept verbatim from the pre-backend implementation (blending the full
+    ``n``-wide correlation rows) so the oracle shares *no* code with the
+    production sweep's restricted sink fold.
+    """
     n = mean.shape[0]
     sinks = index.sink_indices()
     final = NormalRV(float(mean[sinks[0]]), float(var[sinks[0]]))
@@ -96,8 +161,9 @@ def sequential_correlated_estimate(
     """Reference per-task propagation returning ``(mean, variance)``.
 
     The pre-kernel implementation (one Python iteration per task, scalar
-    Clark formulas), retained verbatim as the oracle of the differential
-    tests.
+    Clark formulas, full dense matrix, full-width sink fold), retained
+    verbatim as the oracle of the differential tests — it shares no
+    storage or fold code with the production sweep.
     """
     index = graph.index()
     n = index.num_tasks
@@ -158,31 +224,49 @@ def sequential_correlated_estimate(
         corr[i, :] = row
         corr[:, i] = row
 
-    final = _fold_sinks_correlated(index, mean, var, corr)
+    final = _sequential_fold_sinks(index, mean, var, corr)
     return final.mean, final.variance
 
 
-#: Default ceiling on the correlation-matrix footprint.  The projection
-#: counts two ``(n, n)`` float64 matrices (the matrix itself plus the
-#: worst-case level rows of the two-pass fold), so 4 GiB admits DAGs up to
-#: ~16,000 tasks.  The estimator refuses — with a clear error — instead of
-#: letting the ``Θ(|V|²)`` allocation take the process down.
+#: Default ceiling on the correlation-store footprint.  For the dense
+#: backend the projection counts two ``(n, n)`` float64 matrices (the
+#: matrix itself plus the worst-case level rows of the two-pass fold), so
+#: 4 GiB admits DAGs up to ~16,000 tasks; the banded/lowrank backends
+#: project their ``Θ(|V|·band)`` storage plus fold scratch instead.  The
+#: estimator refuses — with an error naming the backend and the bandwidth
+#: that would fit — instead of letting the allocation take the process
+#: down.
 DEFAULT_MAX_MATRIX_BYTES = 4 * 1024**3
 
 
 class CorrelatedNormalEstimator(MakespanEstimator):
-    """Clark/Sculli propagation with full correlation tracking.
+    """Clark/Sculli propagation with pluggable correlation tracking.
 
     Parameters
     ----------
     reexecution_factor:
         Execution-time multiplier of a failed task (2 = full re-execution).
+    correlation_backend:
+        Correlation storage: ``"dense"`` (default, exact, ``Θ(|V|²)``),
+        ``"banded"`` (``Θ(|V|·band)``, bit-equal to dense at the default
+        auto bandwidth) or ``"lowrank"`` (banded + rank-``r`` Nyström
+        far-field).  ``None`` consults ``REPRO_CORR_BACKEND`` and falls
+        back to ``"dense"``.
+    bandwidth:
+        Level bandwidth of the banded/lowrank stores.  ``None`` (after the
+        ``REPRO_CORR_BANDWIDTH`` override) resolves to the *exact*
+        bandwidth — the smallest band at which banded is bit-equal to
+        dense.
+    rank:
+        Rank of the lowrank backend's Nyström factor (default
+        :data:`~repro.estimators.correlation.DEFAULT_CORRELATION_RANK`
+        after the ``REPRO_CORR_RANK`` override).
     max_matrix_bytes:
-        Ceiling on the projected ``Θ(|V|²)`` correlation-matrix footprint.
-        Exceeding it raises a :class:`~repro.exceptions.ReproError` naming
-        the task count and the projected bytes *before* any allocation,
-        instead of OOM-ing mid-propagation.  ``None`` restores the
-        default (:data:`DEFAULT_MAX_MATRIX_BYTES`).
+        Ceiling on the projected correlation-store footprint.  Exceeding
+        it raises a :class:`~repro.exceptions.ReproError` naming the task
+        count, the selected backend and the bandwidth that *would* fit,
+        *before* any allocation.  ``None`` restores the default
+        (:data:`DEFAULT_MAX_MATRIX_BYTES`).
     """
 
     name = "normal-correlated"
@@ -191,6 +275,9 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         self,
         *,
         reexecution_factor: float = 2.0,
+        correlation_backend: Optional[str] = None,
+        bandwidth: Optional[int] = None,
+        rank: Optional[int] = None,
         max_matrix_bytes: Optional[int] = None,
         validate: bool = True,
     ) -> None:
@@ -198,76 +285,92 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         if reexecution_factor < 1.0:
             raise EstimationError("re-execution factor must be >= 1")
         self.reexecution_factor = reexecution_factor
+        explicit_bandwidth = bandwidth is not None
+        explicit_rank = rank is not None
+        if correlation_backend is None:
+            correlation_backend = env_correlation_backend() or "dense"
+        self.correlation_backend = normalize_correlation_backend(correlation_backend)
+        if bandwidth is None:
+            bandwidth = env_correlation_bandwidth()
+        if bandwidth is not None:
+            bandwidth = int(bandwidth)
+            if bandwidth < 0:
+                raise EstimationError("correlation bandwidth must be >= 0")
+        # An explicitly passed knob the selected backend would silently
+        # ignore is an error (environment fills stay lenient so a global
+        # REPRO_CORR_* setting cannot poison unrelated runs).
+        if explicit_bandwidth and self.correlation_backend == "dense":
+            raise EstimationError(
+                "bandwidth only applies to the 'banded' and 'lowrank' "
+                "correlation backends; pass correlation_backend='banded' "
+                "(or 'lowrank') alongside it"
+            )
+        self.bandwidth = bandwidth
+        if explicit_rank and self.correlation_backend != "lowrank":
+            raise EstimationError(
+                "rank only applies to the 'lowrank' correlation backend; "
+                "pass correlation_backend='lowrank' alongside it"
+            )
+        if rank is None:
+            rank = env_correlation_rank() or DEFAULT_CORRELATION_RANK
+        rank = int(rank)
+        if rank < 1:
+            raise EstimationError("correlation rank must be >= 1")
+        self.rank = rank
         if max_matrix_bytes is None:
             max_matrix_bytes = DEFAULT_MAX_MATRIX_BYTES
         if max_matrix_bytes <= 0:
             raise EstimationError("max_matrix_bytes must be positive")
         self.max_matrix_bytes = int(max_matrix_bytes)
 
-    def _check_memory(self, n: int) -> None:
-        """Refuse up front when the correlation matrix cannot fit.
-
-        The estimate covers the ``(n, n)`` float64 matrix plus the level
-        rows/blocks of the two-pass fold (bounded by one extra matrix in
-        the worst case of a single huge level).
-        """
-        projected = 2 * n * n * np.dtype(np.float64).itemsize
-        if projected > self.max_matrix_bytes:
-            raise EstimationError(
-                f"correlated estimator needs a Θ(|V|²) correlation matrix: "
-                f"{n} tasks project to ~{projected:,} bytes "
-                f"({projected / 1024**3:.2f} GiB), above the "
-                f"max_matrix_bytes ceiling of {self.max_matrix_bytes:,}; "
-                f"raise max_matrix_bytes, or use the 'normal' (Sculli) "
-                f"estimator whose memory is Θ(|V|)"
-            )
-
     @staticmethod
     def _fold_level_rows(
         groups,
-        pred_tasks,
         mean: np.ndarray,
         var: np.ndarray,
-        corr: np.ndarray,
+        store,
+        w_lo: int,
+        t_lo: int,
+        t_hi: int,
         task_mean: np.ndarray,
         task_var: np.ndarray,
-        targets: np.ndarray,
-        level_start: int,
-        columns: Optional[np.ndarray] = None,
+        *,
+        extra: bool = False,
         rho_record: Optional[list] = None,
+        replay=None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """One batched fold over a level's groups against the current matrix.
+        """One batched fold of a level's groups against the current store.
 
-        Returns the level's completion ``(mean, variance)`` values and
-        correlation rows, without mutating any input.  With ``columns=None``
-        (pass 1) the rows span all ``n`` correlation columns and every fold
-        step's operand correlation ``rho12`` is appended to ``rho_record``;
-        with an explicit column subset (pass 2) only those columns are
-        folded and the ``rho12`` sequence is replayed from the record —
-        the operand correlations live at *predecessor* columns, which a
-        within-level re-fold never changes, so recording them is what
-        allows pass 2 to skip the other ``n - m_level`` columns entirely.
+        All indices are permuted buffer rows; ``mean``/``var``/``task_*``
+        are permuted-space vectors.  Returns the level's completion
+        ``(mean, variance)`` values and correlation rows over the columns
+        ``[w_lo, t_hi)`` (plus the store's extra tracked columns when
+        ``extra``), without mutating the store.  On pass 1
+        (``replay=None``) every fold step's operand correlation ``rho12``
+        is read from the gathered rows at the predecessor's window column
+        and appended to ``rho_record``; on pass 2 the recorded sequence is
+        replayed — the operand correlations live at *predecessor* columns,
+        which a within-level re-fold never changes, so replaying them is
+        what allows pass 2 to fold only the within-level columns.
         """
-        width = corr.shape[0] if columns is None else columns.shape[0]
-        m_level = targets.shape[0]
+        width = t_hi - w_lo
+        extra_cols = store.extra_cols if extra else 0
+        m_level = t_hi - t_lo
         level_mean = np.empty(m_level, dtype=np.float64)
         level_var = np.empty(m_level, dtype=np.float64)
-        rows = np.empty((m_level, width), dtype=np.float64)
-        replay = iter(()) if rho_record is None or columns is None else iter(rho_record)
-        for group, ptasks in zip(groups, pred_tasks):
-            m = ptasks.shape[0]
+        rows = np.empty((m_level, width + extra_cols), dtype=np.float64)
+        for group in groups:
+            preds = group.preds
+            m = preds.shape[0]
             sel = np.arange(m)
-            first = ptasks[:, 0]
+            first = preds[:, 0]
             ready_mean = mean[first].copy()
             ready_var = var[first].copy()
-            if columns is None:
-                ready_corr = corr[first].copy()
-            else:
-                ready_corr = corr[np.ix_(first, columns)]
-            for j in range(1, ptasks.shape[1]):
-                p = ptasks[:, j]
-                if columns is None:
-                    rho12 = np.clip(ready_corr[sel, p], -1.0, 1.0)
+            ready_corr = store.gather(first, w_lo, t_hi, extra=extra)
+            for j in range(1, preds.shape[1]):
+                p = preds[:, j]
+                if replay is None:
+                    rho12 = np.clip(ready_corr[sel, p - w_lo], -1.0, 1.0)
                     if rho_record is not None:
                         rho_record.append(rho12)
                 else:
@@ -282,7 +385,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
                         ready_var + var[p] - 2.0 * rho12 * sigma1 * sigma2, 0.0
                     )
                 )
-                corr_p = corr[p] if columns is None else corr[np.ix_(p, columns)]
+                corr_p = store.gather(p, w_lo, t_hi, extra=extra)
                 safe_a = np.where(a > 0.0, a, 1.0)
                 alpha = (ready_mean - mean[p]) / safe_a
                 w1 = norm_cdf_batched(alpha)
@@ -307,10 +410,12 @@ class CorrelatedNormalEstimator(MakespanEstimator):
                     new_corr[dead] = 0.0
                 ready_mean, ready_var, ready_corr = new_mean, new_var, new_corr
 
-            offset = group.start - level_start
-            tgt = targets[offset : offset + m]
-            total_var = ready_var + task_var[tgt]
-            level_mean[offset : offset + m] = ready_mean + task_mean[tgt]
+            offset = group.start - t_lo
+            tv = task_var[group.start : group.stop]
+            total_var = ready_var + tv
+            level_mean[offset : offset + m] = (
+                ready_mean + task_mean[group.start : group.stop]
+            )
             level_var[offset : offset + m] = total_var
             scale = np.where(
                 total_var > 0.0,
@@ -319,15 +424,16 @@ class CorrelatedNormalEstimator(MakespanEstimator):
                 0.0,
             )
             group_rows = ready_corr * scale[:, None]
-            if columns is None:
-                group_rows[sel, tgt] = 1.0
+            if replay is None:
+                # Each task is perfectly correlated with itself; its own
+                # column sits inside the window on pass 1.
+                group_rows[sel, (group.start - w_lo) + sel] = 1.0
             rows[offset : offset + m] = group_rows
         return level_mean, level_var, rows
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         index = graph.index()
         n = index.num_tasks
-        self._check_memory(n)
         task_mean, task_var = two_state_moment_vectors(
             index.weights, model, reexecution_factor=self.reexecution_factor
         )
@@ -336,77 +442,93 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         perm = schedule.perm
         level_indptr = schedule.level_indptr
         topo_rank = index.topo_rank
+        sinks = index.sink_indices()
+        sink_rows = schedule.rank[sinks]
 
+        store = make_correlation_store(
+            schedule,
+            self.correlation_backend,
+            bandwidth=self.bandwidth,
+            rank=self.rank,
+            sink_rows=sink_rows,
+            max_bytes=self.max_matrix_bytes,
+        )
+
+        # Permuted-space state: row r describes task perm[r].
         mean = np.zeros(n, dtype=np.float64)
         var = np.zeros(n, dtype=np.float64)
-        corr = np.eye(n, dtype=np.float64)
+        task_mean_p = task_mean[perm]
+        task_var_p = task_var[perm]
 
         # Level 0 (entry tasks): C_i = X_i, correlation row stays the
         # identity row (zero ready variance).
         if schedule.num_levels:
-            entry = perm[: level_indptr[1]]
-            mean[entry] = task_mean[entry]
-            var[entry] = task_var[entry]
+            stop0 = int(level_indptr[1])
+            mean[:stop0] = task_mean_p[:stop0]
+            var[:stop0] = task_var_p[:stop0]
 
-        # Group the schedule's degree groups by level, with predecessor
-        # *task* indices (the schedule stores buffer rows).
         group_idx = 0
         for level in range(1, schedule.num_levels):
-            start, stop = int(level_indptr[level]), int(level_indptr[level + 1])
-            targets = perm[start:stop]
+            t_lo, t_hi = int(level_indptr[level]), int(level_indptr[level + 1])
             groups = []
-            pred_tasks = []
-            while group_idx < len(schedule.groups) and schedule.groups[group_idx].start < stop:
-                group = schedule.groups[group_idx]
-                groups.append(group)
-                pred_tasks.append(perm[group.preds])
+            while group_idx < len(schedule.groups) and schedule.groups[group_idx].start < t_hi:
+                groups.append(schedule.groups[group_idx])
                 group_idx += 1
+            w_lo = store.window_start(level)
 
-            # Pass 1: fold against the pre-level matrix; correct for every
+            # Pass 1: fold against the pre-level store; correct for every
             # entry except the pairs inside this level.  The operand
             # correlations of each fold step are recorded for pass 2.
             rho_steps: list = []
             level_mean, level_var, rows = self._fold_level_rows(
-                groups, pred_tasks, mean, var, corr,
-                task_mean, task_var, targets, start,
-                rho_record=rho_steps,
+                groups, mean, var, store, w_lo, t_lo, t_hi,
+                task_mean_p, task_var_p, extra=True, rho_record=rho_steps,
             )
-            mean[targets] = level_mean
-            var[targets] = level_var
-            corr[targets, :] = rows
-            corr[:, targets] = rows.T
+            mean[t_lo:t_hi] = level_mean
+            var[t_lo:t_hi] = level_var
+            store.write_level(level, w_lo, rows)
 
-            if targets.shape[0] > 1:
+            if t_hi - t_lo > 1:
                 # Pass 2: re-fold now that the level's columns are written,
                 # restricted to those columns (the only entries pass 1 got
                 # wrong); the recorded rho12 sequences stand in for the
-                # full-width gathers.  Clark's third-variable update is
+                # full-window gathers.  Clark's third-variable update is
                 # independent per column, so the re-fold recovers, for
                 # every within-level pair, the entry the *later* task (in
                 # topological order) computes from the earlier task's
                 # fresh row — exactly the value the sequential recurrence
                 # leaves in the matrix.
                 _, _, block = self._fold_level_rows(
-                    groups, pred_tasks, mean, var, corr,
-                    task_mean, task_var, targets, start,
-                    columns=targets, rho_record=rho_steps,
+                    groups, mean, var, store, t_lo, t_lo, t_hi,
+                    task_mean_p, task_var_p, replay=iter(rho_steps),
                 )
-                order = topo_rank[targets]
+                order = topo_rank[perm[t_lo:t_hi]]
                 later = order[:, None] > order[None, :]
                 final_block = np.where(later, block, block.T)
                 np.fill_diagonal(final_block, 1.0)
-                corr[np.ix_(targets, targets)] = final_block
+                store.write_block(level, final_block)
 
-        final = _fold_sinks_correlated(index, mean, var, corr)
+        final = _fold_sinks_correlated(
+            mean[sink_rows], var[sink_rows], store.pair_matrix(sink_rows)
+        )
+
+        details = {
+            "makespan_variance": final.variance,
+            "makespan_std": final.std,
+            "reexecution_factor": self.reexecution_factor,
+            "correlation_backend": store.backend,
+            "correlation_store_bytes": store.nbytes,
+        }
+        if store.backend != "dense":
+            details["correlation_bandwidth"] = store.bandwidth
+            details["exact_bandwidth"] = exact_bandwidth(schedule, sink_rows)
+        if store.backend == "lowrank":
+            details["correlation_rank"] = store.extra_cols
 
         return EstimateResult(
             method=self.name,
             expected_makespan=final.mean,
             failure_free_makespan=critical_path_length(index),
             wall_time=0.0,
-            details={
-                "makespan_variance": final.variance,
-                "makespan_std": final.std,
-                "reexecution_factor": self.reexecution_factor,
-            },
+            details=details,
         )

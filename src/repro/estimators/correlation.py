@@ -1,0 +1,586 @@
+"""Correlation-storage backends for the correlated-normal estimator.
+
+The correlated estimator propagates a full correlation matrix between task
+completion times, which costs ``Θ(|V|²)`` memory — the reason the paper's
+correlated-normal ablation historically capped out around ~23k tasks.  This
+module factors the *storage* of that matrix out of the propagation into
+three interchangeable backends keyed off the compiled
+:class:`~repro.core.kernels.LevelSchedule`:
+
+``dense``
+    The classical ``(n, n)`` float64 matrix (in level-permuted row order).
+    Exact, and the bit-reference of the differential tests.
+
+``banded``
+    A symmetric banded block structure: the row of a task at level ``L``
+    stores its correlations with tasks of levels ``[L - bandwidth, L]``
+    only (one contiguous CSR-like segment per row; the upper half of the
+    band is served through symmetry from the *later* task's row).
+    Correlations between tasks more than ``bandwidth`` levels apart are
+    dropped (read as zero).  Memory is ``Θ(|V| · band)`` where ``band`` is
+    the number of tasks inside a ``bandwidth``-level window.
+
+    Whenever ``bandwidth >= exact_bandwidth(schedule, ...)`` — the maximum
+    of the schedule's edge level span and the level spread of the sink
+    tasks — every correlation entry the level sweep *consumes* lies inside
+    the band, and the banded propagation is **bit-identical** to dense
+    (Clark's third-variable update is column-independent, so restricting
+    the tracked columns never perturbs the retained ones).
+
+``lowrank``
+    The banded structure plus a rank-``r`` Nyström factor for the dropped
+    far-apart level pairs: ``r`` landmark tasks (a nested low-discrepancy
+    subset of the level order) have their correlation column tracked
+    exactly through the sweep in an ``(n, r)`` factor ``A``, and an
+    out-of-band entry is read back as ``clip(A[i] @ pinv(A[S]) @ A[j])`` —
+    the Nyström approximation through the landmarks.  Far-apart tasks are
+    correlated through shared ancestry, which is exactly what landmarks
+    *older than both* mediate; correlations with landmarks processed
+    later than a task are only refreshed inside the band, so the factor is
+    an approximation, improving with ``rank``.
+
+All stores work in the schedule's *permuted* row space, where levels are
+contiguous: a level's band window is one contiguous column range, so
+gathers and scatters stay vectorised.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.kernels import LevelSchedule
+from ..exceptions import EstimationError
+
+__all__ = [
+    "CORRELATION_BACKENDS",
+    "DEFAULT_CORRELATION_RANK",
+    "env_correlation_backend",
+    "env_correlation_bandwidth",
+    "env_correlation_rank",
+    "exact_bandwidth",
+    "projected_store_bytes",
+    "largest_feasible_bandwidth",
+    "CorrelationStore",
+    "DenseCorrelationStore",
+    "BandedCorrelationStore",
+    "LowRankCorrelationStore",
+    "make_correlation_store",
+]
+
+#: The correlation-storage backends of the correlated estimator.
+CORRELATION_BACKENDS = ("dense", "banded", "lowrank")
+
+#: Default rank of the ``lowrank`` backend's Nyström factor.
+DEFAULT_CORRELATION_RANK = 32
+
+#: Row-chunk budget of the masked band gathers (elements per chunk): keeps
+#: the integer index temporaries of one gather below ~256 MiB even on
+#: paper-scale levels.
+_GATHER_CHUNK_ELEMENTS = 1 << 24
+
+
+def normalize_correlation_backend(name: str) -> str:
+    """Validate a correlation-backend name."""
+    value = str(name).strip().lower()
+    if value not in CORRELATION_BACKENDS:
+        raise EstimationError(
+            f"correlation backend must be one of {CORRELATION_BACKENDS}, "
+            f"got {name!r}"
+        )
+    return value
+
+
+def env_correlation_backend() -> Optional[str]:
+    """The ``REPRO_CORR_BACKEND`` environment override (``None`` if unset)."""
+    env = os.environ.get("REPRO_CORR_BACKEND")
+    if env is None:
+        return None
+    return normalize_correlation_backend(env)
+
+
+def env_correlation_bandwidth() -> Optional[int]:
+    """The ``REPRO_CORR_BANDWIDTH`` override (``None``/``"auto"`` = exact)."""
+    env = os.environ.get("REPRO_CORR_BANDWIDTH")
+    if env is None:
+        return None
+    text = env.strip().lower()
+    if text in ("", "auto"):
+        return None
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise EstimationError(
+            f"REPRO_CORR_BANDWIDTH must be a non-negative integer or 'auto', "
+            f"got {env!r}"
+        ) from exc
+    if value < 0:
+        raise EstimationError("REPRO_CORR_BANDWIDTH must be >= 0")
+    return value
+
+
+def env_correlation_rank() -> Optional[int]:
+    """The ``REPRO_CORR_RANK`` environment override (``None`` if unset)."""
+    env = os.environ.get("REPRO_CORR_RANK")
+    if env is None:
+        return None
+    try:
+        value = int(env)
+    except ValueError as exc:
+        raise EstimationError(
+            f"REPRO_CORR_RANK must be a positive integer, got {env!r}"
+        ) from exc
+    if value < 1:
+        raise EstimationError("REPRO_CORR_RANK must be >= 1")
+    return value
+
+
+def exact_bandwidth(schedule: LevelSchedule, sink_rows: np.ndarray) -> int:
+    """Smallest bandwidth at which the banded store is bit-equal to dense.
+
+    The level sweep only ever consumes correlation entries between tasks at
+    most ``max_edge_level_span`` levels apart, and the final sink fold
+    consumes entries between sinks — at most their level spread apart.
+    A band covering both therefore retains every consumed entry.
+    """
+    bandwidth = int(schedule.max_edge_level_span)
+    sink_rows = np.asarray(sink_rows)
+    if sink_rows.size:
+        levels = schedule.row_level[sink_rows]
+        bandwidth = max(bandwidth, int(levels.max() - levels.min()))
+    return bandwidth
+
+
+def _band_widths(level_sizes: np.ndarray, bandwidth: int) -> np.ndarray:
+    """Per-level stored row width (columns of levels ``[L - b, L]``)."""
+    num_levels = level_sizes.shape[0]
+    prefix = np.concatenate(([0], np.cumsum(level_sizes)))
+    lo = np.maximum(np.arange(num_levels) - bandwidth, 0)
+    return prefix[1 : num_levels + 1] - prefix[lo]
+
+
+def _banded_data_bytes(level_sizes: np.ndarray, bandwidth: int) -> int:
+    widths = _band_widths(level_sizes, bandwidth)
+    return int((level_sizes * widths).sum()) * np.dtype(np.float64).itemsize
+
+
+def projected_store_bytes(
+    schedule: LevelSchedule,
+    backend: str,
+    bandwidth: int,
+    rank: int = DEFAULT_CORRELATION_RANK,
+) -> int:
+    """Projected memory footprint of one backend, *before* any allocation.
+
+    Covers the persistent storage plus the worst-case per-level fold
+    temporaries (a few band-window-wide row blocks for the largest level).
+    """
+    n = schedule.num_tasks
+    itemsize = np.dtype(np.float64).itemsize
+    level_sizes = np.diff(schedule.level_indptr).astype(np.int64)
+    if backend == "dense":
+        return 2 * n * n * itemsize
+    max_level = int(level_sizes.max()) if level_sizes.size else 0
+    window_span = max(bandwidth, int(schedule.max_edge_level_span)) + 1
+    if level_sizes.size:
+        prefix = np.concatenate(([0], np.cumsum(level_sizes)))
+        K = level_sizes.shape[0]
+        lo = np.maximum(np.arange(K) - (window_span - 1), 0)
+        max_window = int((prefix[1 : K + 1] - prefix[lo]).max())
+    else:
+        max_window = 0
+    data = _banded_data_bytes(level_sizes, bandwidth)
+    scratch = 4 * max_level * (max_window + (rank if backend == "lowrank" else 0))
+    factor = n * rank * itemsize if backend == "lowrank" else 0
+    return data + scratch * itemsize + factor
+
+
+def largest_feasible_bandwidth(
+    schedule: LevelSchedule,
+    backend: str,
+    max_bytes: int,
+    rank: int = DEFAULT_CORRELATION_RANK,
+    start: Optional[int] = None,
+) -> Optional[int]:
+    """Largest bandwidth whose projected footprint fits ``max_bytes``.
+
+    Scans downwards from ``start`` (default: the number of levels minus
+    one); returns ``None`` when even ``bandwidth=0`` does not fit.
+    """
+    if backend == "dense":
+        backend = "banded"
+    num_levels = schedule.num_levels
+    upper = num_levels - 1 if start is None else min(start, num_levels - 1)
+    for bandwidth in range(max(upper, 0), -1, -1):
+        if projected_store_bytes(schedule, backend, bandwidth, rank) <= max_bytes:
+            return bandwidth
+    return None
+
+
+class CorrelationStore:
+    """Storage interface the correlated level sweep runs against.
+
+    All row/column indices are *permuted* (level-contiguous) buffer rows of
+    the schedule.  The store is initialised to the identity (every task
+    perfectly correlated with itself, uncorrelated with everything else).
+    """
+
+    backend = "abstract"
+
+    #: Number of extra tracked columns appended to every gather (the
+    #: lowrank backend's landmark columns; 0 elsewhere).
+    extra_cols = 0
+
+    def __init__(self, schedule: LevelSchedule) -> None:
+        self.schedule = schedule
+        self._indptr = schedule.level_indptr
+
+    def window_start(self, level: int) -> int:
+        """First permuted column the level-``level`` fold must gather."""
+        raise NotImplementedError
+
+    def gather(
+        self, rows: np.ndarray, w_lo: int, w_hi: int, extra: bool = False
+    ) -> np.ndarray:
+        """Correlation rows over the column window ``[w_lo, w_hi)``.
+
+        Returns a fresh ``(len(rows), w_hi - w_lo [+ extra_cols])`` array;
+        out-of-band entries are the backend's approximation (0 for banded,
+        the Nyström product for lowrank).
+        """
+        raise NotImplementedError
+
+    def write_level(self, level: int, w_lo: int, rows_block: np.ndarray) -> None:
+        """Store a level's freshly folded rows (window columns + extras)."""
+        raise NotImplementedError
+
+    def write_block(self, level: int, block: np.ndarray) -> None:
+        """Overwrite a level's within-level correlation block."""
+        raise NotImplementedError
+
+    def pair_matrix(self, rows: np.ndarray) -> np.ndarray:
+        """The ``(k, k)`` correlation matrix of an arbitrary row subset."""
+        raise NotImplementedError
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the store's persistent arrays."""
+        raise NotImplementedError
+
+    def _level_range(self, level: int) -> Tuple[int, int]:
+        return int(self._indptr[level]), int(self._indptr[level + 1])
+
+
+class DenseCorrelationStore(CorrelationStore):
+    """The classical ``(n, n)`` matrix — exact, and the bit-reference."""
+
+    backend = "dense"
+
+    def __init__(self, schedule: LevelSchedule) -> None:
+        super().__init__(schedule)
+        self._corr = np.eye(schedule.num_tasks, dtype=np.float64)
+
+    def window_start(self, level: int) -> int:
+        # Dense keeps the full history: every processed column participates.
+        return 0
+
+    def gather(
+        self, rows: np.ndarray, w_lo: int, w_hi: int, extra: bool = False
+    ) -> np.ndarray:
+        return self._corr[rows, w_lo:w_hi].copy()
+
+    def write_level(self, level: int, w_lo: int, rows_block: np.ndarray) -> None:
+        t_lo, t_hi = self._level_range(level)
+        self._corr[t_lo:t_hi, w_lo:t_hi] = rows_block
+        self._corr[w_lo:t_lo, t_lo:t_hi] = rows_block[:, : t_lo - w_lo].T
+
+    def write_block(self, level: int, block: np.ndarray) -> None:
+        t_lo, t_hi = self._level_range(level)
+        self._corr[t_lo:t_hi, t_lo:t_hi] = block
+
+    def pair_matrix(self, rows: np.ndarray) -> np.ndarray:
+        return self._corr[np.ix_(rows, rows)].copy()
+
+    @property
+    def nbytes(self) -> int:
+        return self._corr.nbytes
+
+
+class BandedCorrelationStore(CorrelationStore):
+    """Symmetric banded storage: each row keeps ``bandwidth`` levels back.
+
+    Row ``r`` at level ``L`` stores the contiguous column segment
+    ``[level_start(max(0, L - bandwidth)), level_stop(L))``; an entry with
+    the *higher*-level task is stored in that task's row and read through
+    symmetry.  Entries outside both rows' bands fall back to
+    :meth:`_fallback` (zero here; Nyström in the lowrank subclass).
+    """
+
+    backend = "banded"
+
+    def __init__(self, schedule: LevelSchedule, bandwidth: int) -> None:
+        super().__init__(schedule)
+        if bandwidth < 0:
+            raise EstimationError("correlation bandwidth must be >= 0")
+        self.bandwidth = int(bandwidth)
+        indptr = schedule.level_indptr
+        num_levels = schedule.num_levels
+        level = schedule.row_level
+        # Per-row band geometry (uniform within a level).
+        lo_level = np.maximum(np.arange(num_levels) - self.bandwidth, 0)
+        self._level_off = indptr[lo_level]
+        self._level_wid = indptr[1 : num_levels + 1] - self._level_off
+        self._off = self._level_off[level]
+        self._wid = self._level_wid[level]
+        self._ptr = np.concatenate(
+            ([0], np.cumsum(self._wid, dtype=np.int64))
+        )
+        self._data = np.zeros(int(self._ptr[-1]), dtype=np.float64)
+        rows = np.arange(schedule.num_tasks, dtype=np.int64)
+        self._data[self._ptr[rows] + rows - self._off] = 1.0
+        self._window_span = max(
+            self.bandwidth, int(schedule.max_edge_level_span)
+        )
+
+    def window_start(self, level: int) -> int:
+        # Wide enough to contain every predecessor of the level (the fold
+        # reads operand correlations at predecessor columns) and the band.
+        return int(self._indptr[max(0, level - self._window_span)])
+
+    def _fallback(self, rows: np.ndarray, cols: np.ndarray) -> Optional[np.ndarray]:
+        """Out-of-band values (``None`` means zero)."""
+        return None
+
+    def _gather_cols(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Masked symmetric gather of arbitrary rows × columns."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        m, w = rows.shape[0], cols.shape[0]
+        out = np.empty((m, w), dtype=np.float64)
+        chunk = max(1, _GATHER_CHUNK_ELEMENTS // max(w, 1))
+        ptr, off, wid = self._ptr, self._off, self._wid
+        col_off = off[cols][None, :]
+        col_wid = wid[cols][None, :]
+        col_ptr = ptr[cols][None, :]
+        for a in range(0, m, chunk):
+            b = min(a + chunk, m)
+            sub = rows[a:b]
+            rel_r = cols[None, :] - off[sub][:, None]
+            in_r = (rel_r >= 0) & (rel_r < wid[sub][:, None])
+            rel_c = sub[:, None] - col_off
+            in_c = (rel_c >= 0) & (rel_c < col_wid) & ~in_r
+            idx = np.where(in_r, ptr[sub][:, None] + rel_r, 0)
+            idx = np.where(in_c, col_ptr + rel_c, idx)
+            val = self._data[idx]
+            miss = ~(in_r | in_c)
+            if miss.any():
+                fallback = self._fallback(sub, cols)
+                if fallback is None:
+                    val[miss] = 0.0
+                else:
+                    val[miss] = fallback[miss]
+            out[a:b] = val
+        return out
+
+    def gather(
+        self, rows: np.ndarray, w_lo: int, w_hi: int, extra: bool = False
+    ) -> np.ndarray:
+        return self._gather_cols(rows, np.arange(w_lo, w_hi, dtype=np.int64))
+
+    def write_level(self, level: int, w_lo: int, rows_block: np.ndarray) -> None:
+        t_lo, t_hi = self._level_range(level)
+        off = int(self._level_off[level])
+        wid = int(self._level_wid[level])
+        seg = rows_block[:, off - w_lo : off - w_lo + wid]
+        self._data[self._ptr[t_lo] : self._ptr[t_hi]] = seg.ravel()
+
+    def write_block(self, level: int, block: np.ndarray) -> None:
+        t_lo, t_hi = self._level_range(level)
+        m = t_hi - t_lo
+        wid = int(self._level_wid[level])
+        base = t_lo - int(self._level_off[level])
+        view = self._data[self._ptr[t_lo] : self._ptr[t_hi]].reshape(m, wid)
+        view[:, base : base + m] = block
+
+    def pair_matrix(self, rows: np.ndarray) -> np.ndarray:
+        return self._gather_cols(rows, rows)
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+
+class LowRankCorrelationStore(BandedCorrelationStore):
+    """Banded storage plus a rank-``r`` Nyström factor for the far field.
+
+    ``r`` landmark rows (a *nested* van-der-Corput subset of the permuted
+    order, so larger ranks contain smaller ones) have their correlation
+    columns tracked through the sweep in the factor ``A`` (``A[i, j] ==
+    corr[i, landmark_j]`` whenever that entry was computable when row ``i``
+    was folded).  Out-of-band reads return ``clip(A[i] @ K @ A[j])`` with
+    ``K = pinv(A[S])`` — the Nyström bridge through landmarks older than
+    both endpoints, which is where shared-ancestry correlation lives.
+    """
+
+    backend = "lowrank"
+
+    def __init__(self, schedule: LevelSchedule, bandwidth: int, rank: int) -> None:
+        super().__init__(schedule, bandwidth)
+        n = schedule.num_tasks
+        if rank < 1:
+            raise EstimationError("correlation rank must be >= 1")
+        self.rank = int(min(rank, n)) if n else 0
+        self._landmarks = _nested_landmarks(n, self.rank)
+        self.extra_cols = self._landmarks.shape[0]
+        self._factor = np.zeros((n, self.extra_cols), dtype=np.float64)
+        self._factor[self._landmarks, np.arange(self.extra_cols)] = 1.0
+        self._kernel_cache: Optional[np.ndarray] = None
+
+    @property
+    def landmarks(self) -> np.ndarray:
+        """The landmark rows (permuted indices), in nesting order."""
+        return self._landmarks.copy()
+
+    def _kernel(self) -> np.ndarray:
+        if self._kernel_cache is None:
+            a_s = self._factor[self._landmarks]
+            sym = 0.5 * (a_s + a_s.T)
+            self._kernel_cache = np.linalg.pinv(sym, rcond=1e-8, hermitian=True)
+        return self._kernel_cache
+
+    def _fallback(self, rows: np.ndarray, cols: np.ndarray) -> Optional[np.ndarray]:
+        approx = self._factor[rows] @ self._kernel() @ self._factor[cols].T
+        return np.clip(approx, -1.0, 1.0, out=approx)
+
+    def gather(
+        self, rows: np.ndarray, w_lo: int, w_hi: int, extra: bool = False
+    ) -> np.ndarray:
+        band = super().gather(rows, w_lo, w_hi)
+        if not extra:
+            return band
+        # Landmark columns: the exact band value where in-band, the tracked
+        # factor entry otherwise (fresher than the Nyström product).
+        tracked = self._gather_landmark_cols(rows)
+        return np.concatenate([band, tracked], axis=1)
+
+    def _gather_landmark_cols(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = self._landmarks
+        rel_r = cols[None, :] - self._off[rows][:, None]
+        in_r = (rel_r >= 0) & (rel_r < self._wid[rows][:, None])
+        rel_c = rows[:, None] - self._off[cols][None, :]
+        in_c = (rel_c >= 0) & (rel_c < self._wid[cols][None, :]) & ~in_r
+        idx = np.where(in_r, self._ptr[rows][:, None] + rel_r, 0)
+        idx = np.where(in_c, self._ptr[cols][None, :] + rel_c, idx)
+        return np.where(in_r | in_c, self._data[idx], self._factor[rows])
+
+    def write_level(self, level: int, w_lo: int, rows_block: np.ndarray) -> None:
+        width = rows_block.shape[1] - self.extra_cols
+        super().write_level(level, w_lo, rows_block[:, :width])
+        t_lo, t_hi = self._level_range(level)
+        self._factor[t_lo:t_hi] = rows_block[:, width:]
+        self._kernel_cache = None
+
+    def write_block(self, level: int, block: np.ndarray) -> None:
+        super().write_block(level, block)
+        t_lo, t_hi = self._level_range(level)
+        inside = (self._landmarks >= t_lo) & (self._landmarks < t_hi)
+        if inside.any():
+            # The within-level re-fold corrected these columns; refresh the
+            # tracked factor so it agrees with the band.
+            for j in np.nonzero(inside)[0]:
+                self._factor[t_lo:t_hi, j] = block[:, self._landmarks[j] - t_lo]
+        self._kernel_cache = None
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes + self._factor.nbytes
+
+
+def _nested_landmarks(n: int, rank: int) -> np.ndarray:
+    """``rank`` distinct rows from the base-2 van der Corput sequence.
+
+    The sequence is *nested*: the first ``r`` landmarks of any larger rank
+    are exactly the landmarks of rank ``r``, so increasing the rank only
+    ever adds tracked columns (the knob is monotone in coverage).
+    """
+    if n <= 0 or rank <= 0:
+        return np.empty(0, dtype=np.int64)
+    picks = []
+    seen = set()
+    k = 0
+    while len(picks) < min(rank, n):
+        # van der Corput radical inverse of k in base 2
+        num, denom, kk = 0, 1, k
+        while kk:
+            num = num * 2 + (kk & 1)
+            denom *= 2
+            kk >>= 1
+        row = min(int(num / denom * n), n - 1)
+        if row not in seen:
+            seen.add(row)
+            picks.append(row)
+        k += 1
+        if k > 4 * n + 4:  # all rows exhausted (rank >= n)
+            break
+    return np.asarray(picks, dtype=np.int64)
+
+
+def make_correlation_store(
+    schedule: LevelSchedule,
+    backend: str,
+    *,
+    bandwidth: Optional[int],
+    rank: int,
+    sink_rows: np.ndarray,
+    max_bytes: int,
+) -> CorrelationStore:
+    """Build a store, refusing — with a clear error — when it cannot fit.
+
+    ``bandwidth=None`` resolves to :func:`exact_bandwidth`, i.e. the
+    smallest band at which the banded/lowrank stores are bit-equal to
+    dense.  The memory guard projects the footprint *before* allocating
+    and names the selected backend plus the largest bandwidth that *would*
+    fit under ``max_bytes``, so the knob is discoverable from the failure.
+    """
+    backend = normalize_correlation_backend(backend)
+    resolved_bw = exact_bandwidth(schedule, sink_rows) if bandwidth is None else int(bandwidth)
+    n = schedule.num_tasks
+    projected = projected_store_bytes(schedule, backend, resolved_bw, rank)
+    if projected > max_bytes:
+        hint_backend = "banded" if backend == "dense" else backend
+        feasible = largest_feasible_bandwidth(
+            schedule, hint_backend, max_bytes, rank,
+            start=resolved_bw if backend != "dense" else None,
+        )
+        if feasible is None:
+            hint = (
+                "no bandwidth fits under the ceiling; use the 'normal' "
+                "(Sculli) estimator whose memory is Θ(|V|)"
+            )
+        elif backend == "dense":
+            hint = (
+                f"correlation_backend='banded' with bandwidth<={feasible} "
+                f"(~{projected_store_bytes(schedule, 'banded', feasible, rank):,} "
+                f"bytes) would fit"
+            )
+        else:
+            hint = (
+                f"bandwidth<={feasible} "
+                f"(~{projected_store_bytes(schedule, hint_backend, feasible, rank):,} "
+                f"bytes) would fit"
+            )
+        raise EstimationError(
+            f"correlated estimator with correlation_backend={backend!r}"
+            + ("" if backend == "dense" else f" (bandwidth={resolved_bw})")
+            + f": {n} tasks project to ~{projected:,} bytes "
+            f"({projected / 1024**3:.2f} GiB), above the max_matrix_bytes "
+            f"ceiling of {max_bytes:,}; raise max_matrix_bytes, or {hint}"
+        )
+    if backend == "dense":
+        return DenseCorrelationStore(schedule)
+    if backend == "banded":
+        return BandedCorrelationStore(schedule, resolved_bw)
+    return LowRankCorrelationStore(schedule, resolved_bw, rank)

@@ -26,8 +26,12 @@ __all__ = [
     "monte_carlo_workers",
     "monte_carlo_backend",
     "monte_carlo_streaming",
+    "correlation_backend",
+    "correlation_bandwidth",
+    "correlation_rank",
     "MC_DTYPES",
     "MC_BACKENDS",
+    "CORR_BACKENDS",
     "PAPER_MC_TRIALS",
 ]
 
@@ -165,6 +169,86 @@ def monte_carlo_streaming(default: Optional[bool] = None) -> bool:
     return bool(default)
 
 
+#: Correlation-storage backends of the correlated-normal estimator
+#: (mirrors :data:`repro.estimators.correlation.CORRELATION_BACKENDS`
+#: without importing the estimator stack).
+CORR_BACKENDS = ("dense", "banded", "lowrank")
+
+
+def correlation_backend(default: Optional[str] = None) -> Optional[str]:
+    """Resolve the correlated estimator's correlation-storage backend.
+
+    Priority: ``REPRO_CORR_BACKEND`` environment variable, then the
+    explicit ``default`` argument, then ``None`` (the estimator picks
+    ``dense``).  ``banded`` stores only correlations between tasks within
+    ``bandwidth`` levels of each other (``Θ(|V|·band)`` memory, bit-equal
+    to dense at the default auto bandwidth); ``lowrank`` adds a Nyström
+    factor for the dropped far-apart pairs.
+    """
+    env = os.environ.get("REPRO_CORR_BACKEND")
+    value = env if env is not None else default
+    if value is None:
+        return None
+    value = value.strip().lower()
+    if value not in CORR_BACKENDS:
+        raise ExperimentError(
+            f"correlation backend must be one of {CORR_BACKENDS}, got {value!r}"
+        )
+    return value
+
+
+def correlation_bandwidth(default: Optional[int] = None) -> Optional[int]:
+    """Resolve the banded/lowrank correlation bandwidth (in levels).
+
+    Priority: ``REPRO_CORR_BANDWIDTH`` environment variable (an integer or
+    ``"auto"``), then the explicit ``default`` argument, then ``None`` —
+    which the estimator resolves to the *exact* bandwidth (the smallest
+    band at which the banded sweep is bit-equal to dense).
+    """
+    env = os.environ.get("REPRO_CORR_BANDWIDTH")
+    if env is not None:
+        text = env.strip().lower()
+        if text in ("", "auto"):
+            return None
+        try:
+            value = int(text)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"REPRO_CORR_BANDWIDTH must be a non-negative integer or "
+                f"'auto', got {env!r}"
+            ) from exc
+    elif default is None:
+        return None
+    else:
+        value = int(default)
+    if value < 0:
+        raise ExperimentError("correlation bandwidth must be >= 0")
+    return value
+
+
+def correlation_rank(default: Optional[int] = None) -> Optional[int]:
+    """Resolve the lowrank backend's Nyström rank.
+
+    Priority: ``REPRO_CORR_RANK`` environment variable, then the explicit
+    ``default`` argument, then ``None`` (the estimator's default rank).
+    """
+    env = os.environ.get("REPRO_CORR_RANK")
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"REPRO_CORR_RANK must be a positive integer, got {env!r}"
+            ) from exc
+    elif default is None:
+        return None
+    else:
+        value = int(default)
+    if value < 1:
+        raise ExperimentError("correlation rank must be >= 1")
+    return value
+
+
 @dataclass(frozen=True)
 class FigureConfig:
     """Configuration of one error-vs-graph-size figure (Figures 4-12)."""
@@ -179,6 +263,9 @@ class FigureConfig:
     mc_workers: Optional[int] = None
     mc_backend: Optional[str] = None
     mc_streaming: Optional[bool] = None
+    corr_backend: Optional[str] = None
+    corr_bandwidth: Optional[int] = None
+    corr_rank: Optional[int] = None
     seed: int = 20160814  # date of the paper's HAL deposit, used as base seed
 
     def __post_init__(self) -> None:
@@ -198,6 +285,7 @@ class FigureConfig:
             raise ExperimentError(
                 f"mc_backend must be one of {MC_BACKENDS}, got {self.mc_backend!r}"
             )
+        _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
 
     @property
     def trials(self) -> int:
@@ -223,6 +311,12 @@ class FigureConfig:
     def streaming(self) -> bool:
         """Monte Carlo streaming mode after the environment override."""
         return monte_carlo_streaming(self.mc_streaming)
+
+    def correlated_options(self) -> Dict[str, object]:
+        """Constructor kwargs of the correlated estimator, env applied."""
+        return _correlated_options(
+            self.corr_backend, self.corr_bandwidth, self.corr_rank
+        )
 
     def describe(self) -> str:
         """Human-readable one-line description."""
@@ -245,6 +339,9 @@ class ScalabilityConfig:
     mc_workers: Optional[int] = None
     mc_backend: Optional[str] = None
     mc_streaming: Optional[bool] = None
+    corr_backend: Optional[str] = None
+    corr_bandwidth: Optional[int] = None
+    corr_rank: Optional[int] = None
     seed: int = 20160814
 
     def __post_init__(self) -> None:
@@ -262,6 +359,7 @@ class ScalabilityConfig:
             raise ExperimentError(
                 f"mc_backend must be one of {MC_BACKENDS}, got {self.mc_backend!r}"
             )
+        _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
 
     @property
     def trials(self) -> int:
@@ -287,6 +385,60 @@ class ScalabilityConfig:
     def streaming(self) -> bool:
         """Monte Carlo streaming mode after the environment override."""
         return monte_carlo_streaming(self.mc_streaming)
+
+    def correlated_options(self) -> Dict[str, object]:
+        """Constructor kwargs of the correlated estimator, env applied."""
+        return _correlated_options(
+            self.corr_backend, self.corr_bandwidth, self.corr_rank
+        )
+
+
+def _validate_corr_fields(
+    backend: Optional[str], bandwidth: Optional[int], rank: Optional[int]
+) -> None:
+    if backend is not None and backend not in CORR_BACKENDS:
+        raise ExperimentError(
+            f"corr_backend must be one of {CORR_BACKENDS}, got {backend!r}"
+        )
+    if bandwidth is not None and bandwidth < 0:
+        raise ExperimentError("corr_bandwidth must be >= 0")
+    if rank is not None and rank < 1:
+        raise ExperimentError("corr_rank must be >= 1")
+
+
+def _correlated_options(
+    backend: Optional[str], bandwidth: Optional[int], rank: Optional[int]
+) -> Dict[str, object]:
+    """Estimator kwargs of the correlation knobs (environment wins)."""
+    options: Dict[str, object] = {}
+    resolved_backend = correlation_backend(backend)
+    if resolved_backend is not None:
+        options["correlation_backend"] = resolved_backend
+    resolved_bandwidth = correlation_bandwidth(bandwidth)
+    if resolved_bandwidth is not None:
+        options["bandwidth"] = resolved_bandwidth
+    resolved_rank = correlation_rank(rank)
+    if resolved_rank is not None:
+        options["rank"] = resolved_rank
+    return options
+
+
+def estimator_options_for(
+    config, name: str, overrides: Optional[Dict[str, Dict]] = None
+) -> Dict[str, object]:
+    """Constructor kwargs of one estimator of an experiment run.
+
+    The correlated estimator picks up the config's correlation knobs
+    (``corr_backend`` / ``corr_bandwidth`` / ``corr_rank``, environment
+    variables winning); explicit per-estimator ``overrides`` (the
+    ``estimator_options`` argument of the drivers) win over both.
+    """
+    options: Dict[str, object] = {}
+    if name.strip().lower() in ("normal-correlated", "corlca"):
+        options.update(config.correlated_options())
+    if overrides:
+        options.update(overrides.get(name, {}))
+    return options
 
 
 def _figures() -> Dict[str, FigureConfig]:

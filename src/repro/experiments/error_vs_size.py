@@ -22,7 +22,7 @@ from ..estimators.base import normalized_difference
 from ..estimators.registry import get_estimator
 from ..failures.models import ExponentialErrorModel
 from ..workflows.registry import build_dag
-from .config import FigureConfig
+from .config import FigureConfig, estimator_options_for as _estimator_options
 
 __all__ = ["ErrorPoint", "FigureResult", "run_error_vs_size", "run_figure"]
 
@@ -159,7 +159,7 @@ def run_error_vs_size(
             )
 
         for name in config.estimators:
-            estimator = get_estimator(name, **options.get(name, {}))
+            estimator = get_estimator(name, **_estimator_options(config, name, options))
             estimate = estimator.estimate(graph, model)
             point = ErrorPoint(
                 workflow=config.workflow,

@@ -20,7 +20,7 @@ from ..estimators.base import normalized_difference
 from ..estimators.registry import get_estimator
 from ..failures.models import ExponentialErrorModel
 from ..workflows.registry import build_dag
-from .config import ScalabilityConfig
+from .config import ScalabilityConfig, estimator_options_for as _estimator_options
 
 __all__ = ["ScalabilityRow", "ScalabilityResult", "run_scalability", "run_table1"]
 
@@ -115,7 +115,7 @@ def run_scalability(
         mc_trials=trials,
     )
     for name in config.estimators:
-        estimator = get_estimator(name, **options.get(name, {}))
+        estimator = get_estimator(name, **_estimator_options(config, name, options))
         estimate = estimator.estimate(graph, model)
         row = ScalabilityRow(
             estimator=name,

@@ -325,3 +325,69 @@ class TestVectorisedIndexBuild:
         g.add_edge("a", "c")
         idx = g.index()
         assert [idx.task_ids[j] for j in idx.successors(0)] == ["d", "b", "c"]
+
+
+class TestScheduleMetadata:
+    """PR 4: edge level-span metadata compiled onto the LevelSchedule."""
+
+    def test_task_and_row_levels_consistent(self, cholesky4):
+        from repro.core.kernels import schedule_for
+
+        index = cholesky4.index()
+        schedule = schedule_for(index, "up")
+        level_indptr, level_order = index.level_structure()
+        for level in range(schedule.num_levels):
+            tasks = level_order[level_indptr[level] : level_indptr[level + 1]]
+            assert set(schedule.task_level[tasks].tolist()) == {level}
+        np.testing.assert_array_equal(
+            schedule.row_level, schedule.task_level[schedule.perm]
+        )
+
+    def test_max_edge_level_span_matches_bruteforce(self):
+        from repro.core.kernels import schedule_for
+
+        for workflow in ("cholesky", "lu", "qr", "stencil"):
+            graph = build_dag(workflow, 5)
+            index = graph.index()
+            schedule = schedule_for(index, "up")
+            level = schedule.task_level
+            spans = [
+                int(level[i] - level[p])
+                for i in range(index.num_tasks)
+                for p in index.predecessors(i)
+            ]
+            assert schedule.max_edge_level_span == max(spans)
+
+    def test_skip_edge_widens_the_span(self):
+        from repro.core.kernels import schedule_for
+
+        g = TaskGraph(name="skip")
+        for t in ("a", "b", "c", "d"):
+            g.add_task(t, 1.0)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "d")
+        g.add_edge("a", "d")  # spans three levels
+        schedule = schedule_for(g.index(), "up")
+        assert schedule.max_edge_level_span == 3
+
+    def test_edge_free_graph_has_zero_span(self):
+        from repro.core.kernels import schedule_for
+
+        g = TaskGraph(name="independent")
+        for t in ("a", "b", "c"):
+            g.add_task(t, 1.0)
+        schedule = schedule_for(g.index(), "up")
+        assert schedule.max_edge_level_span == 0
+        assert schedule.num_levels == 1
+
+    def test_down_schedule_has_its_own_metadata(self, cholesky4):
+        from repro.core.kernels import schedule_for
+
+        index = cholesky4.index()
+        down = schedule_for(index, "down")
+        assert down.max_edge_level_span >= 1
+        assert down.task_level.shape == (index.num_tasks,)
+        np.testing.assert_array_equal(
+            down.row_level, down.task_level[down.perm]
+        )

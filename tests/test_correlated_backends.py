@@ -1,0 +1,392 @@
+"""Differential tests of the correlation-storage backends.
+
+Contracts (see :mod:`repro.estimators.correlation`):
+
+* ``banded`` (and ``lowrank``) are **bit-identical** to ``dense`` whenever
+  the bandwidth covers the exact bandwidth of the schedule — the max edge
+  level span joined with the sinks' level spread — which is what the
+  default ``bandwidth=None`` resolves to;
+* below the exact bandwidth the approximation error is bounded and shrinks
+  monotonically as the bandwidth grows;
+* the ``lowrank`` Nyström factor never does worse than plain dropping
+  (the banded error) by more than a sliver, and improves with rank in the
+  low-rank regime;
+* the memory guard refuses over-budget stores *before* allocating, naming
+  the selected backend and the bandwidth that would fit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import schedule_for
+from repro.estimators.correlated import CorrelatedNormalEstimator, sequential_correlated_estimate
+from repro.estimators.correlation import (
+    BandedCorrelationStore,
+    DenseCorrelationStore,
+    LowRankCorrelationStore,
+    exact_bandwidth,
+    largest_feasible_bandwidth,
+    projected_store_bytes,
+    _nested_landmarks,
+)
+from repro.exceptions import EstimationError, ReproError
+from repro.failures.models import ExponentialErrorModel
+from repro.workflows.registry import build_dag
+
+#: The DAG families of the paper's figure suite plus the extra workloads.
+CASES = [
+    ("cholesky", 8, 1e-2),
+    ("lu", 6, 1e-2),
+    ("qr", 6, 1e-3),
+    ("gemm", 5, 1e-2),
+    ("stencil", 6, 5e-2),
+    ("mapreduce", 8, 1e-2),
+]
+
+
+@pytest.fixture(scope="module")
+def estimates():
+    """Dense reference estimates, one per workflow case."""
+    out = {}
+    for workflow, size, pfail in CASES:
+        graph = build_dag(workflow, size)
+        model = ExponentialErrorModel.for_graph(graph, pfail)
+        dense = CorrelatedNormalEstimator(correlation_backend="dense").estimate(
+            graph, model
+        )
+        out[workflow] = (graph, model, dense)
+    return out
+
+
+def _run(graph, model, **kwargs):
+    return CorrelatedNormalEstimator(**kwargs).estimate(graph, model)
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize("workflow,size,pfail", CASES)
+    @pytest.mark.parametrize("backend", ["banded", "lowrank"])
+    def test_auto_bandwidth_bit_equal_to_dense(
+        self, workflow, size, pfail, backend, estimates
+    ):
+        graph, model, dense = estimates[workflow]
+        result = _run(graph, model, correlation_backend=backend)
+        assert result.expected_makespan == dense.expected_makespan
+        assert result.details["makespan_variance"] == dense.details["makespan_variance"]
+
+    @pytest.mark.parametrize("workflow,size,pfail", CASES[:3])
+    def test_over_wide_band_still_bit_equal(self, workflow, size, pfail, estimates):
+        graph, model, dense = estimates[workflow]
+        schedule = schedule_for(graph.index(), "up")
+        sink_rows = schedule.rank[graph.index().sink_indices()]
+        wide = exact_bandwidth(schedule, sink_rows) + 3
+        result = _run(
+            graph, model, correlation_backend="banded", bandwidth=wide
+        )
+        assert result.expected_makespan == dense.expected_makespan
+
+    @pytest.mark.parametrize("workflow,size,pfail", CASES[:2])
+    def test_dense_matches_sequential_reference(self, workflow, size, pfail, estimates):
+        graph, model, dense = estimates[workflow]
+        seq_mean, seq_var = sequential_correlated_estimate(graph, model)
+        assert dense.expected_makespan == pytest.approx(seq_mean, rel=1e-9)
+        assert dense.details["makespan_variance"] == pytest.approx(
+            seq_var, rel=1e-9, abs=1e-15
+        )
+
+
+class TestApproximationError:
+    @pytest.mark.parametrize("workflow,size,pfail", CASES)
+    @pytest.mark.parametrize("backend", ["banded", "lowrank"])
+    def test_error_bounded_and_monotone_in_bandwidth(
+        self, workflow, size, pfail, backend, estimates
+    ):
+        graph, model, dense = estimates[workflow]
+        reference = dense.expected_makespan
+        schedule = schedule_for(graph.index(), "up")
+        sink_rows = schedule.rank[graph.index().sink_indices()]
+        exact = exact_bandwidth(schedule, sink_rows)
+        errors = []
+        for bandwidth in range(exact + 1):
+            value = _run(
+                graph, model, correlation_backend=backend, bandwidth=bandwidth
+            ).expected_makespan
+            errors.append(abs(value - reference) / abs(reference))
+        # Bounded: even the narrowest band stays within a few percent of
+        # dense on the paper's DAG families at these failure rates.
+        assert max(errors) < 0.05
+        # Monotone: widening the band never makes the estimate worse
+        # (beyond floating-point noise).
+        for narrow, wide in zip(errors, errors[1:]):
+            assert wide <= narrow + 1e-12
+        # At the exact bandwidth the error is identically zero.
+        exact_value = _run(
+            graph, model, correlation_backend=backend, bandwidth=exact
+        ).expected_makespan
+        assert exact_value == reference
+
+    @pytest.mark.parametrize("workflow,size,pfail", CASES)
+    def test_lowrank_not_worse_than_banded(self, workflow, size, pfail, estimates):
+        graph, model, dense = estimates[workflow]
+        reference = dense.expected_makespan
+        banded = _run(
+            graph, model, correlation_backend="banded", bandwidth=0
+        ).expected_makespan
+        lowrank = _run(
+            graph, model, correlation_backend="lowrank", bandwidth=0, rank=8
+        ).expected_makespan
+        banded_err = abs(banded - reference) / abs(reference)
+        lowrank_err = abs(lowrank - reference) / abs(reference)
+        assert lowrank_err <= banded_err * 1.05 + 1e-12
+
+    @pytest.mark.parametrize("workflow,size,pfail", [CASES[0], CASES[1]])
+    def test_lowrank_error_shrinks_with_rank(self, workflow, size, pfail, estimates):
+        """More landmarks help (within the low-rank regime; 5% slack
+        tolerates the plateaus of the Nyström approximation)."""
+        graph, model, dense = estimates[workflow]
+        reference = dense.expected_makespan
+        bandwidth = 1 if workflow == "cholesky" else 0
+        errors = []
+        for rank in (1, 2, 4, 8):
+            value = _run(
+                graph, model, correlation_backend="lowrank",
+                bandwidth=bandwidth, rank=rank,
+            ).expected_makespan
+            errors.append(abs(value - reference) / abs(reference))
+        for low, high in zip(errors, errors[1:]):
+            assert high <= low * 1.05 + 1e-9
+        assert errors[-1] < errors[0]
+
+
+class TestStores:
+    def test_banded_symmetric_reads(self, cholesky4):
+        index = cholesky4.index()
+        schedule = schedule_for(index, "up")
+        dense = DenseCorrelationStore(schedule)
+        banded = BandedCorrelationStore(schedule, schedule.num_levels)
+        n = schedule.num_tasks
+        rng = np.random.default_rng(0)
+        # Write one level through both stores and compare arbitrary reads.
+        level = 1
+        t_lo, t_hi = int(schedule.level_indptr[1]), int(schedule.level_indptr[2])
+        w_lo_d, w_lo_b = dense.window_start(level), banded.window_start(level)
+        block = rng.uniform(-1, 1, size=(t_hi - t_lo, t_hi - w_lo_b))
+        dense.write_level(level, w_lo_d, block[:, w_lo_b - w_lo_d :] if w_lo_d < w_lo_b else block)
+        banded.write_level(level, w_lo_b, block)
+        rows = np.arange(n)
+        np.testing.assert_array_equal(
+            dense.pair_matrix(rows), banded.pair_matrix(rows)
+        )
+
+    def test_identity_initialisation(self, diamond):
+        schedule = schedule_for(diamond.index(), "up")
+        for store in (
+            DenseCorrelationStore(schedule),
+            BandedCorrelationStore(schedule, 1),
+            LowRankCorrelationStore(schedule, 1, 2),
+        ):
+            pair = store.pair_matrix(np.arange(schedule.num_tasks))
+            np.testing.assert_array_equal(pair, np.eye(schedule.num_tasks))
+
+    def test_banded_out_of_band_reads_zero(self, chain3):
+        schedule = schedule_for(chain3.index(), "up")
+        store = BandedCorrelationStore(schedule, 0)
+        pair = store.pair_matrix(np.arange(3))
+        np.testing.assert_array_equal(pair, np.eye(3))
+
+    def test_landmarks_are_nested(self):
+        small = _nested_landmarks(1000, 8)
+        large = _nested_landmarks(1000, 32)
+        np.testing.assert_array_equal(large[:8], small)
+        assert len(set(large.tolist())) == 32
+
+    def test_exact_bandwidth_metadata(self, cholesky4, chain3, diamond):
+        for graph, expected in ((chain3, 1), (diamond, 1)):
+            index = graph.index()
+            schedule = schedule_for(index, "up")
+            assert schedule.max_edge_level_span == expected
+            assert exact_bandwidth(schedule, schedule.rank[index.sink_indices()]) == expected
+        index = cholesky4.index()
+        schedule = schedule_for(index, "up")
+        assert schedule.max_edge_level_span >= 1
+        assert exact_bandwidth(schedule, schedule.rank[index.sink_indices()]) >= (
+            schedule.max_edge_level_span
+        )
+
+    def test_store_memory_scales_with_band(self, estimates):
+        graph, _, _ = estimates["cholesky"]
+        schedule = schedule_for(graph.index(), "up")
+        narrow = projected_store_bytes(schedule, "banded", 0)
+        wide = projected_store_bytes(schedule, "banded", schedule.num_levels)
+        dense = projected_store_bytes(schedule, "dense", 0)
+        assert narrow < wide
+        assert wide < dense  # half-band symmetric storage beats two matrices
+
+
+class TestMemoryGuard:
+    def test_dense_failure_names_backend_and_feasible_bandwidth(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 1e-2)
+        estimator = CorrelatedNormalEstimator(
+            correlation_backend="dense", max_matrix_bytes=4096
+        )
+        with pytest.raises(ReproError) as excinfo:
+            estimator.estimate(cholesky4, model)
+        message = str(excinfo.value)
+        assert "dense" in message
+        assert str(cholesky4.num_tasks) in message
+        assert "bytes" in message
+        assert "banded" in message and "bandwidth<=" in message
+
+    def test_banded_failure_names_bandwidth_that_fits(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 1e-2)
+        schedule = schedule_for(cholesky4.index(), "up")
+        wide = schedule.num_levels
+        cap = projected_store_bytes(schedule, "banded", 1)
+        estimator = CorrelatedNormalEstimator(
+            correlation_backend="banded", bandwidth=wide, max_matrix_bytes=cap
+        )
+        with pytest.raises(ReproError) as excinfo:
+            estimator.estimate(cholesky4, model)
+        message = str(excinfo.value)
+        assert "banded" in message and "bandwidth<=" in message
+
+    def test_guard_hopeless_case_suggests_sculli(self, cholesky4):
+        model = ExponentialErrorModel.for_graph(cholesky4, 1e-2)
+        estimator = CorrelatedNormalEstimator(
+            correlation_backend="banded", max_matrix_bytes=8
+        )
+        with pytest.raises(ReproError) as excinfo:
+            estimator.estimate(cholesky4, model)
+        assert "Sculli" in str(excinfo.value)
+
+    def test_feasible_bandwidth_search(self, cholesky4):
+        schedule = schedule_for(cholesky4.index(), "up")
+        huge = largest_feasible_bandwidth(schedule, "banded", 1 << 40)
+        assert huge == schedule.num_levels - 1
+        assert largest_feasible_bandwidth(schedule, "banded", 8) is None
+
+    def test_banded_admits_what_dense_refuses(self, estimates):
+        graph, model, dense = estimates["cholesky"]
+        schedule = schedule_for(graph.index(), "up")
+        sink_rows = schedule.rank[graph.index().sink_indices()]
+        banded_bytes = projected_store_bytes(
+            schedule, "banded", exact_bandwidth(schedule, sink_rows)
+        )
+        dense_bytes = projected_store_bytes(schedule, "dense", 0)
+        assert banded_bytes < dense_bytes
+        cap = (banded_bytes + dense_bytes) // 2
+        with pytest.raises(ReproError):
+            CorrelatedNormalEstimator(
+                correlation_backend="dense", max_matrix_bytes=cap
+            ).estimate(graph, model)
+        result = CorrelatedNormalEstimator(
+            correlation_backend="banded", max_matrix_bytes=cap
+        ).estimate(graph, model)
+        assert result.expected_makespan == dense.expected_makespan
+
+
+class TestKnobs:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(EstimationError):
+            CorrelatedNormalEstimator(correlation_backend="sparse")
+
+    def test_invalid_bandwidth_and_rank_rejected(self):
+        with pytest.raises(EstimationError):
+            CorrelatedNormalEstimator(correlation_backend="banded", bandwidth=-1)
+        with pytest.raises(EstimationError):
+            CorrelatedNormalEstimator(correlation_backend="lowrank", rank=0)
+
+    def test_knobs_the_backend_would_ignore_are_rejected(self):
+        # An explicit bandwidth/rank must not be silently ignored by a
+        # backend that does not consume it.
+        with pytest.raises(EstimationError, match="banded"):
+            CorrelatedNormalEstimator(bandwidth=2)
+        with pytest.raises(EstimationError, match="lowrank"):
+            CorrelatedNormalEstimator(correlation_backend="banded", rank=8)
+
+    def test_env_knobs_stay_lenient_for_other_backends(self, monkeypatch):
+        # A globally exported REPRO_CORR_BANDWIDTH/RANK must not poison
+        # dense runs — only explicit constructor arguments conflict.
+        monkeypatch.setenv("REPRO_CORR_BANDWIDTH", "2")
+        monkeypatch.setenv("REPRO_CORR_RANK", "8")
+        estimator = CorrelatedNormalEstimator(correlation_backend="dense")
+        assert estimator.correlation_backend == "dense"
+
+    def test_env_overrides_fill_unset_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORR_BACKEND", "banded")
+        monkeypatch.setenv("REPRO_CORR_BANDWIDTH", "2")
+        estimator = CorrelatedNormalEstimator()
+        assert estimator.correlation_backend == "banded"
+        assert estimator.bandwidth == 2
+        monkeypatch.setenv("REPRO_CORR_BANDWIDTH", "auto")
+        assert CorrelatedNormalEstimator().bandwidth is None
+
+    def test_explicit_argument_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORR_BACKEND", "banded")
+        estimator = CorrelatedNormalEstimator(correlation_backend="dense")
+        assert estimator.correlation_backend == "dense"
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORR_BACKEND", "gpu")
+        with pytest.raises(EstimationError):
+            CorrelatedNormalEstimator()
+        monkeypatch.delenv("REPRO_CORR_BACKEND")
+        monkeypatch.setenv("REPRO_CORR_BANDWIDTH", "wide")
+        with pytest.raises(EstimationError):
+            CorrelatedNormalEstimator()
+
+    def test_details_expose_backend_and_band(self, estimates):
+        graph, model, dense = estimates["mapreduce"]
+        assert dense.details["correlation_backend"] == "dense"
+        banded = _run(graph, model, correlation_backend="banded")
+        assert banded.details["correlation_backend"] == "banded"
+        assert banded.details["correlation_bandwidth"] == banded.details["exact_bandwidth"]
+        assert banded.details["correlation_store_bytes"] < dense.details["correlation_store_bytes"]
+        lowrank = _run(graph, model, correlation_backend="lowrank", rank=4)
+        assert lowrank.details["correlation_rank"] == 4
+
+    def test_config_and_cli_threading(self, monkeypatch):
+        from repro.experiments.config import (
+            FigureConfig,
+            correlation_backend,
+            correlation_bandwidth,
+            correlation_rank,
+            estimator_options_for,
+        )
+        from repro.exceptions import ExperimentError
+
+        monkeypatch.delenv("REPRO_CORR_BACKEND", raising=False)
+        assert correlation_backend() is None
+        assert correlation_backend("banded") == "banded"
+        monkeypatch.setenv("REPRO_CORR_BACKEND", "lowrank")
+        assert correlation_backend("banded") == "lowrank"  # environment wins
+        monkeypatch.setenv("REPRO_CORR_BACKEND", "gpu")
+        with pytest.raises(ExperimentError):
+            correlation_backend()
+        monkeypatch.delenv("REPRO_CORR_BACKEND")
+
+        monkeypatch.setenv("REPRO_CORR_BANDWIDTH", "auto")
+        assert correlation_bandwidth(3) is None  # environment wins
+        monkeypatch.delenv("REPRO_CORR_BANDWIDTH")
+        assert correlation_bandwidth(3) == 3
+        assert correlation_rank(16) == 16
+
+        config = FigureConfig(
+            figure="t", workflow="lu", pfail=1e-3,
+            corr_backend="banded", corr_bandwidth=2,
+        )
+        options = estimator_options_for(config, "normal-correlated")
+        assert options == {"correlation_backend": "banded", "bandwidth": 2}
+        assert estimator_options_for(config, "dodin") == {}
+        with pytest.raises(ExperimentError):
+            FigureConfig(figure="t", workflow="lu", pfail=1e-3, corr_backend="gpu")
+
+    def test_cli_estimate_passes_corr_flags(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "estimate", "--workflow", "mapreduce", "--size", "6",
+            "--method", "normal-correlated",
+            "--corr-backend", "banded", "--corr-bandwidth", "1",
+        ])
+        assert code == 0
+        assert "normal-correlated" in capsys.readouterr().out

@@ -10,11 +10,12 @@ violates a regression guard:
 * longest-path kernel entries (no ``benchmark`` field): float64 >= 1.2x
   and float32 >= 1.8x over the per-task reference on cholesky DAGs with
   >= 2,600 tasks;
-* estimator entries (``benchmark = "estimator_wavefront"``) and Monte
-  Carlo backend entries (``benchmark = "mc_backends"``): the archived
-  ``guard_min`` per entry (``null`` when the guard did not apply at
-  measurement time — small graph, or too few CPUs for the parallel
-  backend comparisons).
+* estimator entries (``benchmark = "estimator_wavefront"``), Monte
+  Carlo backend entries (``benchmark = "mc_backends"``) and parallel
+  correlated-sweep entries (``benchmark = "correlated_parallel"``): the
+  archived ``guard_min`` per entry (``null`` when the guard did not apply
+  at measurement time — small graph, or too few CPUs for the parallel
+  comparisons).
 
 Stdlib-only so it can run as a bare CI step: ``python
 benchmarks/report_rates.py [path/to/kernel_rates.json]``.
@@ -40,12 +41,16 @@ def _entry_key(entry: dict) -> tuple:
         return ("estimator", entry["method"], entry["workflow"], entry["k"])
     if entry.get("benchmark") == "mc_backends":
         return ("mc-backend", entry["method"], entry["workflow"], entry["k"])
+    if entry.get("benchmark") == "correlated_parallel":
+        return ("corr-parallel", entry["method"], entry["workflow"], entry["k"])
     return ("kernel", entry.get("dtype", "?"), entry.get("workflow", "?"), entry.get("k"))
 
 
 def _entry_guard(entry: dict):
     """The minimal admissible speedup of one entry, or ``None``."""
-    if entry.get("benchmark") in ("estimator_wavefront", "mc_backends"):
+    if entry.get("benchmark") in (
+        "estimator_wavefront", "mc_backends", "correlated_parallel"
+    ):
         return entry.get("guard_min")
     if (
         entry.get("workflow") == "cholesky"
@@ -61,6 +66,8 @@ def _label(key: tuple) -> str:
         return f"estimator/{a:<10s} {b} k={k}"
     if kind == "mc-backend":
         return f"mc-backend/{a:<16s} {b} k={k}"
+    if kind == "corr-parallel":
+        return f"corr-parallel/{a:<13s} {b} k={k}"
     return f"kernel/{a:<13s} {b} k={k}"
 
 

@@ -1,0 +1,123 @@
+"""Parallel correlated-sweep throughput: workers=1 vs workers=4.
+
+Measures, on the paper's Cholesky DAGs, the sustained task rate of the
+banded correlated estimator's per-level fold on the shared execution
+service (:mod:`repro.exec`), one worker (the bit-reference sequential
+path) against :data:`PARALLEL_WORKERS` threads.  Worker-count invariance
+is asserted on the way: the banded fold must produce *identical* estimates
+at any worker count.
+
+Regression guard:
+
+* the 4-worker banded sweep must be at least 1.8x faster than one worker —
+  armed only on DAGs with >= :data:`GUARD_MIN_TASKS` tasks (k >= 40, where
+  the levels are wide enough to split) *and* on machines with >= 4 CPUs
+  (the speedup is physically impossible otherwise; the entry records the
+  CPU count so the rate report can tell the cases apart).
+
+The measurements are archived (appended) to
+``benchmarks/results/kernel_rates.json`` with
+``benchmark = "correlated_parallel"`` and an explicit ``guard_min`` per
+entry (``null`` when the guard did not apply), so
+``benchmarks/report_rates.py`` can track the trend PR-over-PR.
+
+Knobs: ``REPRO_BENCH_SIZES`` restricts the tile counts (default ``16``; CI
+smoke keeps it small — the guard only applies at k >= 40, e.g.
+``REPRO_BENCH_SIZES=40`` on a >= 4-CPU runner; ``84`` reproduces the
+102,340-task paper-scale sweep).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.estimators.correlated import CorrelatedNormalEstimator
+from repro.failures.models import ExponentialErrorModel
+from repro.workflows.registry import build_dag
+
+from _common import archive_rates, best_time, throughput_bench_sizes
+
+DEFAULT_SIZES = (16,)
+
+GUARD_MIN_TASKS = 11_000  # cholesky k=40 has 11,480 tasks
+GUARD_SPEEDUP = 1.8
+PARALLEL_WORKERS = 4
+PFAIL = 1e-3
+
+
+def _entry(method, k, n, serial_time, time, workers, cpus, guard_min):
+    return {
+        "benchmark": "correlated_parallel",
+        "workflow": "cholesky",
+        "method": method,
+        "k": k,
+        "tasks": n,
+        "workers": workers,
+        "cpus": cpus,
+        "seconds": round(time, 6),
+        "tasks_per_second": round(n / time, 1),
+        "speedup": round(serial_time / time, 3),
+        "guard_min": guard_min,
+    }
+
+
+def test_correlated_parallel_throughput():
+    entries = []
+    cpus = os.cpu_count() or 1
+    print()
+    for k in throughput_bench_sizes(DEFAULT_SIZES):
+        graph = build_dag("cholesky", k)
+        n = graph.num_tasks
+        model = ExponentialErrorModel.for_graph(graph, PFAIL)
+        repeats = 2 if n < GUARD_MIN_TASKS else 1
+        estimates = {}
+
+        def run(workers):
+            estimates[workers] = CorrelatedNormalEstimator(
+                correlation_backend="banded", workers=workers
+            ).estimate(graph, model)
+
+        serial_time = best_time(lambda: run(1), repeats=repeats)
+        entries.append(
+            _entry("banded-serial", k, n, serial_time, serial_time, 1, cpus, None)
+        )
+        print(
+            f"  banded x1 k={k:3d} ({n:6d} tasks): {serial_time:8.2f} s  "
+            f"({n / serial_time:9.0f} tasks/s)"
+        )
+
+        parallel_time = best_time(
+            lambda: run(PARALLEL_WORKERS), repeats=repeats
+        )
+        guard = (
+            GUARD_SPEEDUP
+            if (n >= GUARD_MIN_TASKS and cpus >= PARALLEL_WORKERS)
+            else None
+        )
+        entries.append(
+            _entry(
+                f"banded-w{PARALLEL_WORKERS}", k, n, serial_time, parallel_time,
+                PARALLEL_WORKERS, cpus, guard,
+            )
+        )
+        print(
+            f"  banded x{PARALLEL_WORKERS} k={k:3d} ({n:6d} tasks): "
+            f"{parallel_time:8.2f} s  ({serial_time / parallel_time:5.2f}x, "
+            f"{cpus} cpus)"
+        )
+
+        # Worker-count invariance: the banded fold is bit-identical
+        # (asserted on the timed runs' own results — no extra sweeps).
+        assert (
+            estimates[1].expected_makespan
+            == estimates[PARALLEL_WORKERS].expected_makespan
+        )
+
+    for entry in entries:
+        if entry["guard_min"] is not None:
+            assert entry["speedup"] >= entry["guard_min"], (
+                f"parallel correlated sweep regressed: {entry['speedup']}x < "
+                f"{entry['guard_min']}x over one worker on "
+                f"{entry['tasks']}-task cholesky ({entry['cpus']} cpus)"
+            )
+    archive_rates(entries)

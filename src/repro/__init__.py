@@ -18,6 +18,9 @@ The package provides:
 * the tiled Cholesky/LU/QR DAG generators of the evaluation section
   (:mod:`repro.workflows`);
 * silent-error-aware list scheduling (:mod:`repro.scheduling`);
+* a shared parallel-execution service (:mod:`repro.exec`) carrying the
+  Monte Carlo batches and the analytical estimators' level sweeps on
+  interchangeable serial/threads/processes backends;
 * the experiment drivers regenerating every figure and table of the paper
   (:mod:`repro.experiments`) and a command-line interface (:mod:`repro.cli`).
 

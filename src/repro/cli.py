@@ -33,7 +33,7 @@ from typing import List, Optional
 from . import estimate_expected_makespan
 from .core.serialize import save_dot, save_json
 from .estimators.registry import available_estimators
-from .experiments.config import PAPER_FIGURES
+from .experiments.config import PAPER_FIGURES, PARALLEL_ESTIMATORS
 from .experiments.error_vs_size import run_figure
 from .experiments.reporting import figure_ascii_plot, figure_table, scalability_table
 from .experiments.runner import run_everything
@@ -84,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--streaming", action="store_true", default=None,
                      help="streaming statistics: mean/std/CI/quantiles in O(batch) "
                           "memory, no materialised sample")
+    est.add_argument("--est-workers", type=int, default=None,
+                     help="parallel workers of the analytical estimators "
+                          "(normal-correlated fold, second-order sweeps, dodin "
+                          "rounds) on the shared execution service (default 1; "
+                          "also via REPRO_EST_WORKERS)")
     est.add_argument("--corr-backend", choices=["dense", "banded", "lowrank"],
                      default=None,
                      help="correlation storage of the normal-correlated "
@@ -113,6 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Monte Carlo execution backend")
     fig.add_argument("--streaming", action="store_true", default=None,
                      help="Monte Carlo streaming statistics (O(batch) memory)")
+    fig.add_argument("--est-workers", type=int, default=None,
+                     help="parallel workers of the analytical estimators "
+                          "(also via REPRO_EST_WORKERS)")
     fig.add_argument("--no-plot", action="store_true")
 
     tab = exp_sub.add_parser("table1", help="the scalability study (Table I)")
@@ -128,6 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Monte Carlo execution backend")
     tab.add_argument("--streaming", action="store_true", default=None,
                      help="Monte Carlo streaming statistics (O(batch) memory)")
+    tab.add_argument("--est-workers", type=int, default=None,
+                     help="parallel workers of the analytical estimators "
+                          "(also via REPRO_EST_WORKERS)")
 
     allp = exp_sub.add_parser("all", help="all figures and Table I")
     allp.add_argument("--trials", type=int, default=None)
@@ -141,6 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="Monte Carlo execution backend")
     allp.add_argument("--streaming", action="store_true", default=None,
                       help="Monte Carlo streaming statistics (O(batch) memory)")
+    allp.add_argument("--est-workers", type=int, default=None,
+                      help="parallel workers of the analytical estimators "
+                           "(also via REPRO_EST_WORKERS)")
     allp.add_argument("--output-dir", default=None, help="directory for CSV archives")
 
     # schedule -----------------------------------------------------------
@@ -195,6 +209,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 kwargs["bandwidth"] = args.corr_bandwidth
             if args.corr_rank is not None:
                 kwargs["rank"] = args.corr_rank
+        if method in PARALLEL_ESTIMATORS and args.est_workers is not None:
+            kwargs["workers"] = args.est_workers
         result = estimate_expected_makespan(graph, model, method=method, **kwargs)
         outputs.append(result)
         if not args.json:
@@ -230,6 +246,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             mc_workers=args.workers,
             mc_backend=args.backend,
             mc_streaming=args.streaming,
+            est_workers=args.est_workers,
             seed=args.seed,
             progress=progress,
         )
@@ -249,6 +266,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             mc_workers=args.workers,
             mc_backend=args.backend,
             mc_streaming=args.streaming,
+            est_workers=args.est_workers,
             seed=args.seed,
             progress=progress,
         )
@@ -261,6 +279,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         mc_workers=args.workers,
         mc_backend=args.backend,
         mc_streaming=args.streaming,
+        est_workers=args.est_workers,
         table1_size=args.table1_size,
         seed=args.seed,
         output_dir=args.output_dir,

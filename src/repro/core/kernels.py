@@ -165,6 +165,12 @@ class LevelSchedule:
     groups:
         The per-level degree groups, in evaluation order.  Level 0 (tasks
         without in-edges) needs no update and has no groups.
+    group_indptr:
+        ``(num_levels + 1,)`` partition metadata: the degree groups of
+        level ``L`` are ``groups[group_indptr[L]:group_indptr[L + 1]]``
+        (empty for level 0).  Parallel clients use this to split a level's
+        fold into independent per-group (or per-row-chunk) work partitions
+        without walking the flat ``groups`` tuple.
     max_group_rows:
         Largest group height; sizes the gather scratch buffers.
     task_level:
@@ -186,6 +192,7 @@ class LevelSchedule:
     perm: np.ndarray
     rank: np.ndarray
     groups: Tuple[LevelGroup, ...]
+    group_indptr: np.ndarray
     max_group_rows: int
     task_level: np.ndarray
     row_level: np.ndarray
@@ -194,6 +201,38 @@ class LevelSchedule:
     @property
     def num_levels(self) -> int:
         return int(self.level_indptr.shape[0]) - 1
+
+    def level_groups(self, level: int) -> Tuple[LevelGroup, ...]:
+        """The degree groups updating level ``level``, in evaluation order."""
+        if not (0 <= level < self.num_levels):
+            raise GraphError(
+                f"level {level} out of range for a {self.num_levels}-level schedule"
+            )
+        return self.groups[
+            int(self.group_indptr[level]) : int(self.group_indptr[level + 1])
+        ]
+
+    def level_partitions(
+        self, level: int, target_rows: int
+    ) -> Tuple[Tuple[LevelGroup, int, int], ...]:
+        """Row-chunk work partitions of one level's degree groups.
+
+        Splits every group of the level into chunks of at most
+        ``target_rows`` rows, returned as ``(group, lo, hi)`` triples
+        (rows ``[lo, hi)`` *within* the group).  Each partition updates a
+        disjoint slice of the level and reads only pre-level state, so
+        partitions are mutually independent: evaluating them in any order
+        — or concurrently — reproduces the whole-group fold bit for bit
+        (all per-row operations are elementwise).
+        """
+        if target_rows < 1:
+            raise GraphError("partition target_rows must be >= 1")
+        parts = []
+        for group in self.level_groups(level):
+            rows = group.stop - group.start
+            for lo in range(0, rows, target_rows):
+                parts.append((group, lo, min(lo + target_rows, rows)))
+        return tuple(parts)
 
 
 def _compile_schedule(
@@ -221,6 +260,7 @@ def _compile_schedule(
     task_level[perm] = row_level
 
     groups = []
+    group_indptr = np.zeros(max(num_levels + 1, 1), dtype=np.int64)
     max_group_rows = 0
     max_edge_level_span = 0
     for level in range(1, num_levels):
@@ -245,8 +285,10 @@ def _compile_schedule(
             if preds.size:
                 span = level - int(row_level[preds].min())
                 max_edge_level_span = max(max_edge_level_span, span)
+        group_indptr[level + 1] = len(groups)
 
     perm.setflags(write=False)
+    group_indptr.setflags(write=False)
     rank.setflags(write=False)
     row_level.setflags(write=False)
     task_level.setflags(write=False)
@@ -257,6 +299,7 @@ def _compile_schedule(
         perm=perm,
         rank=rank,
         groups=tuple(groups),
+        group_indptr=group_indptr,
         max_group_rows=max_group_rows,
         task_level=task_level,
         row_level=row_level,

@@ -34,6 +34,20 @@ sequential pair entries, selected by topological rank).  Results match the
 sequential reference (retained as :func:`sequential_correlated_estimate`)
 to floating-point rounding.
 
+Parallel level folds
+--------------------
+
+Within one level, every *row* of the batched fold is independent: the fold
+reads only pre-level state (the moments and the correlation store) and
+writes a disjoint output row, and all per-row operations are elementwise.
+The estimator therefore partitions each level's degree groups into row
+chunks (:meth:`~repro.core.kernels.LevelSchedule.level_partitions`) and
+executes them on the shared :class:`~repro.exec.ParallelService`
+(``workers=`` / ``REPRO_EST_WORKERS``): results are **bit-identical** at
+any worker count for the dense and banded stores, and ``workers=1`` runs
+the historical whole-group partitions on the serial backend — bit-identical
+to earlier releases for every store.
+
 Correlation storage backends
 ----------------------------
 
@@ -69,6 +83,7 @@ from ..core.kernels import (
     schedule_for,
 )
 from ..core.paths import critical_path_length
+from ..exec import ParallelService, resolve_workers
 from ..exceptions import EstimationError
 from ..failures.models import ErrorModel
 from ..failures.twostate import TwoStateDistribution, two_state_moment_vectors
@@ -89,6 +104,13 @@ __all__ = [
     "sequential_correlated_estimate",
     "DEFAULT_MAX_MATRIX_BYTES",
 ]
+
+#: Target rows per fold partition when the level sweep runs on more than
+#: one worker.  Purely a throughput knob (per-row results are partition-
+#: invariant): small enough to balance the paper DAGs' levels over a few
+#: workers, large enough that the per-partition dispatch overhead stays
+#: negligible against the gathers.
+_FOLD_PARTITION_ROWS = 256
 
 
 def _fold_sinks_correlated(
@@ -267,6 +289,14 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         count, the selected backend and the bandwidth that *would* fit,
         *before* any allocation.  ``None`` restores the default
         (:data:`DEFAULT_MAX_MATRIX_BYTES`).
+    workers:
+        Worker count of the per-level fold on the shared
+        :class:`~repro.exec.ParallelService` (``None`` consults
+        ``REPRO_EST_WORKERS`` and falls back to 1).  Purely a throughput
+        knob: ``workers=1`` is bit-identical to earlier releases, and any
+        worker count is bit-identical for the dense/banded stores (the
+        per-row fold operations are elementwise, hence
+        partition-invariant).
     """
 
     name = "normal-correlated"
@@ -279,6 +309,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         bandwidth: Optional[int] = None,
         rank: Optional[int] = None,
         max_matrix_bytes: Optional[int] = None,
+        workers: Optional[int] = None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -322,10 +353,120 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         if max_matrix_bytes <= 0:
             raise EstimationError("max_matrix_bytes must be positive")
         self.max_matrix_bytes = int(max_matrix_bytes)
+        self.workers = resolve_workers(workers)
 
     @staticmethod
-    def _fold_level_rows(
-        groups,
+    def _fold_partition(
+        part,
+        mean: np.ndarray,
+        var: np.ndarray,
+        store,
+        w_lo: int,
+        t_lo: int,
+        t_hi: int,
+        task_mean: np.ndarray,
+        task_var: np.ndarray,
+        level_mean: np.ndarray,
+        level_var: np.ndarray,
+        rows: np.ndarray,
+        *,
+        extra: bool = False,
+        rho_record: Optional[list] = None,
+        replay=None,
+    ) -> None:
+        """Batched fold of one ``(group, lo, hi)`` row partition.
+
+        All indices are permuted buffer rows; ``mean``/``var``/``task_*``
+        are permuted-space vectors.  Writes the partition's completion
+        ``(mean, variance)`` values and correlation rows over the columns
+        ``[w_lo, t_hi)`` (plus the store's extra tracked columns when
+        ``extra``) into its disjoint slices of ``level_mean`` /
+        ``level_var`` / ``rows``, without mutating the store — partitions
+        of one level therefore commute bit-exactly (every per-row
+        operation is elementwise) and can run concurrently.  On pass 1
+        (``replay=None``) every fold step's operand correlation ``rho12``
+        is read from the gathered rows at the predecessor's window column
+        and appended to ``rho_record``; on pass 2 the partition's recorded
+        sequence is replayed — the operand correlations live at
+        *predecessor* columns, which a within-level re-fold never changes,
+        so replaying them is what allows pass 2 to fold only the
+        within-level columns.
+        """
+        group, lo, hi = part
+        preds = group.preds[lo:hi]
+        m = hi - lo
+        sel = np.arange(m)
+        first = preds[:, 0]
+        ready_mean = mean[first].copy()
+        ready_var = var[first].copy()
+        ready_corr = store.gather(first, w_lo, t_hi, extra=extra)
+        for j in range(1, preds.shape[1]):
+            p = preds[:, j]
+            if replay is None:
+                rho12 = np.clip(ready_corr[sel, p - w_lo], -1.0, 1.0)
+                if rho_record is not None:
+                    rho_record.append(rho12)
+            else:
+                rho12 = next(replay)
+            new_mean, new_var = clark_max_moments_batched(
+                ready_mean, ready_var, mean[p], var[p], rho12
+            )
+            sigma1 = np.sqrt(np.maximum(ready_var, 0.0))
+            sigma2 = np.sqrt(np.maximum(var[p], 0.0))
+            a = np.sqrt(
+                np.maximum(
+                    ready_var + var[p] - 2.0 * rho12 * sigma1 * sigma2, 0.0
+                )
+            )
+            corr_p = store.gather(p, w_lo, t_hi, extra=extra)
+            safe_a = np.where(a > 0.0, a, 1.0)
+            alpha = (ready_mean - mean[p]) / safe_a
+            w1 = norm_cdf_batched(alpha)
+            w2 = norm_cdf_batched(-alpha)
+            safe_v = np.sqrt(np.where(new_var > 0.0, new_var, 1.0))
+            new_corr = (sigma1 * w1)[:, None] * ready_corr
+            new_corr += (sigma2 * w2)[:, None] * corr_p
+            new_corr /= safe_v[:, None]
+            np.clip(new_corr, -1.0, 1.0, out=new_corr)
+            # The degenerate branches are per-row conditions and rare;
+            # patch those rows instead of re-selecting the whole
+            # (m, width) matrix twice.
+            flat = a == 0.0
+            if flat.any():
+                new_corr[flat] = np.where(
+                    (ready_mean >= mean[p])[flat, None],
+                    ready_corr[flat],
+                    corr_p[flat],
+                )
+            dead = new_var <= 0.0
+            if dead.any():
+                new_corr[dead] = 0.0
+            ready_mean, ready_var, ready_corr = new_mean, new_var, new_corr
+
+        offset = group.start - t_lo + lo
+        tv = task_var[group.start + lo : group.start + hi]
+        total_var = ready_var + tv
+        level_mean[offset : offset + m] = (
+            ready_mean + task_mean[group.start + lo : group.start + hi]
+        )
+        level_var[offset : offset + m] = total_var
+        scale = np.where(
+            total_var > 0.0,
+            np.sqrt(np.maximum(ready_var, 0.0))
+            / np.sqrt(np.where(total_var > 0.0, total_var, 1.0)),
+            0.0,
+        )
+        group_rows = ready_corr * scale[:, None]
+        if replay is None:
+            # Each task is perfectly correlated with itself; its own
+            # column sits inside the window on pass 1.
+            group_rows[sel, (group.start + lo - w_lo) + sel] = 1.0
+        rows[offset : offset + m] = group_rows
+
+    def _fold_level(
+        self,
+        service: ParallelService,
+        parts,
         mean: np.ndarray,
         var: np.ndarray,
         store,
@@ -336,22 +477,15 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         task_var: np.ndarray,
         *,
         extra: bool = False,
-        rho_record: Optional[list] = None,
-        replay=None,
+        records: Optional[list] = None,
+        replays: Optional[list] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """One batched fold of a level's groups against the current store.
+        """Fold one level's partitions on the execution service.
 
-        All indices are permuted buffer rows; ``mean``/``var``/``task_*``
-        are permuted-space vectors.  Returns the level's completion
-        ``(mean, variance)`` values and correlation rows over the columns
-        ``[w_lo, t_hi)`` (plus the store's extra tracked columns when
-        ``extra``), without mutating the store.  On pass 1
-        (``replay=None``) every fold step's operand correlation ``rho12``
-        is read from the gathered rows at the predecessor's window column
-        and appended to ``rho_record``; on pass 2 the recorded sequence is
-        replayed — the operand correlations live at *predecessor* columns,
-        which a within-level re-fold never changes, so replaying them is
-        what allows pass 2 to fold only the within-level columns.
+        Each partition fills its disjoint slice of the preallocated level
+        outputs; partition ``i``'s pass-1 operand correlations land in
+        ``records[i]`` and are replayed from ``replays[i]`` on pass 2, so
+        the record/replay protocol is independent of scheduling order.
         """
         width = t_hi - w_lo
         extra_cols = store.extra_cols if extra else 0
@@ -359,76 +493,21 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         level_mean = np.empty(m_level, dtype=np.float64)
         level_var = np.empty(m_level, dtype=np.float64)
         rows = np.empty((m_level, width + extra_cols), dtype=np.float64)
-        for group in groups:
-            preds = group.preds
-            m = preds.shape[0]
-            sel = np.arange(m)
-            first = preds[:, 0]
-            ready_mean = mean[first].copy()
-            ready_var = var[first].copy()
-            ready_corr = store.gather(first, w_lo, t_hi, extra=extra)
-            for j in range(1, preds.shape[1]):
-                p = preds[:, j]
-                if replay is None:
-                    rho12 = np.clip(ready_corr[sel, p - w_lo], -1.0, 1.0)
-                    if rho_record is not None:
-                        rho_record.append(rho12)
-                else:
-                    rho12 = next(replay)
-                new_mean, new_var = clark_max_moments_batched(
-                    ready_mean, ready_var, mean[p], var[p], rho12
-                )
-                sigma1 = np.sqrt(np.maximum(ready_var, 0.0))
-                sigma2 = np.sqrt(np.maximum(var[p], 0.0))
-                a = np.sqrt(
-                    np.maximum(
-                        ready_var + var[p] - 2.0 * rho12 * sigma1 * sigma2, 0.0
-                    )
-                )
-                corr_p = store.gather(p, w_lo, t_hi, extra=extra)
-                safe_a = np.where(a > 0.0, a, 1.0)
-                alpha = (ready_mean - mean[p]) / safe_a
-                w1 = norm_cdf_batched(alpha)
-                w2 = norm_cdf_batched(-alpha)
-                safe_v = np.sqrt(np.where(new_var > 0.0, new_var, 1.0))
-                new_corr = (sigma1 * w1)[:, None] * ready_corr
-                new_corr += (sigma2 * w2)[:, None] * corr_p
-                new_corr /= safe_v[:, None]
-                np.clip(new_corr, -1.0, 1.0, out=new_corr)
-                # The degenerate branches are per-row conditions and rare;
-                # patch those rows instead of re-selecting the whole
-                # (m, width) matrix twice.
-                flat = a == 0.0
-                if flat.any():
-                    new_corr[flat] = np.where(
-                        (ready_mean >= mean[p])[flat, None],
-                        ready_corr[flat],
-                        corr_p[flat],
-                    )
-                dead = new_var <= 0.0
-                if dead.any():
-                    new_corr[dead] = 0.0
-                ready_mean, ready_var, ready_corr = new_mean, new_var, new_corr
 
-            offset = group.start - t_lo
-            tv = task_var[group.start : group.stop]
-            total_var = ready_var + tv
-            level_mean[offset : offset + m] = (
-                ready_mean + task_mean[group.start : group.stop]
+        def fold_one(item, slot, rng) -> None:
+            index, part = item
+            record = [] if records is not None else None
+            self._fold_partition(
+                part, mean, var, store, w_lo, t_lo, t_hi, task_mean, task_var,
+                level_mean, level_var, rows,
+                extra=extra,
+                rho_record=record,
+                replay=iter(replays[index]) if replays is not None else None,
             )
-            level_var[offset : offset + m] = total_var
-            scale = np.where(
-                total_var > 0.0,
-                np.sqrt(np.maximum(ready_var, 0.0))
-                / np.sqrt(np.where(total_var > 0.0, total_var, 1.0)),
-                0.0,
-            )
-            group_rows = ready_corr * scale[:, None]
-            if replay is None:
-                # Each task is perfectly correlated with itself; its own
-                # column sits inside the window on pass 1.
-                group_rows[sel, (group.start - w_lo) + sel] = 1.0
-            rows[offset : offset + m] = group_rows
+            if records is not None:
+                records[index] = record
+
+        service.run(fold_one, list(enumerate(parts)))
         return level_mean, level_var, rows
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
@@ -467,22 +546,30 @@ class CorrelatedNormalEstimator(MakespanEstimator):
             mean[:stop0] = task_mean_p[:stop0]
             var[:stop0] = task_var_p[:stop0]
 
-        group_idx = 0
+        # The per-level fold partitions: whole groups on one worker (the
+        # historical evaluation order), row chunks of the degree groups
+        # when the service spreads a level over several workers.
+        service = ParallelService(workers=self.workers)
+
         for level in range(1, schedule.num_levels):
             t_lo, t_hi = int(level_indptr[level]), int(level_indptr[level + 1])
-            groups = []
-            while group_idx < len(schedule.groups) and schedule.groups[group_idx].start < t_hi:
-                groups.append(schedule.groups[group_idx])
-                group_idx += 1
+            if self.workers == 1:
+                parts = tuple(
+                    (group, 0, group.stop - group.start)
+                    for group in schedule.level_groups(level)
+                )
+            else:
+                parts = schedule.level_partitions(level, _FOLD_PARTITION_ROWS)
             w_lo = store.window_start(level)
 
             # Pass 1: fold against the pre-level store; correct for every
             # entry except the pairs inside this level.  The operand
-            # correlations of each fold step are recorded for pass 2.
-            rho_steps: list = []
-            level_mean, level_var, rows = self._fold_level_rows(
-                groups, mean, var, store, w_lo, t_lo, t_hi,
-                task_mean_p, task_var_p, extra=True, rho_record=rho_steps,
+            # correlations of each fold step are recorded per partition
+            # for pass 2.
+            records: list = [None] * len(parts)
+            level_mean, level_var, rows = self._fold_level(
+                service, parts, mean, var, store, w_lo, t_lo, t_hi,
+                task_mean_p, task_var_p, extra=True, records=records,
             )
             mean[t_lo:t_hi] = level_mean
             var[t_lo:t_hi] = level_var
@@ -498,9 +585,9 @@ class CorrelatedNormalEstimator(MakespanEstimator):
                 # topological order) computes from the earlier task's
                 # fresh row — exactly the value the sequential recurrence
                 # leaves in the matrix.
-                _, _, block = self._fold_level_rows(
-                    groups, mean, var, store, t_lo, t_lo, t_hi,
-                    task_mean_p, task_var_p, replay=iter(rho_steps),
+                _, _, block = self._fold_level(
+                    service, parts, mean, var, store, t_lo, t_lo, t_hi,
+                    task_mean_p, task_var_p, replays=records,
                 )
                 order = topo_rank[perm[t_lo:t_hi]]
                 later = order[:, None] > order[None, :]
@@ -518,6 +605,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
             "reexecution_factor": self.reexecution_factor,
             "correlation_backend": store.backend,
             "correlation_store_bytes": store.nbytes,
+            "fold_workers": self.workers,
         }
         if store.backend != "dense":
             details["correlation_bandwidth"] = store.bandwidth

@@ -481,6 +481,29 @@ class LowRankCorrelationStore(BandedCorrelationStore):
         super().write_level(level, w_lo, rows_block[:, :width])
         t_lo, t_hi = self._level_range(level)
         self._factor[t_lo:t_hi] = rows_block[:, width:]
+        # Symmetric landmark refresh.  A landmark's factor *column* holds
+        # every task's correlation to it, but tasks written before the
+        # landmark's level could only record the stale initialisation —
+        # which used to pull the Nyström kernel towards zero as the rank
+        # (and with it the share of late landmarks) grew, saturating the
+        # accuracy back to banded above rank ~16.  When the level holding
+        # landmark ``j`` is written we therefore push the freshest values
+        # the sweep knows *into* column ``j``: the landmark's exact band
+        # row for every in-band task, and its tracked landmark
+        # correlations for the other landmark rows (keeping the kernel
+        # matrix ``A[S]`` consistent instead of averaging fresh entries
+        # with stale zeros).
+        inside = np.nonzero((self._landmarks >= t_lo) & (self._landmarks < t_hi))[0]
+        for j in inside:
+            row = int(self._landmarks[j])
+            off, wid, ptr = (
+                int(self._off[row]),
+                int(self._wid[row]),
+                int(self._ptr[row]),
+            )
+            self._factor[off : off + wid, j] = self._data[ptr : ptr + wid]
+            self._factor[self._landmarks, j] = self._factor[row, :]
+            self._factor[row, j] = 1.0
         self._kernel_cache = None
 
     def write_block(self, level: int, block: np.ndarray) -> None:

@@ -23,13 +23,21 @@ Supports are pruned to ``max_support`` atoms after every combination
 for 2-state task laws; the pruning granularity is explored by an ablation
 benchmark.
 
-The duplication rule resolves the *deepest* join first: among the vertices
-with in-degree >= 2 the one with the largest topological rank (closest to
-the sink) is duplicated, using its incoming arc with the deepest tail.
-Resolving joins from the sink upwards keeps the cascade of induced joins
-small (a few hundred duplications on the paper's largest DAGs); a
-configurable cap on the number of duplications guards against pathological
-blow-up on adversarial graphs.
+The duplication rule resolves joins in *rounds of independent joins*:
+among the vertices with in-degree >= 2, the non-adjacent joins tied at
+the deepest topological *level* (ordered by the historical priority —
+largest topological rank, then smallest out-degree — within the level)
+are duplicated in one round, each using its incoming arc with the
+deepest tail.  Two joins may share a round unless one serves as the
+other's chosen tail — every other combination of duplications commutes
+exactly, so a round equals resolving its joins one at a time in
+selection order (the round schedule *is* the approximation contract).
+Only equal-level joins share a round because a deeper join's resolution
+can dissolve shallower ones through the reductions it unlocks; resolving
+from the sink upwards keeps the cascade of induced joins small (a few
+hundred duplications on the paper's largest DAGs, now resolved in ~3x
+fewer rounds).  A configurable cap on the number of duplications guards
+against pathological blow-up on adversarial graphs.
 
 Batched reduction rounds
 ------------------------
@@ -47,6 +55,13 @@ scalar :class:`~repro.rv.discrete.DiscreteRV` arithmetic step by step, and
 the *same* round schedule evaluated with scalar operations is retained as
 :func:`sequential_dodin_estimate`, the oracle of the differential tests
 (agreement <= 1e-9).
+
+With ``workers > 1`` (or ``REPRO_EST_WORKERS``) a round's row-batched
+operations are additionally split into row-chunk partitions executed on
+the shared :class:`~repro.exec.ParallelService`: each chunk's rows are
+computed independently (the batched operations are row-wise; padding
+differences only append exact zeros), so the chunking is a throughput
+knob inside the same ``<= 1e-9`` differential contract.
 """
 
 from __future__ import annotations
@@ -56,8 +71,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.graph import TaskGraph
+from ..core.kernels import schedule_for
 from ..core.paths import critical_path_length
 from ..exceptions import EstimationError
+from ..exec import ParallelService, resolve_workers
 from ..failures.models import ErrorModel
 from ..failures.twostate import TwoStateDistribution
 from ..rv.discrete import DiscreteRV
@@ -85,17 +102,19 @@ class _ReductionNetwork:
         self.succ: Dict[int, Dict[int, DiscreteRV]] = {}
         self.pred: Dict[int, Dict[int, DiscreteRV]] = {}
         self.rank: Dict[int, int] = {}
+        self.level: Dict[int, int] = {}
         self._next_vertex = 0
         self.parallel_reductions = 0
         self.series_reductions = 0
 
     # -- construction ----------------------------------------------------
-    def new_vertex(self, rank: int) -> int:
+    def new_vertex(self, rank: int, level: int = 0) -> int:
         v = self._next_vertex
         self._next_vertex += 1
         self.succ[v] = {}
         self.pred[v] = {}
         self.rank[v] = rank
+        self.level[v] = level
         return v
 
     def add_arc(self, tail: int, head: int, law: DiscreteRV) -> None:
@@ -133,6 +152,7 @@ class _ReductionNetwork:
         del self.succ[v]
         del self.pred[v]
         del self.rank[v]
+        del self.level[v]
         fused = first_law.add(second_law, max_support=self.max_support)
         self.series_reductions += 1
         self.add_arc(tail, head, fused)
@@ -157,6 +177,12 @@ class DodinEstimator(MakespanEstimator):
         operations (default).  ``False`` runs the *same* round schedule
         with scalar :class:`~repro.rv.discrete.DiscreteRV` arithmetic —
         the reference path of the differential tests.
+    workers:
+        Worker count of the round-batched operations on the shared
+        :class:`~repro.exec.ParallelService` (``None`` consults
+        ``REPRO_EST_WORKERS`` and falls back to 1).  ``workers=1`` keeps
+        the historical single-batch rounds; more workers split each round
+        into row chunks evaluated concurrently.
     """
 
     name = "dodin"
@@ -168,6 +194,7 @@ class DodinEstimator(MakespanEstimator):
         max_duplications: Optional[int] = None,
         reexecution_factor: float = 2.0,
         batched: bool = True,
+        workers: Optional[int] = None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -179,6 +206,7 @@ class DodinEstimator(MakespanEstimator):
         self.max_duplications = max_duplications
         self.reexecution_factor = reexecution_factor
         self.batched = batched
+        self.workers = resolve_workers(workers)
 
     # ------------------------------------------------------------------
     def _build_network(
@@ -189,19 +217,25 @@ class DodinEstimator(MakespanEstimator):
 
         # Topological rank of every task, reused as vertex rank so that the
         # duplication rule can resolve the earliest joins first — the
-        # cached inverse permutation on the index, not a per-call dict.
+        # cached inverse permutation on the index, not a per-call dict —
+        # plus the task's topological level, the tie granularity of the
+        # independent-join duplication rounds.
         rank_of_task = index.topo_rank
+        level_of_task = schedule_for(index, "up").task_level
 
-        source = network.new_vertex(-1)
-        sink = network.new_vertex(len(index.task_ids) + 1)
+        source = network.new_vertex(-1, -1)
+        sink = network.new_vertex(
+            len(index.task_ids) + 1, int(level_of_task.max(initial=0)) + 1
+        )
         vertex_in: Dict[int, int] = {}
         vertex_out: Dict[int, int] = {}
         zero = DiscreteRV.constant(0.0)
 
         for i, tid in enumerate(index.task_ids):
             r = int(rank_of_task[i])
-            vertex_in[i] = network.new_vertex(r)
-            vertex_out[i] = network.new_vertex(r)
+            lv = int(level_of_task[i])
+            vertex_in[i] = network.new_vertex(r, lv)
+            vertex_out[i] = network.new_vertex(r, lv)
             law = TwoStateDistribution.from_model(
                 float(index.weights[i]), model, reexecution_factor=self.reexecution_factor
             ).to_discrete()
@@ -219,6 +253,38 @@ class DodinEstimator(MakespanEstimator):
     # ------------------------------------------------------------------
     # Batched reduction rounds
     # ------------------------------------------------------------------
+    def _combine_pairs(
+        self,
+        service: ParallelService,
+        lhs: List[DiscreteRV],
+        rhs: List[DiscreteRV],
+        op: str,
+    ) -> List[DiscreteRV]:
+        """Row-batched ``add``/``maximum`` over aligned operand lists.
+
+        One :class:`DiscreteBatch` evaluation per service partition; with
+        one worker the whole round is a single partition (the historical
+        batch), with more workers the rows are chunked — each row's result
+        depends only on its own operands, so chunking stays inside the
+        scalar differential contract.
+        """
+        cap = self.max_support
+        rows = len(lhs)
+        chunk = rows if service.workers == 1 else -(-rows // service.workers)
+        chunk = max(chunk, _BATCH_MIN_ROWS)
+        bounds = [(lo, min(lo + chunk, rows)) for lo in range(0, rows, chunk)]
+        out: List[Optional[DiscreteRV]] = [None] * rows
+
+        def combine(part, slot, rng) -> None:
+            lo, hi = part
+            batch = getattr(DiscreteBatch.from_rvs(lhs[lo:hi]), op)(
+                DiscreteBatch.from_rvs(rhs[lo:hi]), cap
+            )
+            out[lo:hi] = [batch.row(i) for i in range(hi - lo)]
+
+        service.run(combine, bounds)
+        return out
+
     @staticmethod
     def _select_series_round(
         network: _ReductionNetwork, source: int, sink: int
@@ -246,7 +312,10 @@ class DodinEstimator(MakespanEstimator):
         return selected
 
     def _reduce_series_round(
-        self, network: _ReductionNetwork, selected: List[int]
+        self,
+        network: _ReductionNetwork,
+        selected: List[int],
+        service: ParallelService,
     ) -> None:
         """Fuse one round's independent arc pairs, then merge collisions.
 
@@ -269,10 +338,7 @@ class DodinEstimator(MakespanEstimator):
             endpoints.append((tail, head))
 
         if self.batched and len(selected) >= _BATCH_MIN_ROWS:
-            fused_batch = DiscreteBatch.from_rvs(firsts).add(
-                DiscreteBatch.from_rvs(seconds), cap
-            )
-            fused = [fused_batch.row(i) for i in range(len(selected))]
+            fused = self._combine_pairs(service, firsts, seconds, "add")
         else:
             fused = [
                 first.add(second, max_support=cap)
@@ -287,6 +353,7 @@ class DodinEstimator(MakespanEstimator):
             del network.succ[v]
             del network.pred[v]
             del network.rank[v]
+            del network.level[v]
             network.series_reductions += 1
 
         # Re-attach the fused arcs.  Fused laws landing on an occupied
@@ -306,10 +373,12 @@ class DodinEstimator(MakespanEstimator):
             if not pending:
                 break
             if self.batched and len(pending) >= _BATCH_MIN_ROWS:
-                lhs = DiscreteBatch.from_rvs([chains[key][0] for key in pending])
-                rhs = DiscreteBatch.from_rvs([chains[key][1] for key in pending])
-                merged_batch = lhs.maximum(rhs, cap)
-                merged = [merged_batch.row(i) for i in range(len(pending))]
+                merged = self._combine_pairs(
+                    service,
+                    [chains[key][0] for key in pending],
+                    [chains[key][1] for key in pending],
+                    "maximum",
+                )
             else:
                 merged = [
                     chains[key][0].maximum(chains[key][1], max_support=cap)
@@ -323,14 +392,64 @@ class DodinEstimator(MakespanEstimator):
             network.succ[tail][head] = chain[0]
             network.pred[head][tail] = chain[0]
 
+    @staticmethod
+    def _select_join_round(
+        network: _ReductionNetwork, joins: List[int]
+    ) -> List[Tuple[int, int]]:
+        """The independent joins of one duplication round.
+
+        Joins are ranked by the historical duplication priority (largest
+        topological rank, then smallest out-degree, then vertex id); the
+        round takes the non-adjacent joins *tied at the deepest
+        topological level*.  The restrictions are what make a round equal
+        to duplicating its joins one at a time in selection order:
+
+        * two selected joins must not be adjacent through a chosen tail —
+          a duplication removes the arc ``tail -> join`` and copies the
+          join's out-arcs, so a join serving as another's tail would make
+          the copied arc set order-dependent.  Everything else commutes:
+          shared tails lose disjoint arcs, and shared heads only *gain*
+          arcs from distinct fresh copies.
+        * only equal-level joins share a round, because a deeper join's
+          resolution (and the series/parallel reductions it unlocks) can
+          dissolve shallower joins outright — duplicating across depths in
+          one round inflates the cascade by an order of magnitude on the
+          paper DAGs, while same-level joins cannot dissolve each other
+          that way.
+        """
+        order = sorted(
+            joins,
+            key=lambda u: (
+                network.level[u], network.rank[u], -network.out_degree(u), u
+            ),
+            reverse=True,
+        )
+        deepest = network.level[order[0]]
+        selected: List[Tuple[int, int]] = []
+        touched: set = set()
+        for v in order:
+            if network.level[v] != deepest:
+                break
+            if v in touched:
+                continue
+            tail = max(network.pred[v], key=lambda u: (network.rank[u], u))
+            if tail in touched:
+                continue
+            selected.append((v, tail))
+            touched.add(v)
+            touched.add(tail)
+        return selected
+
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         network, source, sink = self._build_network(graph, model)
         cap = self.max_duplications
         if cap is None:
             cap = 50 * (graph.num_tasks + graph.num_edges + 10)
+        service = ParallelService(workers=self.workers)
 
         duplications = 0
         rounds = 0
+        join_rounds = 0
         while True:
             # Exhaust series reductions in rounds of independent arc groups
             # (the induced parallel merges happen at the end of each round).
@@ -338,7 +457,7 @@ class DodinEstimator(MakespanEstimator):
                 selected = self._select_series_round(network, source, sink)
                 if not selected:
                     break
-                self._reduce_series_round(network, selected)
+                self._reduce_series_round(network, selected, service)
                 rounds += 1
 
             # Finished when only the source->sink arc remains.
@@ -346,26 +465,27 @@ class DodinEstimator(MakespanEstimator):
             if not remaining:
                 break
 
-            # No series vertex available: duplicate the earliest join.
+            # No series vertex available: duplicate one round of
+            # independent (non-adjacent) joins, deepest first.
             joins = [v for v in remaining if network.in_degree(v) >= 2]
             if not joins:
                 raise EstimationError(
                     "Dodin reduction is stuck without a join vertex; "
                     "the input graph is malformed"
                 )
-            v = max(joins, key=lambda u: (network.rank[u], -network.out_degree(u), u))
-            tail = max(network.pred[v], key=lambda u: (network.rank[u], u))
-            moved_law = network.remove_arc(tail, v)
-            copy = network.new_vertex(network.rank[v])
-            network.add_arc(tail, copy, moved_law)
-            for head, law in list(network.succ[v].items()):
-                network.add_arc(copy, head, law)
-            duplications += 1
-            if duplications > cap:
-                raise EstimationError(
-                    f"Dodin node duplication exceeded the safety cap ({cap}); "
-                    "increase max_duplications or use another estimator"
-                )
+            for v, tail in self._select_join_round(network, joins):
+                moved_law = network.remove_arc(tail, v)
+                copy = network.new_vertex(network.rank[v], network.level[v])
+                network.add_arc(tail, copy, moved_law)
+                for head, law in list(network.succ[v].items()):
+                    network.add_arc(copy, head, law)
+                duplications += 1
+                if duplications > cap:
+                    raise EstimationError(
+                        f"Dodin node duplication exceeded the safety cap ({cap}); "
+                        "increase max_duplications or use another estimator"
+                    )
+            join_rounds += 1
 
         final_law = network.succ[source].get(sink)
         if final_law is None:
@@ -379,6 +499,7 @@ class DodinEstimator(MakespanEstimator):
             details={
                 "makespan_std": final_law.std(),
                 "duplications": duplications,
+                "join_rounds": join_rounds,
                 "series_reductions": network.series_reductions,
                 "parallel_reductions": network.parallel_reductions,
                 "reduction_rounds": rounds,
@@ -400,10 +521,10 @@ def sequential_dodin_estimate(
     """Scalar-arithmetic reference of the batched Dodin estimator.
 
     Runs the *same* round schedule (independent arc groups, selection-order
-    parallel merges, deepest-join duplication) with one scalar
-    :class:`~repro.rv.discrete.DiscreteRV` operation per arc — the oracle
-    of the differential tests: the batched estimator must agree with this
-    value to <= 1e-9 relative error.
+    parallel merges, deepest-first independent-join duplication rounds)
+    with one scalar :class:`~repro.rv.discrete.DiscreteRV` operation per
+    arc — the oracle of the differential tests: the batched estimator must
+    agree with this value to <= 1e-9 relative error at any worker count.
     """
     return (
         DodinEstimator(

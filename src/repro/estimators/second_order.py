@@ -30,11 +30,21 @@ times the kernel returns in one batched sweep — float64 results are
 bit-identical to the per-task reference recurrence (retained as
 :func:`sequential_pair_up_down` for the differential tests) because ``max``
 and the single addition per task are order-independent at fixed precision.
+
+The chunks are mutually independent work partitions (each owns its own
+scenario block and accumulates its own partial pair sums), so they run on
+the shared :class:`~repro.exec.ParallelService` (``workers=`` /
+``REPRO_EST_WORKERS``): every worker slot holds a private up/down kernel
+pair, and the per-chunk partials fold in chunk-index order — results are
+bit-identical at **any** worker count, and within the usual ``<= 1e-9``
+differential of the sequential reference (the only change against the
+historical single pass is the chunk-boundary association of the partial
+sums, ~1 ulp).
 """
 
 from __future__ import annotations
 
-from typing import Literal, Tuple
+from typing import Literal, Optional, Tuple
 
 import numpy as np
 
@@ -42,13 +52,14 @@ from ..core.graph import GraphIndex, TaskGraph
 from ..core.kernels import WavefrontKernel
 from ..core.paths import compute_path_metrics
 from ..exceptions import EstimationError
+from ..exec import ParallelService, resolve_workers
 from ..failures.models import ErrorModel
 from .base import EstimateResult, MakespanEstimator
 
 __all__ = ["SecondOrderEstimator", "sequential_pair_up_down"]
 
 #: Scenarios evaluated per batched kernel sweep (memory ~ 2 x chunk x tasks
-#: float64 on top of the kernel buffers).
+#: float64 on top of the kernel buffers, per worker slot).
 _PAIR_CHUNK = 128
 
 
@@ -75,6 +86,19 @@ def sequential_pair_up_down(
     return up, down
 
 
+class _PairSweepSlot:
+    """One worker's private evaluation state: an up and a down kernel.
+
+    The wavefront kernels are non-reentrant (they own their scenario
+    buffers), so every service slot compiles its own pair; the shared
+    level schedule stays cached on the graph index.
+    """
+
+    def __init__(self, index: GraphIndex) -> None:
+        self.kernel_up = WavefrontKernel(index, direction="up", dtype=np.float64)
+        self.kernel_down = WavefrontKernel(index, direction="down", dtype=np.float64)
+
+
 class SecondOrderEstimator(MakespanEstimator):
     """Expected makespan exact up to (and including) two simultaneous failures.
 
@@ -89,6 +113,12 @@ class SecondOrderEstimator(MakespanEstimator):
         * ``"drop"`` — ignore the mass entirely (slight underestimation);
         * ``"worst-pair"`` — use the largest ``L({i, j})`` computed, an
           inexpensive upper-biased choice.
+    workers:
+        Worker count of the chunked pair sweeps on the shared
+        :class:`~repro.exec.ParallelService` (``None`` consults
+        ``REPRO_EST_WORKERS`` and falls back to 1).  A pure throughput
+        knob: the per-chunk partials fold in chunk-index order, so the
+        result is bit-identical at any worker count.
     """
 
     name = "second-order"
@@ -97,12 +127,14 @@ class SecondOrderEstimator(MakespanEstimator):
         self,
         *,
         tail_handling: Literal["failure-free", "drop", "worst-pair"] = "failure-free",
+        workers: Optional[int] = None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
         if tail_handling not in ("failure-free", "drop", "worst-pair"):
             raise EstimationError(f"unknown tail handling {tail_handling!r}")
         self.tail_handling = tail_handling
+        self.workers = resolve_workers(workers)
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         index = graph.index()
@@ -128,36 +160,58 @@ class SecondOrderEstimator(MakespanEstimator):
         # Pair terms: for every i, recompute up/down with a_i doubled.  The
         # n scenarios are evaluated in chunks of _PAIR_CHUNK batched kernel
         # sweeps (one per direction) instead of two per-task Python loops
-        # per scenario; the per-i accumulation order is unchanged.
+        # per scenario; each chunk is one service partition owning its
+        # partial pair sums (per-i accumulation order unchanged inside a
+        # chunk, chunk partials folded in chunk-index order).
         worst_pair = d_g
         pair_contribution = 0.0
         pair_probability = 0.0
         if n >= 2:
             base = np.exp(log_all - np.log(one_minus_q))  # prod_{l != i} (1-q_l)
-            kernel_up = WavefrontKernel(index, direction="up", dtype=np.float64)
-            kernel_down = WavefrontKernel(index, direction="down", dtype=np.float64)
-            for start in range(0, n, _PAIR_CHUNK):
-                stop = min(start + _PAIR_CHUNK, n)
+            chunks = [
+                (start, min(start + _PAIR_CHUNK, n))
+                for start in range(0, n, _PAIR_CHUNK)
+            ]
+
+            def sweep_chunk(
+                bounds: Tuple[int, int], slot: _PairSweepSlot, rng
+            ) -> Tuple[float, float, float]:
+                start, stop = bounds
                 chunk = np.arange(start, stop)
                 scenario = np.broadcast_to(weights, (chunk.size, n)).copy()
                 scenario[np.arange(chunk.size), chunk] *= 2.0
-                kernel_up.load(scenario)
-                kernel_up.propagate(chunk.size)
-                ups = kernel_up.completion_matrix(chunk.size)  # (tasks, chunk)
-                kernel_down.load(scenario)
-                kernel_down.propagate(chunk.size)
-                downs = kernel_down.completion_matrix(chunk.size)
+                slot.kernel_up.load(scenario)
+                slot.kernel_up.propagate(chunk.size)
+                ups = slot.kernel_up.completion_matrix(chunk.size)  # (tasks, chunk)
+                slot.kernel_down.load(scenario)
+                slot.kernel_down.propagate(chunk.size)
+                downs = slot.kernel_down.completion_matrix(chunk.size)
                 through = ups + downs
+                contribution = 0.0
+                probability = 0.0
+                worst = d_g
                 for offset, i in enumerate(chunk):
                     d_pair = np.maximum(d_single[i], through[:, offset])
                     # P({i, j}) = q_i q_j prod_{l not in {i,j}} (1 - q_l)
                     p_pair = q[i] * q * base / one_minus_q[i]
                     p_pair[i] = 0.0
                     d_pair[i] = 0.0
-                    pair_contribution += float(np.dot(p_pair, d_pair))
-                    pair_probability += float(p_pair.sum())
+                    contribution += float(np.dot(p_pair, d_pair))
+                    probability += float(p_pair.sum())
                     if d_pair.size:
-                        worst_pair = max(worst_pair, float(d_pair.max()))
+                        worst = max(worst, float(d_pair.max()))
+                return contribution, probability, worst
+
+            service = ParallelService(workers=self.workers)
+            slots = [
+                _PairSweepSlot(index)
+                for _ in range(min(self.workers, len(chunks)))
+            ]
+            partials = service.run(sweep_chunk, chunks, slots=slots)
+            for contribution, probability, worst in partials:
+                pair_contribution += contribution
+                pair_probability += probability
+                worst_pair = max(worst_pair, worst)
             # Every unordered pair was counted twice (once per orientation).
             pair_contribution *= 0.5
             pair_probability *= 0.5
@@ -182,5 +236,6 @@ class SecondOrderEstimator(MakespanEstimator):
                 "probability_covered": probability_covered,
                 "residual_probability": residual,
                 "pair_contribution": pair_contribution,
+                "sweep_workers": self.workers,
             },
         )

@@ -1,0 +1,28 @@
+"""Shared parallel-execution service.
+
+The package-wide substrate for parallel work: a backend-agnostic
+:class:`~repro.exec.service.ParallelService` executing index-ordered work
+partitions with per-partition deterministic RNG streams.  Clients include
+the Monte Carlo batch scheduler (:mod:`repro.sim.executors`), the
+correlated estimator's per-level fold, the second-order pair sweeps and
+Dodin's reduction rounds — see :mod:`repro.exec.service` for the
+determinism contract they all rely on.
+"""
+
+from .service import (
+    EXEC_BACKENDS,
+    ParallelService,
+    env_estimator_workers,
+    partition_stream,
+    resolve_exec_backend,
+    resolve_workers,
+)
+
+__all__ = [
+    "EXEC_BACKENDS",
+    "ParallelService",
+    "env_estimator_workers",
+    "partition_stream",
+    "resolve_exec_backend",
+    "resolve_workers",
+]

@@ -1,0 +1,383 @@
+"""Backend-agnostic parallel execution of index-ordered work partitions.
+
+Every parallel hot path of the package — Monte Carlo batches, the
+correlated estimator's per-level fold, the second-order pair sweeps,
+Dodin's reduction rounds — boils down to the same shape of work: a client
+splits a computation into an *index-ordered list of partitions*, each
+partition is evaluated by a pure function of ``(partition, slot, rng)``,
+and the results are folded (or collected) strictly in partition-index
+order.  :class:`ParallelService` owns the *how* of that execution; clients
+own the *what* (the partitioning, the per-partition function, the fold).
+
+Backends
+--------
+
+``serial``
+    Evaluates partitions one after the other on the calling thread.  The
+    reference backend: a client whose partition function is deterministic
+    gets bit-identical results from every other backend.
+
+``threads``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  With per-worker
+    ``slots`` (mutable evaluation state such as kernels and buffers) the
+    partitions are scheduled in *rounds* of one partition per slot, so a
+    slot's buffers are reused without synchronisation; without slots every
+    partition is submitted up front and the pool load-balances freely.
+    Suits NumPy-heavy partition functions, which release the GIL.
+
+``processes``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`.  The partition
+    function and partitions must be picklable; per-process slots are built
+    once by a picklable ``slot_factory`` in the pool initializer.
+
+Determinism contract
+--------------------
+
+The result of a run is a pure function of the partition list — never of
+the backend, the worker count, or the scheduling order:
+
+* the partition function must not communicate between partitions (writes
+  to disjoint output regions are fine; that is what the fold order
+  guarantees nothing about);
+* RNG streams are derived per *partition*, not per worker: partition ``i``
+  always draws from ``SeedSequence(entropy, spawn_key=(i,))``;
+* results are consumed in partition-index order, and early stopping cuts
+  the fold at the same partition regardless of scheduling.
+
+Consequently ``threads`` and ``processes`` produce *identical* outputs for
+a fixed partition list at **any** worker count — the worker count is
+purely a throughput knob — and both match ``serial`` whenever the client
+passes per-partition streams (or none at all).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import EstimationError
+
+__all__ = [
+    "EXEC_BACKENDS",
+    "ParallelService",
+    "partition_stream",
+    "resolve_exec_backend",
+    "resolve_workers",
+    "env_estimator_workers",
+]
+
+#: The available execution backends, in documentation order.
+EXEC_BACKENDS = ("serial", "threads", "processes")
+
+#: ``consume(index, result) -> stop?`` — the index-ordered folding callback.
+Consumer = Callable[[int, object], bool]
+
+
+def partition_stream(entropy, index: int) -> np.random.Generator:
+    """The deterministic RNG stream of one partition.
+
+    Equivalent to ``SeedSequence(entropy).spawn(B)[index]`` for any
+    ``B > index``, but O(1): children of a spawn differ only by their
+    ``spawn_key``.  Every backend — in-process or not — derives partition
+    ``i``'s stream this way, which is what makes randomised results
+    independent of the worker count and of the backend choice.
+    """
+    root = np.random.SeedSequence(entropy=entropy, spawn_key=(int(index),))
+    return np.random.default_rng(root)
+
+
+def resolve_exec_backend(name: Optional[str], workers: int) -> str:
+    """Resolve (and validate) an execution-backend name.
+
+    ``None`` keeps the conventional behaviour: one worker means the serial
+    reference path, several workers mean the thread pool.
+    """
+    if name is None:
+        return "serial" if workers == 1 else "threads"
+    resolved = str(name).strip().lower()
+    if resolved not in EXEC_BACKENDS:
+        raise EstimationError(
+            f"unknown execution backend {name!r}; choose one of "
+            f"{', '.join(EXEC_BACKENDS)}"
+        )
+    if resolved == "serial" and workers != 1:
+        raise EstimationError(
+            "the serial backend evaluates on exactly one worker; "
+            "use backend='threads' or 'processes' for workers > 1"
+        )
+    return resolved
+
+
+def env_estimator_workers() -> Optional[int]:
+    """The ``REPRO_EST_WORKERS`` environment override (``None`` if unset)."""
+    env = os.environ.get("REPRO_EST_WORKERS")
+    if env is None:
+        return None
+    try:
+        value = int(env)
+    except ValueError as exc:
+        raise EstimationError(
+            f"REPRO_EST_WORKERS must be a positive integer, got {env!r}"
+        ) from exc
+    if value < 1:
+        raise EstimationError("REPRO_EST_WORKERS must be >= 1")
+    return value
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve an estimator constructor's worker count.
+
+    An explicit ``workers`` argument wins; ``None`` consults the
+    ``REPRO_EST_WORKERS`` environment variable and falls back to 1 (the
+    sequential reference path) — the same explicit-beats-environment
+    convention as the correlation knobs.  (The experiment-config layer has
+    its own ``estimator_workers`` resolver with the opposite,
+    environment-wins precedence of the ``mc_*`` knobs.)
+    """
+    if workers is None:
+        workers = env_estimator_workers()
+    if workers is None:
+        return 1
+    value = int(workers)
+    if value < 1:
+        raise EstimationError("estimator worker count must be >= 1")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker plumbing (module level: must be picklable)
+# ----------------------------------------------------------------------
+
+_PROCESS_SLOT: Optional[object] = None
+
+
+def _process_pool_init(slot_factory: Optional[Callable[[], object]]) -> None:
+    global _PROCESS_SLOT
+    _PROCESS_SLOT = slot_factory() if slot_factory is not None else None
+
+
+def _process_pool_call(fn, index: int, item, entropy):
+    rng = partition_stream(entropy, index) if entropy is not None else None
+    return fn(item, _PROCESS_SLOT, rng)
+
+
+class ParallelService:
+    """Executes index-ordered work partitions on a pluggable backend.
+
+    Parameters
+    ----------
+    workers:
+        Number of parallel workers (a pure throughput knob: results are
+        identical at any count).
+    backend:
+        ``"serial"``, ``"threads"`` or ``"processes"``; ``None`` resolves
+        to ``"serial"`` for one worker and ``"threads"`` otherwise.
+    """
+
+    def __init__(self, *, workers: int = 1, backend: Optional[str] = None) -> None:
+        workers = int(workers)
+        if workers < 1:
+            raise EstimationError("number of workers must be at least 1")
+        self.workers = workers
+        self.backend = resolve_exec_backend(backend, workers)
+        #: Lazily created, reused across run() calls: clients like the
+        #: correlated level sweep call run() twice per level, and spawning
+        #: and joining a fresh pool each time is pure overhead on the hot
+        #: path.  Threads idle between calls; the pool dies with the
+        #: service (executor finalizer).
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._thread_pool
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[object, object, Optional[np.random.Generator]], object],
+        items: Sequence,
+        *,
+        slots: Optional[Sequence] = None,
+        slot_factory: Optional[Callable[[], object]] = None,
+        entropy=None,
+        consume: Optional[Consumer] = None,
+    ) -> Optional[List]:
+        """Evaluate ``fn(item, slot, rng)`` for every partition, in order.
+
+        Parameters
+        ----------
+        fn:
+            The partition function.  Must be a pure function of its
+            arguments (plus any state reachable from ``slot``); on the
+            ``processes`` backend it must be picklable.
+        items:
+            The index-ordered partitions.  The partition list — not the
+            backend or worker count — determines the result.
+        slots:
+            Per-worker mutable evaluation state (kernels, buffers).  The
+            ``threads`` backend then schedules partitions in rounds of one
+            partition per slot so a slot never serves two partitions
+            concurrently; the ``serial`` backend uses ``slots[0]``.
+        slot_factory:
+            ``processes`` only: a picklable zero-argument callable building
+            one slot per worker process (pool initializer).
+        entropy:
+            When not ``None``, partition ``i`` receives the deterministic
+            stream :func:`partition_stream` ``(entropy, i)``; otherwise
+            ``rng`` is ``None``.
+        consume:
+            Optional ``consume(index, result) -> stop?`` fold, called
+            exactly once per evaluated partition in partition-index order;
+            returning ``True`` stops the run early.  When given, ``run``
+            returns ``None`` (results are not retained).
+
+        Returns
+        -------
+        The list of per-partition results in partition order, or ``None``
+        when ``consume`` is given.
+        """
+        items = list(items)
+        collected: Optional[List] = None if consume is not None else [None] * len(items)
+        if consume is None:
+            def fold(index: int, result) -> bool:
+                collected[index] = result
+                return False
+        else:
+            fold = consume
+
+        if not items:
+            return collected
+        if self.backend == "serial":
+            self._run_serial(fn, items, slots, entropy, fold)
+        elif self.backend == "threads":
+            self._run_threads(fn, items, slots, entropy, fold)
+        else:
+            self._run_processes(fn, items, slot_factory, entropy, fold)
+        return collected
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, fn, items, slots, entropy, fold) -> None:
+        slot = slots[0] if slots else None
+        for index, item in enumerate(items):
+            rng = partition_stream(entropy, index) if entropy is not None else None
+            if fold(index, fn(item, slot, rng)):
+                return
+
+    # ------------------------------------------------------------------
+    def _run_threads(self, fn, items, slots, entropy, fold) -> None:
+        if slots:
+            self._run_thread_rounds(fn, items, slots, entropy, fold)
+        else:
+            self._run_thread_stream(fn, items, entropy, fold)
+
+    def _run_thread_rounds(self, fn, items, slots, entropy, fold) -> None:
+        """Rounds of one partition per slot (slot buffers reused safely).
+
+        Within a round the evaluations run concurrently; between rounds
+        the results fold in partition-index order and the early-stop
+        criterion is re-checked.  The round barrier is what lets a slot's
+        buffers be reused without synchronisation.
+        """
+        k = min(self.workers, len(slots), len(items))
+        pool = self._pool()
+        for base in range(0, len(items), k):
+            futures = []
+            for offset, item in enumerate(items[base : base + k]):
+                index = base + offset
+                rng = (
+                    partition_stream(entropy, index)
+                    if entropy is not None
+                    else None
+                )
+                futures.append(pool.submit(fn, item, slots[offset], rng))
+            stop = False
+            try:
+                for offset, future in enumerate(futures):
+                    if not stop and fold(base + offset, future.result()):
+                        stop = True
+                    elif stop:
+                        # Drain the round (results are discarded) so the
+                        # slots are quiescent before the caller returns.
+                        future.result()
+            finally:
+                # On a worker/fold exception the remaining round futures
+                # are still holding slots; wait them out (swallowing
+                # secondary errors) so the next run() can reuse the slots.
+                for future in futures:
+                    try:
+                        future.result()
+                    except Exception:
+                        pass
+            if stop:
+                return
+
+    def _run_thread_stream(self, fn, items, entropy, fold) -> None:
+        """Slot-free thread pool: all partitions in flight, free balancing."""
+        pool = self._pool()
+        futures = []
+        for index, item in enumerate(items):
+            rng = partition_stream(entropy, index) if entropy is not None else None
+            futures.append(pool.submit(fn, item, None, rng))
+        try:
+            for index, future in enumerate(futures):
+                if fold(index, future.result()):
+                    return
+        finally:
+            for future in futures:
+                future.cancel()
+            # Drain anything already running so the pool is quiescent
+            # (and client state untouched) before the caller proceeds.
+            for future in futures:
+                if not future.cancelled():
+                    try:
+                        future.result()
+                    except Exception:
+                        pass
+
+    # ------------------------------------------------------------------
+    def _run_processes(self, fn, items, slot_factory, entropy, fold) -> None:
+        """Process pool folding finished partitions in index order.
+
+        Results land out of order; the parent folds them strictly in
+        partition-index order as soon as the next expected partition is
+        done, so the merged outcome (including the early-stop point) is
+        identical to the ``threads`` backend at any worker count.
+        """
+        k = min(self.workers, len(items))
+        with ProcessPoolExecutor(
+            max_workers=k,
+            initializer=_process_pool_init,
+            initargs=(slot_factory,),
+        ) as pool:
+            futures = {
+                pool.submit(_process_pool_call, fn, index, item, entropy): index
+                for index, item in enumerate(items)
+            }
+            pending = set(futures)
+            finished = {}
+            next_fold = 0
+            stopped = False
+            while pending and not stopped:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    # Re-raise worker failures eagerly.
+                    finished[futures[future]] = future.result()
+                while next_fold < len(items) and next_fold in finished:
+                    result = finished.pop(next_fold)
+                    index = next_fold
+                    next_fold += 1
+                    if fold(index, result):
+                        stopped = True
+                        break
+            if stopped:
+                for future in pending:
+                    future.cancel()

@@ -29,6 +29,8 @@ __all__ = [
     "correlation_backend",
     "correlation_bandwidth",
     "correlation_rank",
+    "estimator_workers",
+    "PARALLEL_ESTIMATORS",
     "MC_DTYPES",
     "MC_BACKENDS",
     "CORR_BACKENDS",
@@ -226,6 +228,44 @@ def correlation_bandwidth(default: Optional[int] = None) -> Optional[int]:
     return value
 
 
+#: Estimators whose constructors take the shared-execution-service
+#: ``workers`` knob (registry names plus their aliases).
+PARALLEL_ESTIMATORS = (
+    "normal-correlated",
+    "corlca",
+    "second-order",
+    "second_order",
+    "dodin",
+)
+
+
+def estimator_workers(default: Optional[int] = None) -> Optional[int]:
+    """Resolve the analytical estimators' parallel worker count.
+
+    Priority: ``REPRO_EST_WORKERS`` environment variable, then the
+    explicit ``default`` argument, then ``None`` (the estimators fall back
+    to 1, the sequential reference path).  With ``k > 1`` the correlated
+    fold, the second-order pair sweeps and Dodin's reduction rounds run
+    their work partitions on ``k`` workers of the shared
+    :class:`~repro.exec.ParallelService`.
+    """
+    env = os.environ.get("REPRO_EST_WORKERS")
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"REPRO_EST_WORKERS must be an integer, got {env!r}"
+            ) from exc
+    elif default is None:
+        return None
+    else:
+        value = int(default)
+    if value < 1:
+        raise ExperimentError("estimator worker count must be >= 1")
+    return value
+
+
 def correlation_rank(default: Optional[int] = None) -> Optional[int]:
     """Resolve the lowrank backend's Nyström rank.
 
@@ -266,6 +306,7 @@ class FigureConfig:
     corr_backend: Optional[str] = None
     corr_bandwidth: Optional[int] = None
     corr_rank: Optional[int] = None
+    est_workers: Optional[int] = None
     seed: int = 20160814  # date of the paper's HAL deposit, used as base seed
 
     def __post_init__(self) -> None:
@@ -286,6 +327,8 @@ class FigureConfig:
                 f"mc_backend must be one of {MC_BACKENDS}, got {self.mc_backend!r}"
             )
         _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
+        if self.est_workers is not None and self.est_workers < 1:
+            raise ExperimentError("est_workers must be >= 1")
 
     @property
     def trials(self) -> int:
@@ -311,6 +354,11 @@ class FigureConfig:
     def streaming(self) -> bool:
         """Monte Carlo streaming mode after the environment override."""
         return monte_carlo_streaming(self.mc_streaming)
+
+    @property
+    def estimator_worker_count(self) -> Optional[int]:
+        """Analytical-estimator workers after the environment override."""
+        return estimator_workers(self.est_workers)
 
     def correlated_options(self) -> Dict[str, object]:
         """Constructor kwargs of the correlated estimator, env applied."""
@@ -342,6 +390,7 @@ class ScalabilityConfig:
     corr_backend: Optional[str] = None
     corr_bandwidth: Optional[int] = None
     corr_rank: Optional[int] = None
+    est_workers: Optional[int] = None
     seed: int = 20160814
 
     def __post_init__(self) -> None:
@@ -360,6 +409,8 @@ class ScalabilityConfig:
                 f"mc_backend must be one of {MC_BACKENDS}, got {self.mc_backend!r}"
             )
         _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
+        if self.est_workers is not None and self.est_workers < 1:
+            raise ExperimentError("est_workers must be >= 1")
 
     @property
     def trials(self) -> int:
@@ -385,6 +436,11 @@ class ScalabilityConfig:
     def streaming(self) -> bool:
         """Monte Carlo streaming mode after the environment override."""
         return monte_carlo_streaming(self.mc_streaming)
+
+    @property
+    def estimator_worker_count(self) -> Optional[int]:
+        """Analytical-estimator workers after the environment override."""
+        return estimator_workers(self.est_workers)
 
     def correlated_options(self) -> Dict[str, object]:
         """Constructor kwargs of the correlated estimator, env applied."""
@@ -424,18 +480,36 @@ def _correlated_options(
 
 
 def estimator_options_for(
-    config, name: str, overrides: Optional[Dict[str, Dict]] = None
+    config,
+    name: str,
+    overrides: Optional[Dict[str, Dict]] = None,
+    est_workers: Optional[int] = None,
 ) -> Dict[str, object]:
     """Constructor kwargs of one estimator of an experiment run.
 
     The correlated estimator picks up the config's correlation knobs
     (``corr_backend`` / ``corr_bandwidth`` / ``corr_rank``, environment
-    variables winning); explicit per-estimator ``overrides`` (the
-    ``estimator_options`` argument of the drivers) win over both.
+    variables winning), and every parallel-capable estimator
+    (:data:`PARALLEL_ESTIMATORS`) picks up the execution-service worker
+    count (``est_workers`` argument, then ``REPRO_EST_WORKERS``, then the
+    config's ``est_workers`` field); explicit per-estimator ``overrides``
+    (the ``estimator_options`` argument of the drivers) win over both.
     """
     options: Dict[str, object] = {}
-    if name.strip().lower() in ("normal-correlated", "corlca"):
+    key = name.strip().lower()
+    if key in ("normal-correlated", "corlca"):
         options.update(config.correlated_options())
+    if key in PARALLEL_ESTIMATORS:
+        if est_workers is not None:
+            # An explicit driver/CLI argument wins over the environment
+            # (mirroring the mc_* override precedence).
+            workers = int(est_workers)
+            if workers < 1:
+                raise ExperimentError("estimator worker count must be >= 1")
+        else:
+            workers = estimator_workers(getattr(config, "est_workers", None))
+        if workers is not None:
+            options["workers"] = workers
     if overrides:
         options.update(overrides.get(name, {}))
     return options

@@ -91,6 +91,7 @@ def run_error_vs_size(
     mc_workers: Optional[int] = None,
     mc_backend: Optional[str] = None,
     mc_streaming: Optional[bool] = None,
+    est_workers: Optional[int] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
     progress: Optional[callable] = None,
@@ -119,6 +120,11 @@ def run_error_vs_size(
         Override of the Monte Carlo streaming-statistics switch (defaults
         to the config's value, itself overridable through
         ``REPRO_MC_STREAMING``).
+    est_workers:
+        Override of the analytical estimators' parallel worker count on
+        the shared execution service (wins over ``REPRO_EST_WORKERS`` and
+        the config's ``est_workers`` field; applies to the estimators of
+        :data:`repro.experiments.config.PARALLEL_ESTIMATORS`).
     seed:
         Base seed for the Monte Carlo runs (one independent stream per
         graph size).
@@ -159,7 +165,10 @@ def run_error_vs_size(
             )
 
         for name in config.estimators:
-            estimator = get_estimator(name, **_estimator_options(config, name, options))
+            estimator = get_estimator(
+                name,
+                **_estimator_options(config, name, options, est_workers=est_workers),
+            )
             estimate = estimator.estimate(graph, model)
             point = ErrorPoint(
                 workflow=config.workflow,

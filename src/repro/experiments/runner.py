@@ -43,6 +43,7 @@ def run_all_figures(
     mc_workers: Optional[int] = None,
     mc_backend: Optional[str] = None,
     mc_streaming: Optional[bool] = None,
+    est_workers: Optional[int] = None,
     seed: Optional[int] = None,
     output_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[str], None]] = None,
@@ -69,6 +70,7 @@ def run_all_figures(
             mc_workers=mc_workers,
             mc_backend=mc_backend,
             mc_streaming=mc_streaming,
+            est_workers=est_workers,
             seed=seed,
             progress=progress,
         )
@@ -85,6 +87,7 @@ def run_everything(
     mc_workers: Optional[int] = None,
     mc_backend: Optional[str] = None,
     mc_streaming: Optional[bool] = None,
+    est_workers: Optional[int] = None,
     table1_trials: Optional[int] = None,
     table1_size: Optional[int] = None,
     seed: Optional[int] = None,
@@ -106,6 +109,10 @@ def run_everything(
         ``"processes"``).
     mc_streaming:
         Monte Carlo streaming-statistics switch (O(batch) memory).
+    est_workers:
+        Analytical estimators' parallel worker count on the shared
+        execution service (correlated fold, second-order sweeps, Dodin
+        rounds).
     table1_trials:
         Monte Carlo trials for Table I (defaults to ``mc_trials``).
     table1_size:
@@ -125,6 +132,7 @@ def run_everything(
         mc_workers=mc_workers,
         mc_backend=mc_backend,
         mc_streaming=mc_streaming,
+        est_workers=est_workers,
         seed=seed,
         output_dir=output_dir,
         progress=progress,
@@ -139,6 +147,7 @@ def run_everything(
         mc_workers=mc_workers,
         mc_backend=mc_backend,
         mc_streaming=mc_streaming,
+        est_workers=est_workers,
         seed=seed,
         progress=progress,
     )

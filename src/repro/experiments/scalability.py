@@ -74,6 +74,7 @@ def run_scalability(
     mc_workers: Optional[int] = None,
     mc_backend: Optional[str] = None,
     mc_streaming: Optional[bool] = None,
+    est_workers: Optional[int] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
     progress: Optional[callable] = None,
@@ -115,7 +116,9 @@ def run_scalability(
         mc_trials=trials,
     )
     for name in config.estimators:
-        estimator = get_estimator(name, **_estimator_options(config, name, options))
+        estimator = get_estimator(
+            name, **_estimator_options(config, name, options, est_workers=est_workers)
+        )
         estimate = estimator.estimate(graph, model)
         row = ScalabilityRow(
             estimator=name,

@@ -1,9 +1,13 @@
-"""Pluggable parallel execution backends for the Monte Carlo engine.
+"""Monte Carlo batch scheduling on the shared parallel-execution service.
 
 :class:`repro.sim.MonteCarloEngine` owns the *what* of a simulation — the
 sampling pipeline, the wavefront kernel, the statistics — while the classes
-here own the *how*: scheduling the deterministic batch plan onto compute
-resources.  Three interchangeable backends are provided:
+here adapt the engine's deterministic batch plan onto the backend-agnostic
+:class:`~repro.exec.ParallelService`.  The batch scheduler is one *client*
+of that service (the correlated fold, the second-order sweeps and Dodin's
+reduction rounds are others); what remains in this module is the mapping
+from batches to service partitions plus the process backend's
+shared-memory result plumbing.  Three interchangeable backends:
 
 ``serial``
     Evaluates batches one after the other on a single sequential RNG stream
@@ -11,18 +15,18 @@ resources.  Three interchangeable backends are provided:
     ``workers=1`` engine: the reference backend.
 
 ``threads``
-    A :class:`~concurrent.futures.ThreadPoolExecutor` over per-worker
-    evaluation slots (private kernel + buffers each, satisfying the
-    wavefront kernel's non-reentrancy contract).  The kernel spends its
-    time in GIL-releasing NumPy primitives, so threads scale until the
-    sampling and small-level updates serialise on the GIL.
+    The service's round-scheduled thread pool over per-worker evaluation
+    slots (private kernel + buffers each, satisfying the wavefront
+    kernel's non-reentrancy contract).  The kernel spends its time in
+    GIL-releasing NumPy primitives, so threads scale until the sampling
+    and small-level updates serialise on the GIL.
 
 ``processes``
-    A :class:`~concurrent.futures.ProcessPoolExecutor` sidestepping the GIL
-    entirely: every worker process compiles its own kernel once (from a
-    compact, cache-free graph payload) and writes batch makespans straight
-    into a :mod:`multiprocessing.shared_memory` result buffer — no pickling
-    of sample arrays on the hot path.  The error model must be picklable.
+    The service's process pool, sidestepping the GIL entirely: every
+    worker process compiles its own kernel once (from a compact,
+    cache-free graph payload) and writes batch makespans straight into a
+    :mod:`multiprocessing.shared_memory` result buffer — no pickling of
+    sample arrays on the hot path.  The error model must be picklable.
 
 Determinism contract
 --------------------
@@ -30,14 +34,16 @@ Determinism contract
 RNG streams for the parallel backends are derived **per batch**, not per
 worker: batch ``b`` always draws from
 ``SeedSequence(entropy=root, spawn_key=(b,))`` where ``root`` is the
-engine's seed entropy.  Results are folded into the statistics in
-batch-index order, and early stopping cuts the fold at the same batch
-regardless of scheduling.  Consequently ``threads`` and ``processes``
-produce *identical* merged estimates for a fixed seed at **any** worker
-count — the worker count is purely a throughput knob.  The ``serial``
-backend intentionally keeps the historical single sequential stream
-instead, so seeded results remain bit-identical with earlier releases;
-it therefore differs from the parallel backends by Monte Carlo noise only.
+engine's seed entropy (the service's :func:`~repro.exec.partition_stream`
+with the batch index as partition index).  Results are folded into the
+statistics in batch-index order, and early stopping cuts the fold at the
+same batch regardless of scheduling.  Consequently ``threads`` and
+``processes`` produce *identical* merged estimates for a fixed seed at
+**any** worker count — the worker count is purely a throughput knob.  The
+``serial`` backend intentionally keeps the historical single sequential
+stream instead, so seeded results remain bit-identical with earlier
+releases; it therefore differs from the parallel backends by Monte Carlo
+noise only.
 
 Backends call ``consume(makespans)`` once per batch in batch-index order;
 ``consume`` returns ``True`` to request an early stop.  Later backends
@@ -47,18 +53,12 @@ slot in.
 
 from __future__ import annotations
 
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    wait,
-)
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from ..exceptions import EstimationError
+from ..exec import ParallelService, partition_stream, resolve_exec_backend
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from .engine import MonteCarloEngine
@@ -74,7 +74,8 @@ __all__ = [
     "ProcessesBackend",
 ]
 
-#: The available executor backends, in documentation order.
+#: The available executor backends, in documentation order (the engine's
+#: subset of :data:`repro.exec.EXEC_BACKENDS`).
 BACKENDS = ("serial", "threads", "processes")
 
 #: ``consume(makespans) -> stop?`` — the per-batch folding callback.
@@ -84,14 +85,12 @@ Consumer = Callable[[np.ndarray], bool]
 def batch_stream(entropy, batch_index: int) -> np.random.Generator:
     """The RNG stream of one batch of the deterministic plan.
 
-    Equivalent to ``SeedSequence(entropy).spawn(B)[batch_index]`` for any
-    ``B > batch_index``, but O(1): children of a spawn differ only by their
-    ``spawn_key``.  Every parallel backend — in-process or not — derives
-    batch ``b``'s stream this way, which is what makes the merged result
-    independent of the worker count and of the threads/processes choice.
+    The service's :func:`~repro.exec.partition_stream` with the batch
+    index as the partition index: equivalent to
+    ``SeedSequence(entropy).spawn(B)[batch_index]`` for any
+    ``B > batch_index``, but O(1).
     """
-    root = np.random.SeedSequence(entropy=entropy, spawn_key=(int(batch_index),))
-    return np.random.default_rng(root)
+    return partition_stream(entropy, batch_index)
 
 
 def resolve_backend(name: Optional[str], workers: int) -> str:
@@ -100,19 +99,7 @@ def resolve_backend(name: Optional[str], workers: int) -> str:
     ``None`` keeps the historical behaviour: one worker means the serial
     reference path, several workers mean the thread pool.
     """
-    if name is None:
-        return "serial" if workers == 1 else "threads"
-    resolved = str(name).strip().lower()
-    if resolved not in BACKENDS:
-        raise EstimationError(
-            f"unknown execution backend {name!r}; choose one of {', '.join(BACKENDS)}"
-        )
-    if resolved == "serial" and workers != 1:
-        raise EstimationError(
-            "the serial backend evaluates on exactly one worker; "
-            "use backend='threads' or 'processes' for workers > 1"
-        )
-    return resolved
+    return resolve_exec_backend(name, workers)
 
 
 def create_backend(engine: "MonteCarloEngine") -> "ExecutorBackend":
@@ -123,6 +110,16 @@ def create_backend(engine: "MonteCarloEngine") -> "ExecutorBackend":
         "processes": ProcessesBackend,
     }[engine.backend]
     return cls(engine)
+
+
+def _evaluate_with_slot_stream(batch: int, slot, rng) -> np.ndarray:
+    """Serial partition function: the slot owns its sequential stream."""
+    return slot.evaluate(batch)
+
+
+def _evaluate_with_batch_stream(batch: int, slot, rng) -> np.ndarray:
+    """Parallel partition function: the per-batch stream arrives each call."""
+    return slot.evaluate(batch, rng)
 
 
 class ExecutorBackend:
@@ -149,49 +146,36 @@ class SerialBackend(ExecutorBackend):
     name = "serial"
 
     def run(self, consume: Consumer) -> None:
-        slot = self.engine._slots[0]
-        for batch in self.engine._batch_plan():
-            if consume(slot.evaluate(batch)):
-                break
+        service = ParallelService(workers=1, backend="serial")
+        service.run(
+            _evaluate_with_slot_stream,
+            self.engine._batch_plan(),
+            slots=self.engine._slots,
+            consume=lambda index, makespans: consume(makespans),
+        )
 
 
 class ThreadsBackend(ExecutorBackend):
     """Thread pool over private evaluation slots, per-batch RNG streams.
 
-    Batches are scheduled in rounds of one batch per slot: within a round
-    the evaluations run concurrently, between rounds the results fold into
-    the statistics in batch-index order and the stopping criterion is
-    re-checked.  The round barrier is what lets a slot's buffers be reused
-    without synchronisation.
+    The service schedules batches in rounds of one batch per slot: within
+    a round the evaluations run concurrently, between rounds the results
+    fold into the statistics in batch-index order and the stopping
+    criterion is re-checked.
     """
 
     name = "threads"
 
     def run(self, consume: Consumer) -> None:
         engine = self.engine
-        plan = engine._batch_plan()
-        slots = engine._slots
-        k = len(slots)
-        with ThreadPoolExecutor(max_workers=k) as pool:
-            for base in range(0, len(plan), k):
-                futures = [
-                    pool.submit(
-                        slots[offset].evaluate,
-                        batch,
-                        engine.batch_rng(base + offset),
-                    )
-                    for offset, batch in enumerate(plan[base : base + k])
-                ]
-                stop = False
-                for future in futures:
-                    if not stop and consume(future.result()):
-                        stop = True
-                    elif stop:
-                        # Drain the round (results are discarded) so the
-                        # slots are quiescent before the pool shuts down.
-                        future.result()
-                if stop:
-                    return
+        service = ParallelService(workers=len(engine._slots), backend="threads")
+        service.run(
+            _evaluate_with_batch_stream,
+            engine._batch_plan(),
+            slots=engine._slots,
+            entropy=engine.seed_entropy,
+            consume=lambda index, makespans: consume(makespans),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -215,13 +199,16 @@ class _ProcessSpec:
     reexecution_factor: float
     dtype: str
     capacity: int
-    entropy: object
     shm_name: str
     total_trials: int
 
+    def __call__(self) -> "_ProcessWorkerState":
+        """Build one worker process's slot (the service's slot factory)."""
+        return _ProcessWorkerState(self)
+
 
 class _ProcessWorkerState:
-    """Per-process state: a single-slot engine plus the shared buffer.
+    """Per-process slot: a single-slot engine plus the shared buffer.
 
     Both are set up once per worker (pool initializer): the kernel compiles
     once, and the shared-memory block is attached and mapped once — batch
@@ -246,14 +233,10 @@ class _ProcessWorkerState:
             dtype=spec.dtype,
             backend="serial",
         )
-        self.entropy = spec.entropy
         self.shm = _attach_shared_memory(spec.shm_name)
         self.out = np.ndarray(
             (spec.total_trials,), dtype=np.float64, buffer=self.shm.buf
         )
-
-
-_WORKER_STATE: Optional[_ProcessWorkerState] = None
 
 
 def _attach_shared_memory(name: str):
@@ -273,20 +256,16 @@ def _attach_shared_memory(name: str):
         return shared_memory.SharedMemory(name=name)
 
 
-def _process_worker_init(spec: _ProcessSpec) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = _ProcessWorkerState(spec)
+def _process_eval_batch(item, state: _ProcessWorkerState, rng) -> int:
+    """Evaluate one batch and write its makespans into the shared buffer.
 
-
-def _process_worker_eval(batch_index: int, batch: int, offset: int) -> int:
-    """Evaluate one batch and write its makespans into the shared buffer."""
-    state = _WORKER_STATE
-    if state is None:  # pragma: no cover - initializer always ran
-        raise EstimationError("process worker used before initialisation")
-    rng = batch_stream(state.entropy, batch_index)
+    The service derives ``rng`` from the partition index, which *is* the
+    batch index — the same stream the threads backend hands its slots.
+    """
+    batch, offset = item
     makespans = state.engine._slots[0].evaluate(batch, rng=rng)
     state.out[offset : offset + batch] = makespans
-    return batch_index
+    return offset
 
 
 class ProcessesBackend(ExecutorBackend):
@@ -296,9 +275,9 @@ class ProcessesBackend(ExecutorBackend):
     pool initializer) and then evaluates batches of the plan, writing the
     resulting makespans directly into one shared ``float64`` buffer sized
     for the whole run (8 bytes/trial — 8 MB for a million trials).  The
-    parent folds finished batches into the statistics in batch-index order
-    as they land, so the merged result is identical to the ``threads``
-    backend at any worker count.
+    service folds finished batches into the statistics in batch-index
+    order as they land, so the merged result is identical to the
+    ``threads`` backend at any worker count.
     """
 
     name = "processes"
@@ -314,7 +293,6 @@ class ProcessesBackend(ExecutorBackend):
         for batch in plan:
             offsets.append(offsets[-1] + batch)
         total = offsets[-1]
-        k = min(engine.workers, len(plan))
 
         shm = shared_memory.SharedMemory(create=True, size=max(8, total * 8))
         try:
@@ -326,40 +304,19 @@ class ProcessesBackend(ExecutorBackend):
                 reexecution_factor=engine.reexecution_factor,
                 dtype=engine.dtype.name,
                 capacity=engine._capacity,
-                entropy=engine.seed_entropy,
                 shm_name=shm.name,
                 total_trials=total,
             )
-            with ProcessPoolExecutor(
-                max_workers=k,
-                initializer=_process_worker_init,
-                initargs=(spec,),
-            ) as pool:
-                futures: Dict[object, int] = {
-                    pool.submit(_process_worker_eval, b, batch, offsets[b]): b
-                    for b, batch in enumerate(plan)
-                }
-                pending = set(futures)
-                finished = set()
-                next_fold = 0
-                stopped = False
-                while pending and not stopped:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        future.result()  # re-raise worker failures eagerly
-                        finished.add(futures[future])
-                    while next_fold < len(plan) and next_fold in finished:
-                        makespans = view[
-                            offsets[next_fold] : offsets[next_fold + 1]
-                        ].copy()
-                        finished.discard(next_fold)
-                        next_fold += 1
-                        if consume(makespans):
-                            stopped = True
-                            break
-                if stopped:
-                    for future in pending:
-                        future.cancel()
+            service = ParallelService(workers=engine.workers, backend="processes")
+            service.run(
+                _process_eval_batch,
+                [(batch, offsets[b]) for b, batch in enumerate(plan)],
+                slot_factory=spec,
+                entropy=engine.seed_entropy,
+                consume=lambda b, _offset: consume(
+                    view[offsets[b] : offsets[b + 1]].copy()
+                ),
+            )
         finally:
             shm.close()
             try:

@@ -391,3 +391,66 @@ class TestScheduleMetadata:
         np.testing.assert_array_equal(
             down.row_level, down.task_level[down.perm]
         )
+
+
+class TestGroupPartitionMetadata:
+    """PR 5: degree-group partition metadata for the execution service."""
+
+    @pytest.mark.parametrize("workflow", ["cholesky", "lu", "qr", "stencil"])
+    def test_group_indptr_partitions_the_groups(self, workflow):
+        from repro.core.kernels import schedule_for
+
+        schedule = schedule_for(build_dag(workflow, 5).index(), "up")
+        indptr = schedule.group_indptr
+        assert indptr.shape == (schedule.num_levels + 1,)
+        assert indptr[0] == 0 and indptr[-1] == len(schedule.groups)
+        assert np.all(np.diff(indptr) >= 0)
+        # Level 0 has no incoming edges, hence no groups.
+        assert indptr[1] == 0
+        for level in range(schedule.num_levels):
+            groups = schedule.level_groups(level)
+            lo, hi = int(schedule.level_indptr[level]), int(
+                schedule.level_indptr[level + 1]
+            )
+            assert all(lo <= g.start and g.stop <= hi for g in groups)
+            if level > 0:
+                # The level's groups tile its row range exactly.
+                covered = sorted((g.start, g.stop) for g in groups)
+                assert covered[0][0] == lo and covered[-1][1] == hi
+                assert all(
+                    a_stop == b_start
+                    for (_, a_stop), (b_start, _) in zip(covered, covered[1:])
+                )
+
+    def test_level_groups_range_checked(self, cholesky4):
+        from repro.core.kernels import schedule_for
+        from repro.exceptions import GraphError
+
+        schedule = schedule_for(cholesky4.index(), "up")
+        with pytest.raises(GraphError):
+            schedule.level_groups(schedule.num_levels)
+        with pytest.raises(GraphError):
+            schedule.level_groups(-1)
+
+    def test_level_partitions_tile_each_group(self, cholesky4):
+        from repro.core.kernels import schedule_for
+        from repro.exceptions import GraphError
+
+        schedule = schedule_for(cholesky4.index(), "up")
+        for level in range(1, schedule.num_levels):
+            for target in (1, 2, 1_000_000):
+                parts = schedule.level_partitions(level, target)
+                by_group = {}
+                for group, lo, hi in parts:
+                    assert 0 <= lo < hi <= group.stop - group.start
+                    assert hi - lo <= target
+                    by_group.setdefault(id(group), []).append((lo, hi))
+                for group in schedule.level_groups(level):
+                    spans = sorted(by_group[id(group)])
+                    assert spans[0][0] == 0
+                    assert spans[-1][1] == group.stop - group.start
+                    assert all(
+                        a == b for (_, a), (b, _) in zip(spans, spans[1:])
+                    )
+        with pytest.raises(GraphError):
+            schedule.level_partitions(1, 0)

@@ -156,6 +156,69 @@ class TestApproximationError:
             assert high <= low * 1.05 + 1e-9
         assert errors[-1] < errors[0]
 
+    def test_lowrank_monotone_beyond_rank_16(self):
+        """The symmetric landmark refresh keeps the rank knob monotone
+        past ~16 instead of saturating back towards the banded error
+        (before the refresh the Nyström kernel averaged fresh landmark
+        pairs with their stale initialisation, so adding late landmarks
+        *hurt*)."""
+        graph = build_dag("cholesky", 10)
+        model = ExponentialErrorModel.for_graph(graph, 1e-2)
+        reference = _run(
+            graph, model, correlation_backend="dense"
+        ).expected_makespan
+        errors = []
+        for rank in (16, 32, 64, 128):
+            value = _run(
+                graph, model, correlation_backend="lowrank",
+                bandwidth=1, rank=rank,
+            ).expected_makespan
+            errors.append(abs(value - reference) / abs(reference))
+        for low, high in zip(errors, errors[1:]):
+            assert high <= low * 1.10 + 1e-12, errors
+        assert errors[-1] < 0.75 * errors[0], errors
+
+    def test_lowrank_full_rank_recovers_dense(self, estimates):
+        """With every row a landmark the refreshed factor tracks the whole
+        consumed correlation history: the estimate collapses onto dense."""
+        graph, model, dense = estimates["cholesky"]
+        value = _run(
+            graph, model, correlation_backend="lowrank",
+            bandwidth=1, rank=graph.num_tasks,
+        ).expected_makespan
+        assert value == pytest.approx(dense.expected_makespan, rel=1e-6)
+
+
+class TestParallelFold:
+    """The per-level fold on the execution service is worker-invariant."""
+
+    @pytest.mark.parametrize("workflow,size,pfail", [CASES[0], CASES[1], CASES[4]])
+    @pytest.mark.parametrize("backend", ["dense", "banded"])
+    def test_bit_identical_at_any_worker_count(
+        self, workflow, size, pfail, backend, estimates
+    ):
+        graph, model, _ = estimates[workflow]
+        results = [
+            _run(graph, model, correlation_backend=backend, workers=k)
+            for k in (1, 2, 4)
+        ]
+        assert len({r.expected_makespan for r in results}) == 1
+        assert len({r.details["makespan_variance"] for r in results}) == 1
+
+    def test_lowrank_worker_invariant(self, estimates):
+        graph, model, _ = estimates["cholesky"]
+        one = _run(
+            graph, model, correlation_backend="lowrank", workers=1
+        ).expected_makespan
+        four = _run(
+            graph, model, correlation_backend="lowrank", workers=4
+        ).expected_makespan
+        assert four == pytest.approx(one, rel=1e-12)
+
+    def test_workers_validation(self):
+        with pytest.raises(EstimationError):
+            CorrelatedNormalEstimator(workers=0)
+
 
 class TestStores:
     def test_banded_symmetric_reads(self, cholesky4):

@@ -1,0 +1,302 @@
+"""Property-based determinism tests of the shared execution service.
+
+The contract of :class:`repro.exec.ParallelService` (mirroring the
+executor-backend properties of ``tests/test_executor_properties.py``): the
+outcome of a run is a pure function of the partition list — for *any*
+client partition set,
+
+* ``threads`` at any worker count produces results bit-identical to
+  ``serial`` (with or without per-partition RNG streams, with or without
+  worker slots);
+* ``processes`` matches ``threads`` exactly (where the platform can spawn
+  a pool);
+* early stopping folds the same partitions in the same order at any
+  worker count;
+* the estimator clients riding the service (second-order sweeps, Dodin
+  rounds) inherit those properties end to end.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import EstimationError
+from repro.exec import (
+    EXEC_BACKENDS,
+    ParallelService,
+    partition_stream,
+    resolve_exec_backend,
+    resolve_workers,
+)
+from repro.failures.models import ExponentialErrorModel
+from repro.workflows.registry import build_dag
+
+
+def _processes_available() -> bool:
+    try:
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=multiprocessing.get_context()
+        ) as pool:
+            return pool.submit(int, 1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
+HAS_PROCESSES = _processes_available()
+
+
+def _transform(item, slot, rng):
+    """A deterministic partition function exercising the rng stream."""
+    size = int(item) % 7 + 1
+    base = np.full(size, float(item))
+    if rng is not None:
+        base = base + rng.standard_normal(size)
+    return float(base.sum())
+
+
+def _slot_transform(item, slot, rng):
+    """A partition function computing through per-worker slot scratch."""
+    scratch = slot["scratch"]
+    scratch[:] = 0.0
+    scratch[: int(item) % scratch.size + 1] = float(item)
+    value = float(scratch.sum())
+    if rng is not None:
+        value += float(rng.random())
+    return value
+
+
+def _make_slots(k):
+    return [{"scratch": np.empty(8, dtype=np.float64)} for _ in range(k)]
+
+
+partition_lists = st.lists(st.integers(0, 1000), min_size=0, max_size=40)
+
+
+class TestBackendResolution:
+    def test_default_resolution(self):
+        assert resolve_exec_backend(None, 1) == "serial"
+        assert resolve_exec_backend(None, 4) == "threads"
+
+    def test_explicit_names(self):
+        for name in EXEC_BACKENDS:
+            workers = 1 if name == "serial" else 2
+            assert resolve_exec_backend(name, workers) == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EstimationError):
+            resolve_exec_backend("gpu", 1)
+
+    def test_serial_with_many_workers_rejected(self):
+        with pytest.raises(EstimationError):
+            ParallelService(workers=4, backend="serial")
+
+    def test_worker_count_validation(self):
+        with pytest.raises(EstimationError):
+            ParallelService(workers=0)
+
+    def test_partition_stream_matches_seedsequence_spawn(self):
+        root = np.random.SeedSequence(7)
+        children = root.spawn(4)
+        for i in range(4):
+            a = np.random.default_rng(children[i]).random(8)
+            b = partition_stream(7, i).random(8)
+            assert np.array_equal(a, b)
+
+
+class TestWorkerResolution:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EST_WORKERS", raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(3) == 3
+
+    def test_env_fills_unset_knob_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EST_WORKERS", "5")
+        assert resolve_workers() == 5
+        # An explicit argument wins over the environment (the correlation
+        # knobs' convention).
+        assert resolve_workers(2) == 2
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EST_WORKERS", "zero")
+        with pytest.raises(EstimationError):
+            resolve_workers()
+        monkeypatch.setenv("REPRO_EST_WORKERS", "0")
+        with pytest.raises(EstimationError):
+            resolve_workers()
+
+    def test_invalid_default_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EST_WORKERS", raising=False)
+        with pytest.raises(EstimationError):
+            resolve_workers(0)
+
+
+class TestThreadsDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        items=partition_lists,
+        workers=st.integers(1, 6),
+        entropy=st.one_of(st.none(), st.integers(0, 2**16)),
+    )
+    def test_threads_bit_identical_to_serial(self, items, workers, entropy):
+        serial = ParallelService(workers=1).run(_transform, items, entropy=entropy)
+        threads = ParallelService(workers=workers, backend="threads").run(
+            _transform, items, entropy=entropy
+        )
+        assert serial == threads
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        items=partition_lists,
+        workers=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+        entropy=st.integers(0, 2**16),
+    )
+    def test_threads_identical_across_worker_counts_with_slots(
+        self, items, workers, entropy
+    ):
+        a = ParallelService(workers=workers[0], backend="threads").run(
+            _slot_transform, items, slots=_make_slots(workers[0]), entropy=entropy
+        )
+        b = ParallelService(workers=workers[1], backend="threads").run(
+            _slot_transform, items, slots=_make_slots(workers[1]), entropy=entropy
+        )
+        serial = ParallelService(workers=1).run(
+            _slot_transform, items, slots=_make_slots(1), entropy=entropy
+        )
+        assert a == b == serial
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        items=st.lists(st.integers(0, 1000), min_size=1, max_size=40),
+        workers=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+        threshold=st.integers(0, 1000),
+        use_slots=st.booleans(),
+    )
+    def test_early_stop_folds_same_prefix(self, items, workers, threshold, use_slots):
+        def run(k):
+            folded = []
+
+            def consume(index, result):
+                folded.append((index, result))
+                return items[index] >= threshold
+
+            ParallelService(workers=k, backend="threads").run(
+                _transform,
+                items,
+                slots=_make_slots(k) if use_slots else None,
+                entropy=11,
+                consume=consume,
+            )
+            return folded
+
+        a, b = run(workers[0]), run(workers[1])
+        assert a == b
+        # The fold is an in-order prefix that stops at the trigger.
+        indices = [i for i, _ in a]
+        assert indices == list(range(len(indices)))
+        triggers = [i for i, item in enumerate(items) if item >= threshold]
+        if triggers:
+            assert indices[-1] == triggers[0]
+        else:
+            assert len(indices) == len(items)
+
+
+@pytest.mark.skipif(not HAS_PROCESSES, reason="process pools unavailable")
+class TestProcessesDeterminism:
+    """Process pools are slow to spin up, so a small fixed case set."""
+
+    @pytest.mark.parametrize("seed,count,workers", [
+        (3, 9, 2),
+        (17, 25, 3),
+    ])
+    def test_processes_match_threads_exactly(self, seed, count, workers):
+        rng = np.random.default_rng(seed)
+        items = [int(v) for v in rng.integers(0, 1000, size=count)]
+        threads = ParallelService(workers=workers, backend="threads").run(
+            _transform, items, entropy=seed
+        )
+        processes = ParallelService(workers=workers, backend="processes").run(
+            _transform, items, entropy=seed
+        )
+        assert processes == threads
+
+    def test_processes_early_stop_matches_threads(self):
+        items = [5, 900, 3, 950, 1]
+
+        def run(backend):
+            folded = []
+
+            def consume(index, result):
+                folded.append((index, result))
+                return items[index] >= 900
+
+            ParallelService(workers=2, backend=backend).run(
+                _transform, items, entropy=0, consume=consume
+            )
+            return folded
+
+        assert run("processes") == run("threads")
+
+
+class TestServiceClients:
+    """The analytical estimators riding the service stay worker-invariant."""
+
+    @pytest.fixture(scope="class")
+    def case(self):
+        graph = build_dag("lu", 5)
+        model = ExponentialErrorModel.for_graph(graph, 1e-2)
+        return graph, model
+
+    def test_second_order_bit_identical_across_workers(self, case):
+        from repro.estimators.second_order import SecondOrderEstimator
+
+        graph, model = case
+        values = {
+            SecondOrderEstimator(workers=k).estimate(graph, model).expected_makespan
+            for k in (1, 2, 4)
+        }
+        assert len(values) == 1
+
+    def test_dodin_differential_holds_at_any_worker_count(self, case):
+        from repro.estimators.dodin import DodinEstimator, sequential_dodin_estimate
+
+        graph, model = case
+        reference = sequential_dodin_estimate(graph, model)
+        for k in (1, 3):
+            value = DodinEstimator(workers=k).estimate(graph, model).expected_makespan
+            assert value == pytest.approx(reference, rel=1e-9)
+
+    def test_correlated_bit_identical_across_workers(self, case):
+        from repro.estimators.correlated import CorrelatedNormalEstimator
+
+        graph, model = case
+        results = [
+            CorrelatedNormalEstimator(
+                correlation_backend="banded", workers=k
+            ).estimate(graph, model)
+            for k in (1, 2, 5)
+        ]
+        assert len({r.expected_makespan for r in results}) == 1
+        assert len({r.details["makespan_variance"] for r in results}) == 1
+
+    def test_workers_recorded_in_details(self, case):
+        from repro.estimators.correlated import CorrelatedNormalEstimator
+        from repro.estimators.second_order import SecondOrderEstimator
+
+        graph, model = case
+        corr = CorrelatedNormalEstimator(workers=2).estimate(graph, model)
+        assert corr.details["fold_workers"] == 2
+        second = SecondOrderEstimator(workers=3).estimate(graph, model)
+        assert second.details["sweep_workers"] == 3
+
+    def test_env_knob_feeds_estimators(self, case, monkeypatch):
+        from repro.estimators.correlated import CorrelatedNormalEstimator
+        from repro.estimators.dodin import DodinEstimator
+
+        monkeypatch.setenv("REPRO_EST_WORKERS", "3")
+        assert CorrelatedNormalEstimator().workers == 3
+        assert DodinEstimator().workers == 3
+        # An explicit argument wins over the environment.
+        assert CorrelatedNormalEstimator(workers=1).workers == 1

@@ -11,10 +11,13 @@ violates a regression guard:
   and float32 >= 1.8x over the per-task reference on cholesky DAGs with
   >= 2,600 tasks;
 * estimator entries (``benchmark = "estimator_wavefront"``), Monte
-  Carlo backend entries (``benchmark = "mc_backends"``) and parallel
-  correlated-sweep entries (``benchmark = "correlated_parallel"``): the
-  archived ``guard_min`` per entry (``null`` when the guard did not apply
-  at measurement time — small graph, or too few CPUs for the parallel
+  Carlo backend entries (``benchmark = "mc_backends"``), parallel
+  correlated-sweep entries (``benchmark = "correlated_parallel"``) and
+  fault-tolerance entries (``benchmark = "exec_faults"``, where
+  ``speedup`` is the baseline/armed time ratio and the guard bounds the
+  zero-fault overhead of the policy machinery): the archived
+  ``guard_min`` per entry (``null`` when the guard did not apply at
+  measurement time — small graph, or too few CPUs for the parallel
   comparisons).
 
 Stdlib-only so it can run as a bare CI step: ``python
@@ -43,13 +46,15 @@ def _entry_key(entry: dict) -> tuple:
         return ("mc-backend", entry["method"], entry["workflow"], entry["k"])
     if entry.get("benchmark") == "correlated_parallel":
         return ("corr-parallel", entry["method"], entry["workflow"], entry["k"])
+    if entry.get("benchmark") == "exec_faults":
+        return ("exec-faults", entry["method"], entry["workflow"], entry["k"])
     return ("kernel", entry.get("dtype", "?"), entry.get("workflow", "?"), entry.get("k"))
 
 
 def _entry_guard(entry: dict):
     """The minimal admissible speedup of one entry, or ``None``."""
     if entry.get("benchmark") in (
-        "estimator_wavefront", "mc_backends", "correlated_parallel"
+        "estimator_wavefront", "mc_backends", "correlated_parallel", "exec_faults"
     ):
         return entry.get("guard_min")
     if (
@@ -68,6 +73,8 @@ def _label(key: tuple) -> str:
         return f"mc-backend/{a:<16s} {b} k={k}"
     if kind == "corr-parallel":
         return f"corr-parallel/{a:<13s} {b} k={k}"
+    if kind == "exec-faults":
+        return f"exec-faults/{a:<19s} {b} k={k}"
     return f"kernel/{a:<13s} {b} k={k}"
 
 

@@ -100,6 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--corr-rank", type=int, default=None,
                      help="Nyström rank of the lowrank correlation store "
                           "(default 32)")
+    est.add_argument("--exec-retries", type=int, default=None,
+                     help="re-dispatches allowed per work partition of the "
+                          "execution service (default 0 = fail fast; retries "
+                          "replay the partition's RNG stream so results stay "
+                          "bit-identical; also via REPRO_EXEC_RETRIES)")
+    est.add_argument("--exec-timeout", type=float, default=None,
+                     help="per-partition soft deadline in seconds (advisory "
+                          "in-process, enforced by worker preemption on the "
+                          "processes backend; also via REPRO_EXEC_TIMEOUT)")
+    est.add_argument("--exec-on-failure", choices=["raise", "degrade"], default=None,
+                     help="unusable-backend policy: raise a structured "
+                          "ExecutionError (default) or degrade processes->"
+                          "threads->serial (also via REPRO_EXEC_ON_FAILURE)")
     est.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     # experiment ---------------------------------------------------------
@@ -211,6 +224,13 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 kwargs["rank"] = args.corr_rank
         if method in PARALLEL_ESTIMATORS and args.est_workers is not None:
             kwargs["workers"] = args.est_workers
+        if method in ("monte-carlo", "mc", "montecarlo") or method in PARALLEL_ESTIMATORS:
+            if args.exec_retries is not None:
+                kwargs["exec_retries"] = args.exec_retries
+            if args.exec_timeout is not None:
+                kwargs["exec_timeout"] = args.exec_timeout
+            if args.exec_on_failure is not None:
+                kwargs["exec_on_failure"] = args.exec_on_failure
         result = estimate_expected_makespan(graph, model, method=method, **kwargs)
         outputs.append(result)
         if not args.json:

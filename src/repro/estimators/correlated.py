@@ -310,6 +310,9 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         rank: Optional[int] = None,
         max_matrix_bytes: Optional[int] = None,
         workers: Optional[int] = None,
+        exec_retries: Optional[int] = None,
+        exec_timeout: Optional[float] = None,
+        exec_on_failure: Optional[str] = None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -354,6 +357,9 @@ class CorrelatedNormalEstimator(MakespanEstimator):
             raise EstimationError("max_matrix_bytes must be positive")
         self.max_matrix_bytes = int(max_matrix_bytes)
         self.workers = resolve_workers(workers)
+        self.exec_retries = exec_retries
+        self.exec_timeout = exec_timeout
+        self.exec_on_failure = exec_on_failure
 
     @staticmethod
     def _fold_partition(
@@ -549,7 +555,12 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         # The per-level fold partitions: whole groups on one worker (the
         # historical evaluation order), row chunks of the degree groups
         # when the service spreads a level over several workers.
-        service = ParallelService(workers=self.workers)
+        service = ParallelService(
+            workers=self.workers,
+            retries=self.exec_retries,
+            timeout=self.exec_timeout,
+            on_failure=self.exec_on_failure,
+        )
 
         for level in range(1, schedule.num_levels):
             t_lo, t_hi = int(level_indptr[level]), int(level_indptr[level + 1])
@@ -606,6 +617,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
             "correlation_backend": store.backend,
             "correlation_store_bytes": store.nbytes,
             "fold_workers": self.workers,
+            "execution": service.report.as_dict(),
         }
         if store.backend != "dense":
             details["correlation_bandwidth"] = store.bandwidth

@@ -195,6 +195,9 @@ class DodinEstimator(MakespanEstimator):
         reexecution_factor: float = 2.0,
         batched: bool = True,
         workers: Optional[int] = None,
+        exec_retries: Optional[int] = None,
+        exec_timeout: Optional[float] = None,
+        exec_on_failure: Optional[str] = None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -207,6 +210,9 @@ class DodinEstimator(MakespanEstimator):
         self.reexecution_factor = reexecution_factor
         self.batched = batched
         self.workers = resolve_workers(workers)
+        self.exec_retries = exec_retries
+        self.exec_timeout = exec_timeout
+        self.exec_on_failure = exec_on_failure
 
     # ------------------------------------------------------------------
     def _build_network(
@@ -445,7 +451,12 @@ class DodinEstimator(MakespanEstimator):
         cap = self.max_duplications
         if cap is None:
             cap = 50 * (graph.num_tasks + graph.num_edges + 10)
-        service = ParallelService(workers=self.workers)
+        service = ParallelService(
+            workers=self.workers,
+            retries=self.exec_retries,
+            timeout=self.exec_timeout,
+            on_failure=self.exec_on_failure,
+        )
 
         duplications = 0
         rounds = 0
@@ -506,6 +517,7 @@ class DodinEstimator(MakespanEstimator):
                 "batched": self.batched,
                 "max_support": self.max_support,
                 "final_support": final_law.support_size,
+                "execution": service.report.as_dict(),
             },
         )
 

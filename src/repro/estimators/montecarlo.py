@@ -49,6 +49,11 @@ class MonteCarloEstimator(MakespanEstimator):
         Accumulate quantile sketches instead of materialising samples, so
         million-trial references fit in O(batch) memory; the estimate's
         ``details`` still report median/p99 (sketch accuracy).
+    exec_retries, exec_timeout, exec_on_failure:
+        Fault-tolerance knobs of the execution service (``None`` resolves
+        from ``REPRO_EXEC_*``); the resulting
+        :class:`~repro.exec.ExecutionReport` lands in
+        ``details["execution"]``.
     batch_size, keep_samples, target_relative_half_width:
         Forwarded to :class:`repro.sim.MonteCarloEngine`.
     """
@@ -69,6 +74,9 @@ class MonteCarloEstimator(MakespanEstimator):
         workers: int = 1,
         backend: Optional[str] = None,
         streaming: bool = False,
+        exec_retries: Optional[int] = None,
+        exec_timeout: Optional[float] = None,
+        exec_on_failure: Optional[str] = None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -83,6 +91,9 @@ class MonteCarloEstimator(MakespanEstimator):
         self.workers = workers
         self.backend = backend
         self.streaming = streaming
+        self.exec_retries = exec_retries
+        self.exec_timeout = exec_timeout
+        self.exec_on_failure = exec_on_failure
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         engine = MonteCarloEngine(
@@ -99,6 +110,9 @@ class MonteCarloEstimator(MakespanEstimator):
             workers=self.workers,
             backend=self.backend,
             streaming=self.streaming,
+            exec_retries=self.exec_retries,
+            exec_timeout=self.exec_timeout,
+            exec_on_failure=self.exec_on_failure,
         )
         result = engine.run()
         details = {
@@ -113,6 +127,8 @@ class MonteCarloEstimator(MakespanEstimator):
             "backend": result.backend,
             "streaming": result.streaming,
         }
+        if result.execution is not None:
+            details["execution"] = result.execution
         if result.samples is not None or result.sketch is not None:
             details["median"] = result.quantile(0.5)
             details["p99"] = result.quantile(0.99)

@@ -128,6 +128,9 @@ class SecondOrderEstimator(MakespanEstimator):
         *,
         tail_handling: Literal["failure-free", "drop", "worst-pair"] = "failure-free",
         workers: Optional[int] = None,
+        exec_retries: Optional[int] = None,
+        exec_timeout: Optional[float] = None,
+        exec_on_failure: Optional[str] = None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -135,6 +138,9 @@ class SecondOrderEstimator(MakespanEstimator):
             raise EstimationError(f"unknown tail handling {tail_handling!r}")
         self.tail_handling = tail_handling
         self.workers = resolve_workers(workers)
+        self.exec_retries = exec_retries
+        self.exec_timeout = exec_timeout
+        self.exec_on_failure = exec_on_failure
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         index = graph.index()
@@ -166,6 +172,7 @@ class SecondOrderEstimator(MakespanEstimator):
         worst_pair = d_g
         pair_contribution = 0.0
         pair_probability = 0.0
+        execution = None
         if n >= 2:
             base = np.exp(log_all - np.log(one_minus_q))  # prod_{l != i} (1-q_l)
             chunks = [
@@ -202,7 +209,12 @@ class SecondOrderEstimator(MakespanEstimator):
                         worst = max(worst, float(d_pair.max()))
                 return contribution, probability, worst
 
-            service = ParallelService(workers=self.workers)
+            service = ParallelService(
+                workers=self.workers,
+                retries=self.exec_retries,
+                timeout=self.exec_timeout,
+                on_failure=self.exec_on_failure,
+            )
             slots = [
                 _PairSweepSlot(index)
                 for _ in range(min(self.workers, len(chunks)))
@@ -215,6 +227,8 @@ class SecondOrderEstimator(MakespanEstimator):
             # Every unordered pair was counted twice (once per orientation).
             pair_contribution *= 0.5
             pair_probability *= 0.5
+
+            execution = service.report.as_dict()
 
         expected += pair_contribution
         probability_covered += pair_probability
@@ -237,5 +251,6 @@ class SecondOrderEstimator(MakespanEstimator):
                 "residual_probability": residual,
                 "pair_contribution": pair_contribution,
                 "sweep_workers": self.workers,
+                **({"execution": execution} if execution is not None else {}),
             },
         )

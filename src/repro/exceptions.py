@@ -16,6 +16,8 @@ __all__ = [
     "InvalidWeightError",
     "NotSeriesParallelError",
     "EstimationError",
+    "ExecutionError",
+    "ExecutionTimeoutError",
     "ModelError",
     "SchedulingError",
     "ExperimentError",
@@ -71,6 +73,37 @@ class NotSeriesParallelError(GraphError):
 
 class EstimationError(ReproError):
     """Raised when a makespan estimator cannot produce a result."""
+
+
+class ExecutionError(EstimationError):
+    """Raised when the parallel execution service cannot complete a run.
+
+    Wraps every worker-side failure mode — repeated partition errors,
+    broken worker pools, unusable backends — so callers never see raw
+    :mod:`concurrent.futures` exceptions.  Carries the failing partition
+    index (``None`` for backend-level failures), the number of attempts
+    consumed, and the string form of every underlying cause.
+    """
+
+    def __init__(self, message=None, *, partition=None, attempts=None, causes=()):
+        self.partition = partition
+        self.attempts = attempts
+        self.causes = tuple(str(cause) for cause in causes)
+        if message is None:
+            if partition is not None:
+                message = (
+                    f"partition {partition} failed after "
+                    f"{attempts} attempt{'s' if attempts != 1 else ''}"
+                )
+            else:
+                message = "execution backend failed"
+            if self.causes:
+                message += "; causes: " + "; ".join(self.causes)
+        super().__init__(message)
+
+
+class ExecutionTimeoutError(ExecutionError):
+    """Raised when a partition repeatedly exceeds its execution deadline."""
 
 
 class ModelError(ReproError, ValueError):

@@ -6,11 +6,26 @@ partitions with per-partition deterministic RNG streams.  Clients include
 the Monte Carlo batch scheduler (:mod:`repro.sim.executors`), the
 correlated estimator's per-level fold, the second-order pair sweeps and
 Dodin's reduction rounds — see :mod:`repro.exec.service` for the
-determinism contract they all rely on.
+determinism contract they all rely on, and its fault-tolerance contract
+(deterministic partition retry, soft deadlines, pool recovery, backend
+degradation) layered on top.  :mod:`repro.exec.faults` provides the
+declarative chaos-testing harness; :mod:`repro.exec.report` the
+machine-readable execution telemetry.
 """
 
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RandomFaults,
+)
+from .report import AttemptFailure, Degradation, ExecutionReport
 from .service import (
     EXEC_BACKENDS,
+    MAX_POOL_REBUILDS,
+    ON_FAILURE_POLICIES,
+    ExecutionPolicy,
     ParallelService,
     env_estimator_workers,
     partition_stream,
@@ -20,7 +35,18 @@ from .service import (
 
 __all__ = [
     "EXEC_BACKENDS",
+    "FAULT_KINDS",
+    "MAX_POOL_REBUILDS",
+    "ON_FAILURE_POLICIES",
+    "AttemptFailure",
+    "Degradation",
+    "ExecutionPolicy",
+    "ExecutionReport",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "ParallelService",
+    "RandomFaults",
     "env_estimator_workers",
     "partition_stream",
     "resolve_exec_backend",

@@ -48,25 +48,87 @@ Consequently ``threads`` and ``processes`` produce *identical* outputs for
 a fixed partition list at **any** worker count — the worker count is
 purely a throughput knob — and both match ``serial`` whenever the client
 passes per-partition streams (or none at all).
+
+Fault-tolerance contract
+------------------------
+
+The determinism contract is what makes fault tolerance cheap: because
+partition ``i``'s RNG stream is keyed by its *index* (never by the worker
+that happens to run it) and the partition function is pure, a failed
+attempt can simply be re-dispatched — the replay draws the same stream and
+produces the same value, so a run that retried half its partitions folds
+results bit-identical to a fault-free run, including the early-stop point.
+Concretely (:class:`ExecutionPolicy`):
+
+* **Retries** (``retries=`` / ``REPRO_EXEC_RETRIES``): a partition whose
+  attempt raises is re-dispatched up to ``retries`` more times, with
+  exponential backoff whose jitter is deterministically seeded from
+  ``(entropy, partition, attempt)``.  A partition that exhausts its budget
+  is quarantined: the run raises a structured
+  :class:`~repro.exceptions.ExecutionError` naming the partition, the
+  attempts and every underlying cause — raw worker exceptions (including
+  :class:`~concurrent.futures.process.BrokenProcessPool`) never leak.
+  The error surfaces at the partition's *fold position*: failures past an
+  early-stop point cannot fail the run on any backend.
+* **Soft deadlines** (``timeout=`` / ``REPRO_EXEC_TIMEOUT``): per-partition
+  wall-clock deadlines.  In-process backends cannot preempt a running
+  partition, so a late attempt is *recorded* (``deadline_misses``) and its
+  (deterministic) result still folds; the ``processes`` backend *enforces*
+  the deadline — overdue workers are killed, the pool is rebuilt through
+  the slot-factory protocol, and the partition is re-dispatched as a
+  ``timeout`` failure (raising
+  :class:`~repro.exceptions.ExecutionTimeoutError` once the budget is
+  spent).
+* **Worker-loss recovery**: a dead worker process (crash, OOM kill,
+  injected ``kill`` fault) breaks the pool; the service rebuilds it (the
+  slot factory re-runs in the fresh workers) and re-dispatches every
+  in-flight partition, charging each one attempt.  Pool rebuilds are
+  bounded (:data:`MAX_POOL_REBUILDS`) so a crash loop cannot spin forever.
+* **Degradation** (``on_failure="degrade"`` / ``REPRO_EXEC_ON_FAILURE``):
+  opt-in last resort when a *backend* (not a partition) is unusable — the
+  pool cannot be built, or the rebuild budget is spent.  The run falls
+  back ``processes`` → ``threads`` → ``serial``, resuming from the first
+  unfolded partition: already-folded results are kept, and per-partition
+  streams make the merged outcome bit-identical to a run that used the
+  degraded backend from the start.  Requires the ``slot_factory`` (if
+  any) to be callable in the parent process.  The default
+  (``on_failure="raise"``) wraps the backend failure in
+  :class:`~repro.exceptions.ExecutionError` instead.
+
+Everything the layer did — attempts, retries, timeouts, rebuilds,
+degradations, injected faults — is accounted in the service's
+:class:`~repro.exec.report.ExecutionReport` (``service.report``), which
+clients surface in their result details.  Declarative chaos plans
+(:class:`~repro.exec.faults.FaultPlan`, ``REPRO_EXEC_FAULTS``) inject
+faults through the same dispatch seam the real failures take.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import EstimationError
+from ..exceptions import EstimationError, ExecutionError, ExecutionTimeoutError
+from .faults import FaultPlan
+from .report import ExecutionReport
 
 __all__ = [
     "EXEC_BACKENDS",
+    "ON_FAILURE_POLICIES",
+    "MAX_POOL_REBUILDS",
+    "ExecutionPolicy",
     "ParallelService",
     "partition_stream",
     "resolve_exec_backend",
@@ -77,8 +139,37 @@ __all__ = [
 #: The available execution backends, in documentation order.
 EXEC_BACKENDS = ("serial", "threads", "processes")
 
+#: Reactions to an unusable backend: wrap-and-raise, or fall back along
+#: the ``processes`` -> ``threads`` -> ``serial`` chain.
+ON_FAILURE_POLICIES = ("raise", "degrade")
+
+#: Worker-pool rebuilds allowed per run before the backend counts as
+#: unusable (bounding crash loops; each break also charges the in-flight
+#: partitions one attempt, so the retry budget bounds them independently).
+MAX_POOL_REBUILDS = 3
+
+#: Next backend along the degradation chain.
+_DEGRADE_NEXT = {"processes": "threads", "threads": "serial"}
+
+#: Spawn-key namespace of the deterministic backoff jitter streams (far
+#: outside the partition-stream key range and the fault-plan namespace).
+_BACKOFF_SPAWN_KEY = 2**52
+
+#: Ceiling of one backoff delay in seconds.
+_BACKOFF_CAP = 2.0
+
+#: Default base backoff delay (seconds) between retry attempts.
+DEFAULT_BACKOFF = 0.02
+
+#: Scheduling slack added to a soft deadline before the ``processes``
+#: backend preempts (absorbs submit-to-start queueing in the pool).
+_TIMEOUT_GRACE = 0.05
+
 #: ``consume(index, result) -> stop?`` — the index-ordered folding callback.
 Consumer = Callable[[int, object], bool]
+
+#: Sentinel distinguishing "no faults" from "resolve REPRO_EXEC_FAULTS".
+_UNSET = object()
 
 
 def partition_stream(entropy, index: int) -> np.random.Generator:
@@ -88,7 +179,9 @@ def partition_stream(entropy, index: int) -> np.random.Generator:
     ``B > index``, but O(1): children of a spawn differ only by their
     ``spawn_key``.  Every backend — in-process or not — derives partition
     ``i``'s stream this way, which is what makes randomised results
-    independent of the worker count and of the backend choice.
+    independent of the worker count and of the backend choice — and what
+    makes a *retried* partition replay the exact stream of its failed
+    attempt.
     """
     root = np.random.SeedSequence(entropy=entropy, spawn_key=(int(index),))
     return np.random.default_rng(root)
@@ -153,6 +246,122 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 
 # ----------------------------------------------------------------------
+# Execution policy (retries, deadlines, degradation)
+# ----------------------------------------------------------------------
+
+
+def _env_int(name: str, minimum: int) -> Optional[int]:
+    env = os.environ.get(name)
+    if env is None or not env.strip():
+        return None
+    try:
+        value = int(env)
+    except ValueError as exc:
+        raise EstimationError(f"{name} must be an integer, got {env!r}") from exc
+    if value < minimum:
+        raise EstimationError(f"{name} must be >= {minimum}")
+    return value
+
+
+def _env_float(name: str) -> Optional[float]:
+    env = os.environ.get(name)
+    if env is None or not env.strip():
+        return None
+    try:
+        value = float(env)
+    except ValueError as exc:
+        raise EstimationError(f"{name} must be a number, got {env!r}") from exc
+    return value
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Fault-tolerance knobs of one :class:`ParallelService`.
+
+    Parameters
+    ----------
+    retries:
+        Re-dispatches allowed per partition beyond the first attempt
+        (default 0: fail fast, the historical behaviour).
+    timeout:
+        Per-partition soft deadline in seconds (``None``: no deadline).
+        Advisory on in-process backends, enforced by worker preemption on
+        ``processes``.
+    on_failure:
+        ``"raise"`` (wrap backend failures in
+        :class:`~repro.exceptions.ExecutionError`) or ``"degrade"`` (fall
+        back ``processes`` -> ``threads`` -> ``serial``).
+    backoff:
+        Base delay in seconds of the exponential retry backoff; attempt
+        ``a`` waits ``min(backoff * 2**(a-1), cap)`` scaled by a
+        deterministically seeded jitter in ``[0.5, 1.0]``.  ``0`` disables
+        the wait (used by tests).
+    """
+
+    retries: int = 0
+    timeout: Optional[float] = None
+    on_failure: str = "raise"
+    backoff: float = DEFAULT_BACKOFF
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise EstimationError("execution retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise EstimationError("execution timeout must be positive")
+        if self.on_failure not in ON_FAILURE_POLICIES:
+            raise EstimationError(
+                f"unknown on_failure policy {self.on_failure!r}; choose one "
+                f"of {', '.join(ON_FAILURE_POLICIES)}"
+            )
+        if self.backoff < 0:
+            raise EstimationError("execution backoff must be >= 0")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts allowed per partition."""
+        return self.retries + 1
+
+    @classmethod
+    def resolve(
+        cls,
+        retries: Optional[int] = None,
+        timeout: Optional[float] = None,
+        on_failure: Optional[str] = None,
+        backoff: Optional[float] = None,
+    ) -> "ExecutionPolicy":
+        """Resolve knobs: explicit argument, then ``REPRO_EXEC_*``, then
+        the fail-fast defaults."""
+        if retries is None:
+            retries = _env_int("REPRO_EXEC_RETRIES", 0)
+        if timeout is None:
+            timeout = _env_float("REPRO_EXEC_TIMEOUT")
+        if on_failure is None:
+            on_failure = os.environ.get("REPRO_EXEC_ON_FAILURE")
+            if on_failure is not None:
+                on_failure = on_failure.strip().lower() or None
+        if backoff is None:
+            backoff = _env_float("REPRO_EXEC_BACKOFF")
+        return cls(
+            retries=int(retries) if retries is not None else 0,
+            timeout=float(timeout) if timeout is not None else None,
+            on_failure=on_failure if on_failure is not None else "raise",
+            backoff=float(backoff) if backoff is not None else DEFAULT_BACKOFF,
+        )
+
+    def backoff_delay(self, entropy, index: int, attempt: int) -> float:
+        """Deterministic jittered delay before retry ``attempt`` (>= 1)."""
+        if self.backoff <= 0 or attempt <= 0:
+            return 0.0
+        base = min(self.backoff * (2.0 ** (attempt - 1)), _BACKOFF_CAP)
+        seq = np.random.SeedSequence(
+            entropy=0 if entropy is None else entropy,
+            spawn_key=(_BACKOFF_SPAWN_KEY, int(index), int(attempt)),
+        )
+        jitter = 0.5 + 0.5 * float(np.random.default_rng(seq).random())
+        return base * jitter
+
+
+# ----------------------------------------------------------------------
 # Process-pool worker plumbing (module level: must be picklable)
 # ----------------------------------------------------------------------
 
@@ -164,9 +373,59 @@ def _process_pool_init(slot_factory: Optional[Callable[[], object]]) -> None:
     _PROCESS_SLOT = slot_factory() if slot_factory is not None else None
 
 
-def _process_pool_call(fn, index: int, item, entropy):
+def _process_pool_call(
+    fn,
+    index: int,
+    item,
+    entropy,
+    attempt: int = 0,
+    faults: Optional[FaultPlan] = None,
+    backoff: float = 0.0,
+):
+    if backoff > 0.0:
+        time.sleep(backoff)
+    if faults is not None:
+        faults.apply(index, attempt, in_child=True)
     rng = partition_stream(entropy, index) if entropy is not None else None
     return fn(item, _PROCESS_SLOT, rng)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Best-effort hard stop: cancel queued work and kill the workers.
+
+    ``ProcessPoolExecutor`` offers no per-worker preemption, so enforcing
+    a deadline means sacrificing the pool; the caller rebuilds it through
+    the slot-factory protocol.  ``_processes`` is a private attribute, but
+    it has been stable across every supported CPython and the fallback is
+    merely a slower (cooperative) shutdown.
+    """
+    procs = getattr(pool, "_processes", None)
+    workers = list(procs.values()) if procs else []
+    pool.shutdown(wait=False, cancel_futures=True)
+    for worker in workers:
+        try:
+            worker.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+
+
+class _BackendUnusable(Exception):
+    """Internal: the current backend cannot make progress (degrade/raise)."""
+
+    def __init__(self, reason: str, cause: Optional[BaseException] = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.cause = cause
+
+
+class _Outcome:
+    """Result of one attempt, evaluated without raising."""
+
+    __slots__ = ("ok", "value")
+
+    def __init__(self, ok: bool, value=None):
+        self.ok = ok
+        self.value = value
 
 
 class ParallelService:
@@ -180,14 +439,38 @@ class ParallelService:
     backend:
         ``"serial"``, ``"threads"`` or ``"processes"``; ``None`` resolves
         to ``"serial"`` for one worker and ``"threads"`` otherwise.
+    retries, timeout, on_failure, backoff:
+        Fault-tolerance knobs; ``None`` resolves from the ``REPRO_EXEC_*``
+        environment (see :class:`ExecutionPolicy`).
+    faults:
+        Optional :class:`~repro.exec.faults.FaultPlan` injected at the
+        dispatch seam (chaos testing).  When omitted, the
+        ``REPRO_EXEC_FAULTS`` plan applies; pass ``faults=None`` to run
+        fault-free regardless of the environment.
     """
 
-    def __init__(self, *, workers: int = 1, backend: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        backend: Optional[str] = None,
+        retries: Optional[int] = None,
+        timeout: Optional[float] = None,
+        on_failure: Optional[str] = None,
+        backoff: Optional[float] = None,
+        faults=_UNSET,
+    ) -> None:
         workers = int(workers)
         if workers < 1:
             raise EstimationError("number of workers must be at least 1")
         self.workers = workers
         self.backend = resolve_exec_backend(backend, workers)
+        self.policy = ExecutionPolicy.resolve(retries, timeout, on_failure, backoff)
+        self.faults: Optional[FaultPlan] = (
+            FaultPlan.from_env() if faults is _UNSET else faults
+        )
+        #: Accumulated fault-tolerance telemetry over the service lifetime.
+        self.report = ExecutionReport(backend=self.backend, workers=self.workers)
         #: Lazily created, reused across run() calls: clients like the
         #: correlated level sweep call run() twice per level, and spawning
         #: and joining a fresh pool each time is pure overhead on the hot
@@ -218,7 +501,10 @@ class ParallelService:
         fn:
             The partition function.  Must be a pure function of its
             arguments (plus any state reachable from ``slot``); on the
-            ``processes`` backend it must be picklable.
+            ``processes`` backend it must be picklable.  Re-dispatch on
+            failure additionally requires writes through ``slot`` to be
+            idempotent per partition (disjoint output regions overwritten,
+            not accumulated).
         items:
             The index-ordered partitions.  The partition list — not the
             backend or worker count — determines the result.
@@ -229,11 +515,16 @@ class ParallelService:
             concurrently; the ``serial`` backend uses ``slots[0]``.
         slot_factory:
             ``processes`` only: a picklable zero-argument callable building
-            one slot per worker process (pool initializer).
+            one slot per worker process (pool initializer).  Also the
+            recovery seam — pool rebuilds re-run it in fresh workers, and
+            backend degradation calls it in the parent process.  Slots it
+            builds in the parent are ``close()``-d after the run when they
+            expose that method.
         entropy:
             When not ``None``, partition ``i`` receives the deterministic
-            stream :func:`partition_stream` ``(entropy, i)``; otherwise
-            ``rng`` is ``None``.
+            stream :func:`partition_stream` ``(entropy, i)`` — on every
+            attempt, which is what makes retries replay bit-identically;
+            otherwise ``rng`` is ``None``.
         consume:
             Optional ``consume(index, result) -> stop?`` fold, called
             exactly once per evaluated partition in partition-index order;
@@ -244,6 +535,16 @@ class ParallelService:
         -------
         The list of per-partition results in partition order, or ``None``
         when ``consume`` is given.
+
+        Raises
+        ------
+        ExecutionError
+            When a partition exhausts its retry budget (the error names
+            the partition, attempts and causes) or a backend is unusable
+            under ``on_failure="raise"``.
+        ExecutionTimeoutError
+            When every failed attempt of the exhausted partition was a
+            deadline preemption.
         """
         items = list(items)
         collected: Optional[List] = None if consume is not None else [None] * len(items)
@@ -256,128 +557,444 @@ class ParallelService:
 
         if not items:
             return collected
-        if self.backend == "serial":
-            self._run_serial(fn, items, slots, entropy, fold)
-        elif self.backend == "threads":
-            self._run_threads(fn, items, slots, entropy, fold)
-        else:
-            self._run_processes(fn, items, slot_factory, entropy, fold)
+        self.report.runs += 1
+        run = _ServiceRun(self, fn, items, slots, slot_factory, entropy, fold)
+        run.execute()
         return collected
 
+
+class _ServiceRun:
+    """One ``run()``: retry bookkeeping, degradation chain, fold cursor."""
+
+    def __init__(self, service, fn, items, slots, slot_factory, entropy, fold):
+        self.service = service
+        self.policy: ExecutionPolicy = service.policy
+        self.faults: Optional[FaultPlan] = service.faults
+        self.report: ExecutionReport = service.report
+        self.fn = fn
+        self.items = items
+        self.slots = slots
+        self.slot_factory = slot_factory
+        self.entropy = entropy
+        self.fold = fold
+        #: Next partition index to fold; everything below is folded.
+        self.position = 0
+        self.stopped = False
+        self.attempts_used = [0] * len(items)
+        self.causes: Dict[int, List] = {}
+        self.failure_kinds: Dict[int, List[str]] = {}
+        #: Parent-side slots built from the factory (degradation path).
+        self._factory_slots: List = []
+
     # ------------------------------------------------------------------
-    def _run_serial(self, fn, items, slots, entropy, fold) -> None:
+    def execute(self) -> None:
+        backend = self.service.backend
+        try:
+            while True:
+                try:
+                    if backend == "serial":
+                        self._run_serial()
+                    elif backend == "threads":
+                        self._run_threads()
+                    else:
+                        self._run_processes()
+                    return
+                except _BackendUnusable as unusable:
+                    next_backend = _DEGRADE_NEXT.get(backend)
+                    if self.policy.on_failure != "degrade" or next_backend is None:
+                        causes = [unusable.cause] if unusable.cause else []
+                        raise ExecutionError(
+                            f"{backend} backend unusable: {unusable.reason}",
+                            causes=causes,
+                        ) from unusable.cause
+                    self.report.record_degradation(
+                        backend, next_backend, unusable.reason
+                    )
+                    backend = next_backend
+        finally:
+            for slot in self._factory_slots:
+                close = getattr(slot, "close", None)
+                if callable(close):
+                    try:
+                        close()
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+
+    # ------------------------------------------------------------------
+    # Attempt machinery (shared by every backend)
+    # ------------------------------------------------------------------
+    def _charge_attempt(self, index: int) -> int:
+        """Consume one attempt of ``index``; returns the attempt number."""
+        attempt = self.attempts_used[index]
+        self.attempts_used[index] += 1
+        self.report.record_attempt(attempt)
+        if self.faults is not None and self.faults.lookup(index, attempt):
+            self.report.faults_injected += 1
+        return attempt
+
+    def _refund_attempt(self, index: int) -> None:
+        """Return the budget of an attempt lost to someone else's fault."""
+        self.attempts_used[index] -= 1
+
+    def _record_failure(self, index, attempt, kind, cause) -> None:
+        self.report.record_failure(index, attempt, kind, cause)
+        self.causes.setdefault(index, []).append(cause)
+        self.failure_kinds.setdefault(index, []).append(kind)
+
+    def _rng(self, index: int):
+        if self.entropy is None:
+            return None
+        return partition_stream(self.entropy, index)
+
+    def _evaluate(self, index: int, item, slot) -> _Outcome:
+        """One attempt on the calling thread; never raises."""
+        attempt = self._charge_attempt(index)
+        delay = self.policy.backoff_delay(self.entropy, index, attempt)
+        if delay > 0.0:
+            time.sleep(delay)
+        start = time.perf_counter()
+        try:
+            if self.faults is not None:
+                self.faults.apply(index, attempt, in_child=False)
+            value = self.fn(item, slot, self._rng(index))
+        except Exception as exc:
+            self._record_failure(index, attempt, "error", exc)
+            return _Outcome(False)
+        elapsed = time.perf_counter() - start
+        timeout = self.policy.timeout
+        if timeout is not None and elapsed > timeout:
+            # In-process backends cannot preempt: the soft deadline is
+            # advisory.  The late result is deterministic, so it folds.
+            self.report.deadline_misses += 1
+        self.report.record_success(elapsed)
+        return _Outcome(True, value)
+
+    def _resolve_inline(self, index: int, item, slot):
+        """Drive ``index`` to success (or quarantine) on the calling thread."""
+        while self.attempts_used[index] < self.policy.attempts:
+            outcome = self._evaluate(index, item, slot)
+            if outcome.ok:
+                return outcome.value
+        raise self._exhausted(index)
+
+    def _exhausted(self, index: int) -> ExecutionError:
+        self.report.quarantined.append(index)
+        kinds = self.failure_kinds.get(index, [])
+        cls = (
+            ExecutionTimeoutError
+            if kinds and all(kind == "timeout" for kind in kinds)
+            else ExecutionError
+        )
+        return cls(
+            partition=index,
+            attempts=self.attempts_used[index],
+            causes=self.causes.get(index, []),
+        )
+
+    def _fold(self, index: int, value) -> bool:
+        """Fold one result; advances the cursor, latches early stop."""
+        self.position = index + 1
+        if self.fold(index, value):
+            self.stopped = True
+        return self.stopped
+
+    def _local_slots(self, count: int) -> Optional[List]:
+        """In-process slots: the client's, or parent-built factory slots."""
+        if self.slots:
+            return list(self.slots)
+        if self.slot_factory is None:
+            return None
+        while len(self._factory_slots) < count:
+            self._factory_slots.append(self.slot_factory())
+        return self._factory_slots[:count]
+
+    # ------------------------------------------------------------------
+    def _run_serial(self) -> None:
+        slots = self._local_slots(1)
         slot = slots[0] if slots else None
-        for index, item in enumerate(items):
-            rng = partition_stream(entropy, index) if entropy is not None else None
-            if fold(index, fn(item, slot, rng)):
+        while self.position < len(self.items) and not self.stopped:
+            index = self.position
+            value = self._resolve_inline(index, self.items[index], slot)
+            if self._fold(index, value):
                 return
 
     # ------------------------------------------------------------------
-    def _run_threads(self, fn, items, slots, entropy, fold) -> None:
+    def _run_threads(self) -> None:
+        slots = self._local_slots(
+            min(self.service.workers, len(self.items) - self.position)
+        )
+        try:
+            pool = self.service._pool()
+        except Exception as exc:
+            raise _BackendUnusable(f"thread pool unavailable: {exc!r}", exc)
         if slots:
-            self._run_thread_rounds(fn, items, slots, entropy, fold)
+            self._thread_rounds(pool, slots)
         else:
-            self._run_thread_stream(fn, items, entropy, fold)
+            self._thread_stream(pool)
 
-    def _run_thread_rounds(self, fn, items, slots, entropy, fold) -> None:
+    def _submit(self, pool, *args):
+        try:
+            return pool.submit(*args)
+        except RuntimeError as exc:
+            raise _BackendUnusable(f"thread pool rejected work: {exc!r}", exc)
+
+    def _thread_rounds(self, pool, slots) -> None:
         """Rounds of one partition per slot (slot buffers reused safely).
 
-        Within a round the evaluations run concurrently; between rounds
-        the results fold in partition-index order and the early-stop
-        criterion is re-checked.  The round barrier is what lets a slot's
-        buffers be reused without synchronisation.
+        Within a round the first attempts run concurrently; the round then
+        drains fully — so every slot is quiescent — before results fold in
+        partition-index order, with failed partitions retried inline on
+        their own (now idle) slot.  The round barrier is what lets a
+        slot's buffers be reused without synchronisation.
         """
-        k = min(self.workers, len(slots), len(items))
-        pool = self._pool()
-        for base in range(0, len(items), k):
-            futures = []
-            for offset, item in enumerate(items[base : base + k]):
-                index = base + offset
-                rng = (
-                    partition_stream(entropy, index)
-                    if entropy is not None
-                    else None
-                )
-                futures.append(pool.submit(fn, item, slots[offset], rng))
-            stop = False
-            try:
-                for offset, future in enumerate(futures):
-                    if not stop and fold(base + offset, future.result()):
-                        stop = True
-                    elif stop:
-                        # Drain the round (results are discarded) so the
-                        # slots are quiescent before the caller returns.
-                        future.result()
-            finally:
-                # On a worker/fold exception the remaining round futures
-                # are still holding slots; wait them out (swallowing
-                # secondary errors) so the next run() can reuse the slots.
-                for future in futures:
-                    try:
-                        future.result()
-                    except Exception:
-                        pass
-            if stop:
-                return
+        k = min(self.service.workers, len(slots), len(self.items) - self.position)
+        while self.position < len(self.items) and not self.stopped:
+            base = self.position
+            indices = list(range(base, min(base + k, len(self.items))))
+            futures = [
+                self._submit(pool, self._evaluate, i, self.items[i], slots[j])
+                for j, i in enumerate(indices)
+            ]
+            outcomes = [future.result() for future in futures]
+            for j, i in enumerate(indices):
+                if self.stopped:
+                    # An earlier partition of this round stopped the fold;
+                    # the remaining (already evaluated) results are
+                    # discarded, exactly as a fault-free run would.
+                    return
+                outcome = outcomes[j]
+                if outcome.ok:
+                    value = outcome.value
+                else:
+                    value = self._resolve_inline(i, self.items[i], slots[j])
+                if self._fold(i, value):
+                    return
 
-    def _run_thread_stream(self, fn, items, entropy, fold) -> None:
+    def _thread_stream(self, pool) -> None:
         """Slot-free thread pool: all partitions in flight, free balancing."""
-        pool = self._pool()
-        futures = []
-        for index, item in enumerate(items):
-            rng = partition_stream(entropy, index) if entropy is not None else None
-            futures.append(pool.submit(fn, item, None, rng))
+        futures = {
+            i: self._submit(pool, self._evaluate, i, self.items[i], None)
+            for i in range(self.position, len(self.items))
+        }
         try:
-            for index, future in enumerate(futures):
-                if fold(index, future.result()):
+            for i in sorted(futures):
+                outcome = futures[i].result()
+                if outcome.ok:
+                    value = outcome.value
+                else:
+                    value = self._resolve_inline(i, self.items[i], None)
+                if self._fold(i, value):
                     return
         finally:
-            for future in futures:
+            for future in futures.values():
                 future.cancel()
             # Drain anything already running so the pool is quiescent
             # (and client state untouched) before the caller proceeds.
-            for future in futures:
+            # _evaluate never raises, so result() is safe.
+            for future in futures.values():
                 if not future.cancelled():
-                    try:
-                        future.result()
-                    except Exception:
-                        pass
+                    future.result()
 
     # ------------------------------------------------------------------
-    def _run_processes(self, fn, items, slot_factory, entropy, fold) -> None:
+    # Process backend: windowed dispatch, pool recovery, preemption
+    # ------------------------------------------------------------------
+    def _make_process_pool(self, k: int) -> ProcessPoolExecutor:
+        try:
+            return ProcessPoolExecutor(
+                max_workers=k,
+                initializer=_process_pool_init,
+                initargs=(self.slot_factory,),
+            )
+        except Exception as exc:
+            raise _BackendUnusable(f"process pool unavailable: {exc!r}", exc)
+
+    def _run_processes(self) -> None:
         """Process pool folding finished partitions in index order.
 
         Results land out of order; the parent folds them strictly in
         partition-index order as soon as the next expected partition is
         done, so the merged outcome (including the early-stop point) is
-        identical to the ``threads`` backend at any worker count.
+        identical to the ``threads`` backend at any worker count.  At most
+        ``workers`` partitions are in flight (so a submit timestamp
+        approximates the start of execution), failed partitions re-enter
+        the dispatch queue until their budget is spent, worker loss
+        rebuilds the pool, and overdue partitions are preempted by
+        killing the pool when a deadline is configured.
         """
-        k = min(self.workers, len(items))
-        with ProcessPoolExecutor(
-            max_workers=k,
-            initializer=_process_pool_init,
-            initargs=(slot_factory,),
-        ) as pool:
-            futures = {
-                pool.submit(_process_pool_call, fn, index, item, entropy): index
-                for index, item in enumerate(items)
-            }
-            pending = set(futures)
-            finished = {}
-            next_fold = 0
-            stopped = False
-            while pending and not stopped:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    # Re-raise worker failures eagerly.
-                    finished[futures[future]] = future.result()
-                while next_fold < len(items) and next_fold in finished:
-                    result = finished.pop(next_fold)
-                    index = next_fold
-                    next_fold += 1
-                    if fold(index, result):
-                        stopped = True
+        remaining = len(self.items) - self.position
+        k = min(self.service.workers, remaining)
+        pool = self._make_process_pool(k)
+        rebuilds = 0
+        queue = deque(range(self.position, len(self.items)))
+        inflight: Dict = {}  # future -> (index, attempt, submitted_at)
+        finished: Dict[int, object] = {}
+        errors: Dict[int, ExecutionError] = {}
+        timeout = self.policy.timeout
+
+        def dispatch(index: int) -> None:
+            attempt = self._charge_attempt(index)
+            delay = self.policy.backoff_delay(self.entropy, index, attempt)
+            future = pool.submit(
+                _process_pool_call,
+                self.fn,
+                index,
+                self.items[index],
+                self.entropy,
+                attempt,
+                self.faults,
+                delay,
+            )
+            inflight[future] = (index, attempt, time.perf_counter())
+
+        def requeue(index: int) -> None:
+            if self.attempts_used[index] < self.policy.attempts:
+                queue.append(index)
+            else:
+                errors[index] = self._exhausted(index)
+                # Work past a doomed fold position can never be consumed:
+                # it is either preceded by the raise or cut by an earlier
+                # early stop.  Drop it.
+                cutoff = min(errors)
+                for queued in [q for q in queue if q > cutoff]:
+                    queue.remove(queued)
+
+        def handle_pool_break(cause) -> None:
+            nonlocal pool, rebuilds
+            # Harvest whatever completed before the break: a finished
+            # result (or a genuine partition error) keeps its normal
+            # accounting.  The rest died with the pool; the victim is
+            # indistinguishable, so each is charged (the attempt was
+            # dispatched) and re-dispatched if budget remains.
+            for future, (index, attempt, submitted) in list(inflight.items()):
+                if future.done():
+                    try:
+                        value = future.result()
+                    except BrokenExecutor:
+                        pass  # a victim: falls through to worker-lost
+                    except Exception as exc:
+                        self._record_failure(index, attempt, "error", exc)
+                        requeue(index)
+                        continue
+                    else:
+                        self.report.record_success(
+                            time.perf_counter() - submitted
+                        )
+                        finished[index] = value
+                        continue
+                self._record_failure(index, attempt, "worker-lost", cause)
+                requeue(index)
+            inflight.clear()
+            _terminate_pool(pool)
+            rebuilds += 1
+            self.report.pool_rebuilds += 1
+            if rebuilds > MAX_POOL_REBUILDS:
+                raise _BackendUnusable(
+                    f"worker pool broke {rebuilds} times "
+                    f"(last cause: {cause!r})",
+                    cause if isinstance(cause, BaseException) else None,
+                )
+            pool = self._make_process_pool(k)
+
+        def preempt(now: float) -> None:
+            nonlocal pool
+            # Kill the pool, charge the overdue partitions a timeout and
+            # refund everyone else (their attempts died with the pool
+            # through no fault of their own).
+            overdue, innocent = [], []
+            for future, (index, attempt, submitted) in inflight.items():
+                if now - submitted > timeout + _TIMEOUT_GRACE:
+                    overdue.append((index, attempt, now - submitted))
+                else:
+                    innocent.append(index)
+            for index, attempt, elapsed in overdue:
+                self._record_failure(
+                    index,
+                    attempt,
+                    "timeout",
+                    f"partition {index} exceeded the {timeout:g}s deadline "
+                    f"({elapsed:.3f}s); worker preempted",
+                )
+                requeue(index)
+            for index in innocent:
+                self._refund_attempt(index)
+                queue.appendleft(index)
+            inflight.clear()
+            _terminate_pool(pool)
+            # Preemption is deliberate: it does not consume the rebuild
+            # budget (a hanging partition is bounded by its retry budget).
+            self.report.pool_rebuilds += 1
+            pool = self._make_process_pool(k)
+
+        try:
+            while not self.stopped and (queue or inflight or
+                                        self.position in finished or
+                                        self.position in errors):
+                # Fold whatever prefix is ready before dispatching more.
+                while not self.stopped and (
+                    self.position in finished or self.position in errors
+                ):
+                    index = self.position
+                    if index in errors:
+                        raise errors.pop(index)
+                    if self._fold(index, finished.pop(index)):
+                        return
+                if self.position >= len(self.items) or self.stopped:
+                    return
+                while queue and len(inflight) < k:
+                    index = queue.popleft()
+                    try:
+                        dispatch(index)
+                    except BrokenExecutor as exc:
+                        # The submit itself failed: the attempt never ran,
+                        # so the charge is refunded and the partition keeps
+                        # its place at the head of the queue.
+                        self._refund_attempt(index)
+                        queue.appendleft(index)
+                        handle_pool_break(exc)
                         break
-            if stopped:
-                for future in pending:
-                    future.cancel()
+                if not inflight:
+                    continue
+                if timeout is not None:
+                    now = time.perf_counter()
+                    oldest = min(t for (_, _, t) in inflight.values())
+                    budget = (oldest + timeout + _TIMEOUT_GRACE) - now
+                    if budget <= 0.0:
+                        preempt(now)
+                        continue
+                    done, _ = wait(
+                        set(inflight), timeout=budget, return_when=FIRST_COMPLETED
+                    )
+                    if not done:
+                        preempt(time.perf_counter())
+                        continue
+                else:
+                    done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+                broke = None
+                for future in done:
+                    index, attempt, submitted = inflight.pop(future)
+                    try:
+                        value = future.result()
+                    except BrokenExecutor as exc:
+                        # Put it back so handle_pool_break charges it with
+                        # the rest of the in-flight set.
+                        inflight[future] = (index, attempt, submitted)
+                        broke = exc
+                        break
+                    except Exception as exc:
+                        self._record_failure(index, attempt, "error", exc)
+                        requeue(index)
+                    else:
+                        elapsed = time.perf_counter() - submitted
+                        if timeout is not None and elapsed > timeout:
+                            self.report.deadline_misses += 1
+                        self.report.record_success(elapsed)
+                        finished[index] = value
+                if broke is not None:
+                    handle_pool_break(broke)
+        finally:
+            if inflight and timeout is not None:
+                # Stragglers past an early stop would otherwise hold the
+                # shutdown hostage; the deadline licenses killing them.
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)

@@ -30,6 +30,11 @@ __all__ = [
     "correlation_bandwidth",
     "correlation_rank",
     "estimator_workers",
+    "execution_retries",
+    "execution_timeout",
+    "execution_on_failure",
+    "execution_options",
+    "EXEC_ON_FAILURE",
     "PARALLEL_ESTIMATORS",
     "MC_DTYPES",
     "MC_BACKENDS",
@@ -266,6 +271,105 @@ def estimator_workers(default: Optional[int] = None) -> Optional[int]:
     return value
 
 
+#: Unusable-backend policies of the execution service (mirrors
+#: :data:`repro.exec.ON_FAILURE_POLICIES` without importing the service).
+EXEC_ON_FAILURE = ("raise", "degrade")
+
+
+def execution_retries(default: Optional[int] = None) -> Optional[int]:
+    """Resolve the execution service's per-partition retry budget.
+
+    Priority: ``REPRO_EXEC_RETRIES`` environment variable, then the
+    explicit ``default`` argument, then ``None`` (the service's fail-fast
+    default of 0).  Retries replay the failed partition's RNG stream, so
+    results stay bit-identical under faults.
+    """
+    env = os.environ.get("REPRO_EXEC_RETRIES")
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"REPRO_EXEC_RETRIES must be an integer, got {env!r}"
+            ) from exc
+    elif default is None:
+        return None
+    else:
+        value = int(default)
+    if value < 0:
+        raise ExperimentError("execution retries must be >= 0")
+    return value
+
+
+def execution_timeout(default: Optional[float] = None) -> Optional[float]:
+    """Resolve the execution service's per-partition soft deadline.
+
+    Priority: ``REPRO_EXEC_TIMEOUT`` environment variable (seconds), then
+    the explicit ``default`` argument, then ``None`` (no deadline).
+    Advisory on in-process backends, enforced by worker preemption on
+    ``processes``.
+    """
+    env = os.environ.get("REPRO_EXEC_TIMEOUT")
+    if env is not None:
+        try:
+            value = float(env)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"REPRO_EXEC_TIMEOUT must be a number, got {env!r}"
+            ) from exc
+    elif default is None:
+        return None
+    else:
+        value = float(default)
+    if value <= 0:
+        raise ExperimentError("execution timeout must be positive")
+    return value
+
+
+def execution_on_failure(default: Optional[str] = None) -> Optional[str]:
+    """Resolve the execution service's unusable-backend policy.
+
+    Priority: ``REPRO_EXEC_ON_FAILURE`` environment variable, then the
+    explicit ``default`` argument, then ``None`` (the service's
+    ``"raise"`` default).  ``"degrade"`` opts into the
+    ``processes`` -> ``threads`` -> ``serial`` fallback chain.
+    """
+    env = os.environ.get("REPRO_EXEC_ON_FAILURE")
+    value = env if env is not None else default
+    if value is None:
+        return None
+    value = value.strip().lower()
+    if value not in EXEC_ON_FAILURE:
+        raise ExperimentError(
+            f"execution on-failure policy must be one of {EXEC_ON_FAILURE}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def execution_options(
+    retries: Optional[int] = None,
+    timeout: Optional[float] = None,
+    on_failure: Optional[str] = None,
+) -> Dict[str, object]:
+    """Estimator kwargs of the execution knobs (environment wins).
+
+    Only resolved (non-``None``) knobs appear, so estimators keep their own
+    defaults — and the service's ``REPRO_EXEC_*`` resolution — for the rest.
+    """
+    options: Dict[str, object] = {}
+    resolved_retries = execution_retries(retries)
+    if resolved_retries is not None:
+        options["exec_retries"] = resolved_retries
+    resolved_timeout = execution_timeout(timeout)
+    if resolved_timeout is not None:
+        options["exec_timeout"] = resolved_timeout
+    resolved_policy = execution_on_failure(on_failure)
+    if resolved_policy is not None:
+        options["exec_on_failure"] = resolved_policy
+    return options
+
+
 def correlation_rank(default: Optional[int] = None) -> Optional[int]:
     """Resolve the lowrank backend's Nyström rank.
 
@@ -307,6 +411,9 @@ class FigureConfig:
     corr_bandwidth: Optional[int] = None
     corr_rank: Optional[int] = None
     est_workers: Optional[int] = None
+    exec_retries: Optional[int] = None
+    exec_timeout: Optional[float] = None
+    exec_on_failure: Optional[str] = None
     seed: int = 20160814  # date of the paper's HAL deposit, used as base seed
 
     def __post_init__(self) -> None:
@@ -329,6 +436,7 @@ class FigureConfig:
         _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
         if self.est_workers is not None and self.est_workers < 1:
             raise ExperimentError("est_workers must be >= 1")
+        _validate_exec_fields(self.exec_retries, self.exec_timeout, self.exec_on_failure)
 
     @property
     def trials(self) -> int:
@@ -364,6 +472,12 @@ class FigureConfig:
         """Constructor kwargs of the correlated estimator, env applied."""
         return _correlated_options(
             self.corr_backend, self.corr_bandwidth, self.corr_rank
+        )
+
+    def exec_options(self) -> Dict[str, object]:
+        """Constructor kwargs of the execution knobs, env applied."""
+        return execution_options(
+            self.exec_retries, self.exec_timeout, self.exec_on_failure
         )
 
     def describe(self) -> str:
@@ -391,6 +505,9 @@ class ScalabilityConfig:
     corr_bandwidth: Optional[int] = None
     corr_rank: Optional[int] = None
     est_workers: Optional[int] = None
+    exec_retries: Optional[int] = None
+    exec_timeout: Optional[float] = None
+    exec_on_failure: Optional[str] = None
     seed: int = 20160814
 
     def __post_init__(self) -> None:
@@ -411,6 +528,7 @@ class ScalabilityConfig:
         _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
         if self.est_workers is not None and self.est_workers < 1:
             raise ExperimentError("est_workers must be >= 1")
+        _validate_exec_fields(self.exec_retries, self.exec_timeout, self.exec_on_failure)
 
     @property
     def trials(self) -> int:
@@ -446,6 +564,25 @@ class ScalabilityConfig:
         """Constructor kwargs of the correlated estimator, env applied."""
         return _correlated_options(
             self.corr_backend, self.corr_bandwidth, self.corr_rank
+        )
+
+    def exec_options(self) -> Dict[str, object]:
+        """Constructor kwargs of the execution knobs, env applied."""
+        return execution_options(
+            self.exec_retries, self.exec_timeout, self.exec_on_failure
+        )
+
+
+def _validate_exec_fields(
+    retries: Optional[int], timeout: Optional[float], on_failure: Optional[str]
+) -> None:
+    if retries is not None and retries < 0:
+        raise ExperimentError("exec_retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ExperimentError("exec_timeout must be positive")
+    if on_failure is not None and on_failure not in EXEC_ON_FAILURE:
+        raise ExperimentError(
+            f"exec_on_failure must be one of {EXEC_ON_FAILURE}, got {on_failure!r}"
         )
 
 
@@ -492,14 +629,17 @@ def estimator_options_for(
     variables winning), and every parallel-capable estimator
     (:data:`PARALLEL_ESTIMATORS`) picks up the execution-service worker
     count (``est_workers`` argument, then ``REPRO_EST_WORKERS``, then the
-    config's ``est_workers`` field); explicit per-estimator ``overrides``
-    (the ``estimator_options`` argument of the drivers) win over both.
+    config's ``est_workers`` field) plus the execution-service
+    fault-tolerance knobs (``REPRO_EXEC_*``, then the config's ``exec_*``
+    fields); explicit per-estimator ``overrides`` (the
+    ``estimator_options`` argument of the drivers) win over both.
     """
     options: Dict[str, object] = {}
     key = name.strip().lower()
     if key in ("normal-correlated", "corlca"):
         options.update(config.correlated_options())
     if key in PARALLEL_ESTIMATORS:
+        options.update(config.exec_options())
         if est_workers is not None:
             # An explicit driver/CLI argument wins over the environment
             # (mirroring the mc_* override precedence).

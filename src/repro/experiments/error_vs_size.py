@@ -156,6 +156,7 @@ def run_error_vs_size(
             workers=workers,
             backend=backend,
             streaming=streaming,
+            **config.exec_options(),
         ).estimate(graph, model)
         if progress:
             progress(

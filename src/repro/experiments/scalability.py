@@ -99,6 +99,7 @@ def run_scalability(
         workers=workers,
         backend=backend,
         streaming=streaming,
+        **config.exec_options(),
     ).estimate(graph, model)
     if progress:
         progress(

@@ -114,6 +114,10 @@ class MonteCarloResult:
     streaming: bool = False
     sketch: Optional[QuantileSketch] = None
     reservoir: Optional[np.ndarray] = None
+    #: Machine-readable execution-service telemetry (attempts, retries,
+    #: timeouts, pool rebuilds, degradations) — see
+    #: :class:`repro.exec.ExecutionReport`.
+    execution: Optional[dict] = None
 
     def quantile(self, q: float) -> float:
         """Quantile of the makespan distribution.
@@ -263,6 +267,13 @@ class MonteCarloEngine:
         requires ``streaming=True``).  The reservoir draws from a
         dedicated RNG stream, so enabling it does not change the sampled
         trials.
+    exec_retries, exec_timeout, exec_on_failure:
+        Fault-tolerance knobs of the execution service (re-dispatches per
+        batch, per-batch soft deadline in seconds, and the unusable-backend
+        policy ``"raise"``/``"degrade"``).  ``None`` (default) resolves
+        from the ``REPRO_EXEC_*`` environment — see
+        :class:`repro.exec.ExecutionPolicy`.  Retries replay the failed
+        batch's RNG stream, so results stay bit-identical under faults.
     """
 
     def __init__(
@@ -284,6 +295,9 @@ class MonteCarloEngine:
         streaming: bool = False,
         sketch_bins: int = DEFAULT_SKETCH_BINS,
         reservoir: int = 0,
+        exec_retries: Optional[int] = None,
+        exec_timeout: Optional[float] = None,
+        exec_on_failure: Optional[str] = None,
     ) -> None:
         if trials <= 0:
             raise EstimationError("number of trials must be positive")
@@ -322,6 +336,11 @@ class MonteCarloEngine:
         self.streaming = bool(streaming)
         self.sketch_bins = int(sketch_bins)
         self.reservoir = int(reservoir)
+        self.exec_retries = exec_retries
+        self.exec_timeout = exec_timeout
+        self.exec_on_failure = exec_on_failure
+        #: The execution report of the most recent run (set by the backend).
+        self.last_execution_report = None
         try:
             self.dtype = normalize_dtype(dtype)
         except GraphError as exc:
@@ -478,6 +497,11 @@ class MonteCarloEngine:
             streaming=self.streaming,
             sketch=sketch,
             reservoir=reservoir.samples() if reservoir is not None else None,
+            execution=(
+                self.last_execution_report.as_dict()
+                if self.last_execution_report is not None
+                else None
+            ),
         )
 
 

@@ -113,8 +113,21 @@ def create_backend(engine: "MonteCarloEngine") -> "ExecutorBackend":
 
 
 def _evaluate_with_slot_stream(batch: int, slot, rng) -> np.ndarray:
-    """Serial partition function: the slot owns its sequential stream."""
-    return slot.evaluate(batch)
+    """Serial partition function: the slot owns its sequential stream.
+
+    The sequential stream is the one piece of state a retry would not
+    replay by construction, so the stream position is snapshotted before
+    the evaluation and restored if it raises: a retried batch re-draws
+    exactly the variates of its failed attempt, keeping the serial
+    backend bit-identical under faults.
+    """
+    state = slot.rng.bit_generator.state if slot.rng is not None else None
+    try:
+        return slot.evaluate(batch)
+    except BaseException:
+        if state is not None:
+            slot.rng.bit_generator.state = state
+        raise
 
 
 def _evaluate_with_batch_stream(batch: int, slot, rng) -> np.ndarray:
@@ -139,6 +152,24 @@ class ExecutorBackend:
         """
         raise NotImplementedError
 
+    def _make_service(self, workers: int, backend: str) -> ParallelService:
+        """A service carrying the engine's fault-tolerance knobs.
+
+        The service's accumulating report is published on the engine
+        (``last_execution_report``) so the result/details layers can
+        surface what the execution layer had to do.
+        """
+        engine = self.engine
+        service = ParallelService(
+            workers=workers,
+            backend=backend,
+            retries=engine.exec_retries,
+            timeout=engine.exec_timeout,
+            on_failure=engine.exec_on_failure,
+        )
+        engine.last_execution_report = service.report
+        return service
+
 
 class SerialBackend(ExecutorBackend):
     """Sequential reference: one slot, one RNG stream, batches in order."""
@@ -146,7 +177,7 @@ class SerialBackend(ExecutorBackend):
     name = "serial"
 
     def run(self, consume: Consumer) -> None:
-        service = ParallelService(workers=1, backend="serial")
+        service = self._make_service(1, "serial")
         service.run(
             _evaluate_with_slot_stream,
             self.engine._batch_plan(),
@@ -168,7 +199,7 @@ class ThreadsBackend(ExecutorBackend):
 
     def run(self, consume: Consumer) -> None:
         engine = self.engine
-        service = ParallelService(workers=len(engine._slots), backend="threads")
+        service = self._make_service(len(engine._slots), "threads")
         service.run(
             _evaluate_with_batch_stream,
             engine._batch_plan(),
@@ -238,22 +269,47 @@ class _ProcessWorkerState:
             (spec.total_trials,), dtype=np.float64, buffer=self.shm.buf
         )
 
+    def close(self) -> None:
+        """Release the shared-memory mapping (never unlinks: the parent owns
+        the segment).  Called by the service for parent-side slots it built
+        through the factory (the degradation path); worker-process slots
+        release their mapping when the process exits."""
+        self.out = None
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - stale views keep the map
+            pass
+
 
 def _attach_shared_memory(name: str):
     """Attach to an existing shared-memory block without tracking it.
 
     On Python >= 3.13 ``track=False`` prevents the attaching process's
     resource tracker from adopting a segment it does not own.  On earlier
-    versions the duplicate registration is harmless here: the tracker's
-    cache is a set (re-registrations collapse) and the parent's ``unlink``
-    clears the entry once every worker is done.
+    versions the attach registers the segment with the worker's resource
+    tracker, which is wrong either way the pool was started: under
+    ``spawn`` the worker owns a *private* tracker that "cleans up" (=
+    unlinks) the parent's live segment if the worker dies abnormally —
+    crash, OOM, preemption kill; under ``fork`` the tracker is *shared*,
+    so a child-side ``unregister`` would instead erase the owning
+    parent's registration (and make the parent's eventual ``unlink``
+    trip a tracker KeyError).  Suppressing the registration during the
+    attach is correct for both: the segment stays tracked exactly once,
+    by the parent that created it.
     """
     from multiprocessing import shared_memory
 
     try:
         return shared_memory.SharedMemory(name=name, track=False)
     except TypeError:  # Python < 3.13: no track parameter
-        return shared_memory.SharedMemory(name=name)
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 def _process_eval_batch(item, state: _ProcessWorkerState, rng) -> int:
@@ -307,7 +363,7 @@ class ProcessesBackend(ExecutorBackend):
                 shm_name=shm.name,
                 total_trials=total,
             )
-            service = ParallelService(workers=engine.workers, backend="processes")
+            service = self._make_service(engine.workers, "processes")
             service.run(
                 _process_eval_batch,
                 [(batch, offsets[b]) for b, batch in enumerate(plan)],

@@ -12,8 +12,9 @@ violates a regression guard:
   >= 2,600 tasks;
 * estimator entries (``benchmark = "estimator_wavefront"``), Monte
   Carlo backend entries (``benchmark = "mc_backends"``), parallel
-  correlated-sweep entries (``benchmark = "correlated_parallel"``) and
-  fault-tolerance entries (``benchmark = "exec_faults"``, where
+  correlated-sweep entries (``benchmark = "correlated_parallel"``),
+  shared-memory process-sweep entries (``benchmark =
+  "correlated_processes"``) and fault-tolerance entries (``benchmark = "exec_faults"``, where
   ``speedup`` is the baseline/armed time ratio and the guard bounds the
   zero-fault overhead of the policy machinery): the archived
   ``guard_min`` per entry (``null`` when the guard did not apply at
@@ -46,6 +47,8 @@ def _entry_key(entry: dict) -> tuple:
         return ("mc-backend", entry["method"], entry["workflow"], entry["k"])
     if entry.get("benchmark") == "correlated_parallel":
         return ("corr-parallel", entry["method"], entry["workflow"], entry["k"])
+    if entry.get("benchmark") == "correlated_processes":
+        return ("corr-processes", entry["method"], entry["workflow"], entry["k"])
     if entry.get("benchmark") == "exec_faults":
         return ("exec-faults", entry["method"], entry["workflow"], entry["k"])
     return ("kernel", entry.get("dtype", "?"), entry.get("workflow", "?"), entry.get("k"))
@@ -54,7 +57,8 @@ def _entry_key(entry: dict) -> tuple:
 def _entry_guard(entry: dict):
     """The minimal admissible speedup of one entry, or ``None``."""
     if entry.get("benchmark") in (
-        "estimator_wavefront", "mc_backends", "correlated_parallel", "exec_faults"
+        "estimator_wavefront", "mc_backends", "correlated_parallel",
+        "correlated_processes", "exec_faults",
     ):
         return entry.get("guard_min")
     if (
@@ -73,6 +77,8 @@ def _label(key: tuple) -> str:
         return f"mc-backend/{a:<16s} {b} k={k}"
     if kind == "corr-parallel":
         return f"corr-parallel/{a:<13s} {b} k={k}"
+    if kind == "corr-processes":
+        return f"corr-processes/{a:<13s} {b} k={k}"
     if kind == "exec-faults":
         return f"exec-faults/{a:<19s} {b} k={k}"
     return f"kernel/{a:<13s} {b} k={k}"

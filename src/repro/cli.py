@@ -33,7 +33,7 @@ from typing import List, Optional
 from . import estimate_expected_makespan
 from .core.serialize import save_dot, save_json
 from .estimators.registry import available_estimators
-from .experiments.config import PAPER_FIGURES, PARALLEL_ESTIMATORS
+from .experiments.config import PAPER_FIGURES, PARALLEL_ESTIMATORS, SHM_ESTIMATORS
 from .experiments.error_vs_size import run_figure
 from .experiments.reporting import figure_ascii_plot, figure_table, scalability_table
 from .experiments.runner import run_everything
@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="unusable-backend policy: raise a structured "
                           "ExecutionError (default) or degrade processes->"
                           "threads->serial (also via REPRO_EXEC_ON_FAILURE)")
+    est.add_argument("--exec-backend", choices=["serial", "threads", "processes"],
+                     default=None,
+                     help="execution backend of the correlated/second-order "
+                          "work partitions (default: serial at one worker, "
+                          "threads otherwise; processes attaches workers "
+                          "zero-copy to the shared-memory kernel plane, "
+                          "bit-identical at any worker count; also via "
+                          "REPRO_EXEC_BACKEND)")
     est.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     # experiment ---------------------------------------------------------
@@ -224,6 +232,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 kwargs["rank"] = args.corr_rank
         if method in PARALLEL_ESTIMATORS and args.est_workers is not None:
             kwargs["workers"] = args.est_workers
+        if method in SHM_ESTIMATORS and args.exec_backend is not None:
+            kwargs["exec_backend"] = args.exec_backend
         if method in ("monte-carlo", "mc", "montecarlo") or method in PARALLEL_ESTIMATORS:
             if args.exec_retries is not None:
                 kwargs["exec_retries"] = args.exec_retries

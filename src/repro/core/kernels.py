@@ -85,7 +85,7 @@ contract.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -100,6 +100,10 @@ __all__ = [
     "WavefrontKernel",
     "wavefront_kernel",
     "schedule_for",
+    "schedule_arrays",
+    "schedule_from_arrays",
+    "schedule_compilations",
+    "seed_schedule_cache",
     "clark_max_moments_batched",
     "propagate_moments",
 ]
@@ -235,6 +239,18 @@ class LevelSchedule:
         return tuple(parts)
 
 
+#: Number of ``_compile_schedule`` executions in this process.  The
+#: shared-memory plane (:mod:`repro.exec.shm`) reconstructs schedules from
+#: attached segment views without recompiling; tests assert the counter
+#: stays flat across warm-segment worker construction.
+_COMPILE_COUNT = [0]
+
+
+def schedule_compilations() -> int:
+    """How many times this process has compiled a :class:`LevelSchedule`."""
+    return _COMPILE_COUNT[0]
+
+
 def _compile_schedule(
     level_indptr: np.ndarray,
     level_order: np.ndarray,
@@ -242,6 +258,7 @@ def _compile_schedule(
     in_indices: np.ndarray,
 ) -> LevelSchedule:
     """Compile a level structure + incoming CSR into a :class:`LevelSchedule`."""
+    _COMPILE_COUNT[0] += 1
     n = int(in_indptr.shape[0]) - 1
     degree = np.diff(in_indptr)
     num_levels = int(level_indptr.shape[0]) - 1
@@ -356,6 +373,108 @@ def _schedule_for(index: GraphIndex, direction: str) -> LevelSchedule:
     return schedule
 
 
+def seed_schedule_cache(
+    graph: Union[TaskGraph, GraphIndex], direction: str, schedule: LevelSchedule
+) -> None:
+    """Pre-seed a graph index's schedule cache with an existing schedule.
+
+    Worker processes that attached a shared schedule segment use this to
+    make every subsequent :class:`WavefrontKernel` / :func:`schedule_for`
+    call hit the cache instead of recompiling from the CSR arrays.
+    """
+    if direction not in _DIRECTIONS:
+        raise GraphError(
+            f"unknown sweep direction {direction!r}; choose 'up' or 'down'"
+        )
+    _index_cache(_as_index(graph))[("schedule", direction)] = schedule
+
+
+def schedule_arrays(schedule: LevelSchedule) -> Dict[str, np.ndarray]:
+    """Flatten a :class:`LevelSchedule` into named contiguous arrays.
+
+    The dict is suitable for publication as one shared-memory segment
+    (:class:`repro.exec.shm.SharedSegment`); the inverse is
+    :func:`schedule_from_arrays`, which reconstructs an equivalent
+    schedule from (possibly attached, zero-copy) views *without* running
+    :func:`_compile_schedule` again.  Group predecessor blocks are
+    concatenated row-major into one flat array indexed by ``group_ptr``.
+    """
+    groups = schedule.groups
+    num_groups = len(groups)
+    group_start = np.fromiter((g.start for g in groups), dtype=np.int64, count=num_groups)
+    group_stop = np.fromiter((g.stop for g in groups), dtype=np.int64, count=num_groups)
+    group_width = np.fromiter(
+        (g.preds.shape[1] for g in groups), dtype=np.int64, count=num_groups
+    )
+    sizes = np.fromiter((g.preds.size for g in groups), dtype=np.int64, count=num_groups)
+    group_ptr = np.zeros(num_groups + 1, dtype=np.int64)
+    np.cumsum(sizes, out=group_ptr[1:])
+    group_preds = (
+        np.concatenate([g.preds.ravel() for g in groups])
+        if num_groups
+        else np.empty(0, dtype=np.int64)
+    ).astype(np.int64, copy=False)
+    scalars = np.array(
+        [schedule.num_tasks, schedule.max_group_rows, schedule.max_edge_level_span],
+        dtype=np.int64,
+    )
+    return {
+        "level_indptr": np.ascontiguousarray(schedule.level_indptr, dtype=np.int64),
+        "level_order": np.ascontiguousarray(schedule.level_order, dtype=np.int64),
+        "perm": np.ascontiguousarray(schedule.perm, dtype=np.int64),
+        "rank": np.ascontiguousarray(schedule.rank, dtype=np.int64),
+        "group_indptr": np.ascontiguousarray(schedule.group_indptr, dtype=np.int64),
+        "task_level": np.ascontiguousarray(schedule.task_level, dtype=np.int64),
+        "row_level": np.ascontiguousarray(schedule.row_level, dtype=np.int64),
+        "group_start": group_start,
+        "group_stop": group_stop,
+        "group_width": group_width,
+        "group_ptr": group_ptr,
+        "group_preds": group_preds,
+        "scalars": scalars,
+    }
+
+
+def schedule_from_arrays(arrays: Dict[str, np.ndarray]) -> LevelSchedule:
+    """Rebuild a :class:`LevelSchedule` from :func:`schedule_arrays` output.
+
+    All array fields (including every group's ``preds`` block) are
+    zero-copy views of the input arrays; no schedule compilation happens.
+    """
+    num_tasks, max_group_rows, max_edge_level_span = (
+        int(v) for v in arrays["scalars"]
+    )
+    group_start = arrays["group_start"]
+    group_stop = arrays["group_stop"]
+    group_width = arrays["group_width"]
+    group_ptr = arrays["group_ptr"]
+    flat_preds = arrays["group_preds"]
+    groups = []
+    for g in range(group_start.shape[0]):
+        rows = int(group_stop[g]) - int(group_start[g])
+        width = int(group_width[g])
+        preds = flat_preds[int(group_ptr[g]) : int(group_ptr[g + 1])].reshape(rows, width)
+        preds.setflags(write=False)
+        groups.append(
+            LevelGroup(start=int(group_start[g]), stop=int(group_stop[g]), preds=preds)
+        )
+    for name in ("perm", "rank", "group_indptr", "task_level", "row_level"):
+        arrays[name].setflags(write=False)
+    return LevelSchedule(
+        num_tasks=num_tasks,
+        level_indptr=arrays["level_indptr"],
+        level_order=arrays["level_order"],
+        perm=arrays["perm"],
+        rank=arrays["rank"],
+        groups=tuple(groups),
+        group_indptr=arrays["group_indptr"],
+        max_group_rows=max_group_rows,
+        task_level=arrays["task_level"],
+        row_level=arrays["row_level"],
+        max_edge_level_span=max_edge_level_span,
+    )
+
+
 class WavefrontKernel:
     """Reusable longest-path evaluator for one graph, direction and dtype.
 
@@ -397,6 +516,36 @@ class WavefrontKernel:
         self._scratch_a: Optional[np.ndarray] = None
         self._scratch_b: Optional[np.ndarray] = None
         self._capacity = 0
+
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: LevelSchedule,
+        *,
+        direction: str = "up",
+        dtype: Union[str, np.dtype, type, None] = np.float64,
+    ) -> "WavefrontKernel":
+        """Build a kernel directly over an existing compiled schedule.
+
+        Used by shared-memory worker slots whose schedule was reconstructed
+        from an attached segment (:func:`schedule_from_arrays`): no graph
+        index is needed and nothing is recompiled.  The kernel is fully
+        functional except that :attr:`index` is ``None``.
+        """
+        if direction not in _DIRECTIONS:
+            raise GraphError(
+                f"unknown sweep direction {direction!r}; choose 'up' or 'down'"
+            )
+        kernel = cls.__new__(cls)
+        kernel.index = None
+        kernel.direction = direction
+        kernel.dtype = normalize_dtype(dtype)
+        kernel.schedule = schedule
+        kernel._buffer = None
+        kernel._scratch_a = None
+        kernel._scratch_b = None
+        kernel._capacity = 0
+        return kernel
 
     # ------------------------------------------------------------------
     # Buffer management

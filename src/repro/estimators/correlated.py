@@ -72,6 +72,7 @@ left at ``None``.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
@@ -80,10 +81,25 @@ from ..core.graph import TaskGraph
 from ..core.kernels import (
     clark_max_moments_batched,
     norm_cdf_batched,
+    schedule_arrays,
     schedule_for,
+    schedule_from_arrays,
 )
 from ..core.paths import critical_path_length
-from ..exec import ParallelService, resolve_workers
+from ..exec import (
+    ParallelService,
+    env_exec_backend,
+    resolve_exec_backend,
+    resolve_workers,
+)
+from ..exec.shm import (
+    REGISTRY,
+    SegmentLayout,
+    SharedSegment,
+    attach_segment,
+    content_key,
+    detach_segment,
+)
 from ..exceptions import EstimationError
 from ..failures.models import ErrorModel
 from ..failures.twostate import TwoStateDistribution, two_state_moment_vectors
@@ -91,6 +107,7 @@ from ..rv.normal import NormalRV, clark_max_moments, norm_cdf
 from .base import EstimateResult, MakespanEstimator
 from .correlation import (
     DEFAULT_CORRELATION_RANK,
+    attach_correlation_store,
     env_correlation_backend,
     env_correlation_bandwidth,
     env_correlation_rank,
@@ -261,6 +278,109 @@ def sequential_correlated_estimate(
 DEFAULT_MAX_MATRIX_BYTES = 4 * 1024**3
 
 
+@dataclass(frozen=True)
+class _CorrelatedFoldSpec:
+    """Picklable worker-slot factory of the shared-memory level fold.
+
+    Carries only segment *references* (names plus picklable layouts) and
+    the store's resolved shape knobs; the slot-factory protocol calls the
+    spec once per worker process (pool initializer) — and in the parent on
+    backend degradation — to attach the zero-copy views.
+    """
+
+    static_name: str
+    static_layout: SegmentLayout
+    state_name: str
+    state_layout: SegmentLayout
+    backend: str
+    bandwidth: int
+    rank: int
+
+    def __call__(self) -> "_CorrelatedFoldSlot":
+        return _CorrelatedFoldSlot(self)
+
+
+class _CorrelatedFoldSlot:
+    """One worker's zero-copy view of the correlated sweep state.
+
+    The *static* segment holds the flattened level schedule (published
+    through the content-addressed registry: re-runs over the same DAG
+    attach the warm segment, and the schedule is rebuilt from views
+    without recompiling).  The *state* segment holds the per-estimate
+    moments, the correlation store's data arrays and the per-level
+    writeback buffers every partition writes its disjoint slice of.
+    """
+
+    def __init__(self, spec: _CorrelatedFoldSpec) -> None:
+        static = attach_segment(spec.static_name, spec.static_layout)
+        self.schedule = schedule_from_arrays(static.arrays)
+        state = attach_segment(spec.state_name, spec.state_layout)
+        arrays = state.arrays
+        self.mean = arrays["mean"]
+        self.var = arrays["var"]
+        self.task_mean = arrays["task_mean"]
+        self.task_var = arrays["task_var"]
+        self.level_mean = arrays["level_mean"]
+        self.level_var = arrays["level_var"]
+        self.rows = arrays["rows"]
+        self.store = attach_correlation_store(
+            self.schedule,
+            spec.backend,
+            bandwidth=spec.bandwidth,
+            rank=spec.rank,
+            arrays={
+                name[len("store_"):]: view
+                for name, view in arrays.items()
+                if name.startswith("store_")
+            },
+        )
+        self._names = (spec.state_name, spec.static_name)
+
+    def close(self) -> None:
+        # Called for parent-built (degradation) slots only; pool workers
+        # keep their cached attachments for the life of the process.
+        for name in self._names:
+            detach_segment(name)
+
+
+def _fold_shared_partition(item, slot: _CorrelatedFoldSlot, rng):
+    """One ``(group ordinal, row range)`` fold against shared state.
+
+    The module-level, picklable counterpart of the in-process fold
+    closure: all array state is reached through ``slot``, the partition
+    geometry travels in ``item``.  Pass 1 (``replay is None``) returns the
+    partition's recorded operand-correlation sequence (folded back to the
+    parent in partition order); pass 2 replays the shipped sequence and
+    returns ``None``.  Writes land in the partition's disjoint slices of
+    the shared writeback buffers, so retries overwrite idempotently and
+    results are bit-identical to the threads backend at any worker count.
+    """
+    ordinal, lo, hi, w_lo, t_lo, t_hi, extra, replay = item
+    group = slot.schedule.groups[ordinal]
+    store = slot.store
+    m_level = t_hi - t_lo
+    width = (t_hi - w_lo) + (store.extra_cols if extra else 0)
+    record: Optional[list] = [] if replay is None else None
+    CorrelatedNormalEstimator._fold_partition(
+        (group, lo, hi),
+        slot.mean,
+        slot.var,
+        store,
+        w_lo,
+        t_lo,
+        t_hi,
+        slot.task_mean,
+        slot.task_var,
+        slot.level_mean[:m_level],
+        slot.level_var[:m_level],
+        slot.rows[:m_level, :width],
+        extra=extra,
+        rho_record=record,
+        replay=iter(replay) if replay is not None else None,
+    )
+    return record
+
+
 class CorrelatedNormalEstimator(MakespanEstimator):
     """Clark/Sculli propagation with pluggable correlation tracking.
 
@@ -297,6 +417,15 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         worker count is bit-identical for the dense/banded stores (the
         per-row fold operations are elementwise, hence
         partition-invariant).
+    exec_backend:
+        Execution backend of the level fold: ``None`` (after the
+        ``REPRO_EXEC_BACKEND`` override) keeps the conventional mapping —
+        serial at ``workers=1``, threads otherwise; ``"processes"`` runs
+        the fold in worker processes attached zero-copy to the estimate's
+        shared-memory segments (schedule through the content-addressed
+        registry, moments/store/writeback through a per-estimate
+        segment).  Bit-identical to the threads backend at any worker
+        count for every store.
     """
 
     name = "normal-correlated"
@@ -310,6 +439,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         rank: Optional[int] = None,
         max_matrix_bytes: Optional[int] = None,
         workers: Optional[int] = None,
+        exec_backend: Optional[str] = None,
         exec_retries: Optional[int] = None,
         exec_timeout: Optional[float] = None,
         exec_on_failure: Optional[str] = None,
@@ -357,6 +487,13 @@ class CorrelatedNormalEstimator(MakespanEstimator):
             raise EstimationError("max_matrix_bytes must be positive")
         self.max_matrix_bytes = int(max_matrix_bytes)
         self.workers = resolve_workers(workers)
+        if exec_backend is None:
+            exec_backend = env_exec_backend()
+        self.exec_backend = (
+            resolve_exec_backend(exec_backend, self.workers)
+            if exec_backend is not None
+            else None
+        )
         self.exec_retries = exec_retries
         self.exec_timeout = exec_timeout
         self.exec_on_failure = exec_on_failure
@@ -516,6 +653,68 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         service.run(fold_one, list(enumerate(parts)))
         return level_mean, level_var, rows
 
+    def _publish_shared_state(
+        self, index, schedule, store, mean, var, task_mean_p, task_var_p
+    ):
+        """Move the sweep state into shared memory for the processes fold.
+
+        The flattened schedule goes through the content-addressed registry
+        (one warm segment per DAG, shared with the Monte Carlo processes
+        backend); the per-estimate moments, the store's data arrays and
+        the per-level writeback buffers are packed into one fresh segment
+        sized for the widest level.  Returns the spec plus the parent's
+        rebound zero-copy views — the parent keeps folding through the
+        *same* physical arrays the workers write.
+        """
+        level_indptr = schedule.level_indptr
+        num_levels = schedule.num_levels
+        sizes = np.diff(level_indptr[: num_levels + 1])
+        max_m = int(sizes.max()) if sizes.size else 0
+        max_width = 0
+        for level in range(1, num_levels):
+            t_hi = int(level_indptr[level + 1])
+            max_width = max(max_width, t_hi - store.window_start(level))
+        extra_cols = store.extra_cols
+        payload = {
+            "mean": mean,
+            "var": var,
+            "task_mean": task_mean_p,
+            "task_var": task_var_p,
+            "level_mean": np.zeros(max_m, dtype=np.float64),
+            "level_var": np.zeros(max_m, dtype=np.float64),
+            "rows": np.zeros((max_m, max_width + extra_cols), dtype=np.float64),
+        }
+        for name, array in store.shared_arrays().items():
+            payload["store_" + name] = array
+        state = SharedSegment.create(payload)
+        arrays = state.arrays
+        store.bind_shared(
+            {
+                name[len("store_"):]: view
+                for name, view in arrays.items()
+                if name.startswith("store_")
+            }
+        )
+        static_key = content_key(
+            "schedule",
+            "up",
+            index.pred_indptr,
+            index.pred_indices,
+            index.succ_indptr,
+            index.succ_indices,
+        )
+        static = REGISTRY.publish(static_key, lambda: schedule_arrays(schedule))
+        spec = _CorrelatedFoldSpec(
+            static_name=static.name,
+            static_layout=static.layout,
+            state_name=state.name,
+            state_layout=state.layout,
+            backend=store.backend,
+            bandwidth=int(getattr(store, "bandwidth", 0)),
+            rank=int(getattr(store, "rank", 1)),
+        )
+        return state, static_key, spec, arrays
+
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         index = graph.index()
         n = index.num_tasks
@@ -557,58 +756,112 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         # when the service spreads a level over several workers.
         service = ParallelService(
             workers=self.workers,
+            backend=self.exec_backend,
             retries=self.exec_retries,
             timeout=self.exec_timeout,
             on_failure=self.exec_on_failure,
         )
-
-        for level in range(1, schedule.num_levels):
-            t_lo, t_hi = int(level_indptr[level]), int(level_indptr[level + 1])
-            if self.workers == 1:
-                parts = tuple(
-                    (group, 0, group.stop - group.start)
-                    for group in schedule.level_groups(level)
-                )
-            else:
-                parts = schedule.level_partitions(level, _FOLD_PARTITION_ROWS)
-            w_lo = store.window_start(level)
-
-            # Pass 1: fold against the pre-level store; correct for every
-            # entry except the pairs inside this level.  The operand
-            # correlations of each fold step are recorded per partition
-            # for pass 2.
-            records: list = [None] * len(parts)
-            level_mean, level_var, rows = self._fold_level(
-                service, parts, mean, var, store, w_lo, t_lo, t_hi,
-                task_mean_p, task_var_p, extra=True, records=records,
+        shared = service.backend == "processes"
+        state = static_key = spec = None
+        if shared:
+            state, static_key, spec, views = self._publish_shared_state(
+                index, schedule, store, mean, var, task_mean_p, task_var_p
             )
-            mean[t_lo:t_hi] = level_mean
-            var[t_lo:t_hi] = level_var
-            store.write_level(level, w_lo, rows)
+            mean, var = views["mean"], views["var"]
+            task_mean_p, task_var_p = views["task_mean"], views["task_var"]
 
-            if t_hi - t_lo > 1:
-                # Pass 2: re-fold now that the level's columns are written,
-                # restricted to those columns (the only entries pass 1 got
-                # wrong); the recorded rho12 sequences stand in for the
-                # full-window gathers.  Clark's third-variable update is
-                # independent per column, so the re-fold recovers, for
-                # every within-level pair, the entry the *later* task (in
-                # topological order) computes from the earlier task's
-                # fresh row — exactly the value the sequential recurrence
-                # leaves in the matrix.
-                _, _, block = self._fold_level(
-                    service, parts, mean, var, store, t_lo, t_lo, t_hi,
-                    task_mean_p, task_var_p, replays=records,
-                )
-                order = topo_rank[perm[t_lo:t_hi]]
-                later = order[:, None] > order[None, :]
-                final_block = np.where(later, block, block.T)
-                np.fill_diagonal(final_block, 1.0)
-                store.write_block(level, final_block)
+        try:
+            for level in range(1, schedule.num_levels):
+                t_lo, t_hi = int(level_indptr[level]), int(level_indptr[level + 1])
+                if self.workers == 1:
+                    parts = tuple(
+                        (group, 0, group.stop - group.start)
+                        for group in schedule.level_groups(level)
+                    )
+                else:
+                    parts = schedule.level_partitions(level, _FOLD_PARTITION_ROWS)
+                w_lo = store.window_start(level)
+                m_level = t_hi - t_lo
+                if shared:
+                    base = int(schedule.group_indptr[level])
+                    ordinal = {
+                        id(group): base + i
+                        for i, group in enumerate(schedule.level_groups(level))
+                    }
 
-        final = _fold_sinks_correlated(
-            mean[sink_rows], var[sink_rows], store.pair_matrix(sink_rows)
-        )
+                # Pass 1: fold against the pre-level store; correct for
+                # every entry except the pairs inside this level.  The
+                # operand correlations of each fold step are recorded per
+                # partition for pass 2.
+                if shared:
+                    items = [
+                        (ordinal[id(group)], lo, hi, w_lo, t_lo, t_hi, True, None)
+                        for group, lo, hi in parts
+                    ]
+                    records = service.run(
+                        _fold_shared_partition, items, slot_factory=spec
+                    )
+                    level_mean = views["level_mean"][:m_level]
+                    level_var = views["level_var"][:m_level]
+                    rows = views["rows"][:m_level, : (t_hi - w_lo) + store.extra_cols]
+                else:
+                    records = [None] * len(parts)
+                    level_mean, level_var, rows = self._fold_level(
+                        service, parts, mean, var, store, w_lo, t_lo, t_hi,
+                        task_mean_p, task_var_p, extra=True, records=records,
+                    )
+                mean[t_lo:t_hi] = level_mean
+                var[t_lo:t_hi] = level_var
+                store.write_level(level, w_lo, rows)
+
+                if t_hi - t_lo > 1:
+                    # Pass 2: re-fold now that the level's columns are
+                    # written, restricted to those columns (the only
+                    # entries pass 1 got wrong); the recorded rho12
+                    # sequences stand in for the full-window gathers.
+                    # Clark's third-variable update is independent per
+                    # column, so the re-fold recovers, for every
+                    # within-level pair, the entry the *later* task (in
+                    # topological order) computes from the earlier task's
+                    # fresh row — exactly the value the sequential
+                    # recurrence leaves in the matrix.
+                    if shared:
+                        items = [
+                            (ordinal[id(group)], lo, hi, t_lo, t_lo, t_hi,
+                             False, records[i])
+                            for i, (group, lo, hi) in enumerate(parts)
+                        ]
+                        service.run(
+                            _fold_shared_partition, items, slot_factory=spec
+                        )
+                        block = views["rows"][:m_level, :m_level]
+                    else:
+                        _, _, block = self._fold_level(
+                            service, parts, mean, var, store, t_lo, t_lo, t_hi,
+                            task_mean_p, task_var_p, replays=records,
+                        )
+                    order = topo_rank[perm[t_lo:t_hi]]
+                    later = order[:, None] > order[None, :]
+                    final_block = np.where(later, block, block.T)
+                    np.fill_diagonal(final_block, 1.0)
+                    store.write_block(level, final_block)
+
+            final = _fold_sinks_correlated(
+                mean[sink_rows], var[sink_rows], store.pair_matrix(sink_rows)
+            )
+        finally:
+            service.close()
+            if shared:
+                # Order matters for hygiene: drop this process's cached
+                # attachments (built by degradation slots, if any) before
+                # destroying the state segment, then drop the registry
+                # reference on the schedule segment (kept warm for the
+                # next estimate over the same DAG while REPRO_EXEC_SHM
+                # holds).
+                detach_segment(state.name)
+                detach_segment(spec.static_name)
+                state.destroy()
+                REGISTRY.release(static_key)
 
         details = {
             "makespan_variance": final.variance,

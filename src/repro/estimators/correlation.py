@@ -47,7 +47,7 @@ gathers and scatters stay vectorised.
 from __future__ import annotations
 
 import os
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -67,6 +67,7 @@ __all__ = [
     "DenseCorrelationStore",
     "BandedCorrelationStore",
     "LowRankCorrelationStore",
+    "attach_correlation_store",
     "make_correlation_store",
 ]
 
@@ -269,6 +270,14 @@ class CorrelationStore:
         """Bytes held by the store's persistent arrays."""
         raise NotImplementedError
 
+    def shared_arrays(self) -> Dict[str, np.ndarray]:
+        """The mutable persistent arrays, for shared-memory publication."""
+        raise NotImplementedError
+
+    def bind_shared(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Rebind the persistent arrays to (already-copied) shared views."""
+        raise NotImplementedError
+
     def _level_range(self, level: int) -> Tuple[int, int]:
         return int(self._indptr[level]), int(self._indptr[level + 1])
 
@@ -281,6 +290,22 @@ class DenseCorrelationStore(CorrelationStore):
     def __init__(self, schedule: LevelSchedule) -> None:
         super().__init__(schedule)
         self._corr = np.eye(schedule.num_tasks, dtype=np.float64)
+
+    @classmethod
+    def attach(
+        cls, schedule: LevelSchedule, arrays: Dict[str, np.ndarray]
+    ) -> "DenseCorrelationStore":
+        """A store over an existing (attached) correlation matrix view."""
+        store = cls.__new__(cls)
+        CorrelationStore.__init__(store, schedule)
+        store._corr = arrays["corr"]
+        return store
+
+    def shared_arrays(self) -> Dict[str, np.ndarray]:
+        return {"corr": self._corr}
+
+    def bind_shared(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._corr = arrays["corr"]
 
     def window_start(self, level: int) -> int:
         # Dense keeps the full history: every processed column participates.
@@ -322,8 +347,16 @@ class BandedCorrelationStore(CorrelationStore):
 
     def __init__(self, schedule: LevelSchedule, bandwidth: int) -> None:
         super().__init__(schedule)
+        self._init_band_geometry(bandwidth)
+        self._data = np.zeros(int(self._ptr[-1]), dtype=np.float64)
+        rows = np.arange(schedule.num_tasks, dtype=np.int64)
+        self._data[self._ptr[rows] + rows - self._off] = 1.0
+
+    def _init_band_geometry(self, bandwidth: int) -> None:
+        """Band CSR geometry — cheap vectorised O(n), shared by attach()."""
         if bandwidth < 0:
             raise EstimationError("correlation bandwidth must be >= 0")
+        schedule = self.schedule
         self.bandwidth = int(bandwidth)
         indptr = schedule.level_indptr
         num_levels = schedule.num_levels
@@ -337,12 +370,42 @@ class BandedCorrelationStore(CorrelationStore):
         self._ptr = np.concatenate(
             ([0], np.cumsum(self._wid, dtype=np.int64))
         )
-        self._data = np.zeros(int(self._ptr[-1]), dtype=np.float64)
-        rows = np.arange(schedule.num_tasks, dtype=np.int64)
-        self._data[self._ptr[rows] + rows - self._off] = 1.0
         self._window_span = max(
             self.bandwidth, int(schedule.max_edge_level_span)
         )
+        # Per-window gather plans, cached *on the schedule* keyed by
+        # bandwidth: every store over the same (schedule, bandwidth) pair —
+        # including worker-side attached stores — shares one plan dict, so
+        # the column-side index arrays of the level sweep's masked
+        # symmetric gathers are materialised once per window instead of
+        # once per partition (ROADMAP 3a).
+        plans = schedule.__dict__.get("_band_gather_plans")
+        if plans is None:
+            plans = {}
+            object.__setattr__(schedule, "_band_gather_plans", plans)
+        self._gather_plans = plans.setdefault(self.bandwidth, {})
+
+    @classmethod
+    def attach(
+        cls, schedule: LevelSchedule, bandwidth: int, arrays: Dict[str, np.ndarray]
+    ) -> "BandedCorrelationStore":
+        """A store over an existing (attached) band-data view.
+
+        Recomputes the cheap geometry arrays locally and binds the heavy
+        ``band_data`` payload zero-copy; no identity initialisation runs
+        (the creating process already did it).
+        """
+        store = cls.__new__(cls)
+        CorrelationStore.__init__(store, schedule)
+        store._init_band_geometry(bandwidth)
+        store._data = arrays["band_data"]
+        return store
+
+    def shared_arrays(self) -> Dict[str, np.ndarray]:
+        return {"band_data": self._data}
+
+    def bind_shared(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._data = arrays["band_data"]
 
     def window_start(self, level: int) -> int:
         # Wide enough to contain every predecessor of the level (the fold
@@ -353,17 +416,39 @@ class BandedCorrelationStore(CorrelationStore):
         """Out-of-band values (``None`` means zero)."""
         return None
 
-    def _gather_cols(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-        """Masked symmetric gather of arbitrary rows × columns."""
-        rows = np.asarray(rows, dtype=np.int64)
-        cols = np.asarray(cols, dtype=np.int64)
+    def _window_plan(self, w_lo: int, w_hi: int):
+        """The cached column-side gather indices of one window.
+
+        The column arrays of :meth:`_gather_with` depend only on the
+        column range — not on the gathered rows — and every partition of a
+        level gathers the same window, so they are computed once per
+        ``(bandwidth, w_lo, w_hi)`` and shared through the schedule.
+        """
+        plan = self._gather_plans.get((w_lo, w_hi))
+        if plan is None:
+            cols = np.arange(w_lo, w_hi, dtype=np.int64)
+            plan = (
+                cols,
+                self._off[w_lo:w_hi][None, :],
+                self._wid[w_lo:w_hi][None, :],
+                self._ptr[w_lo:w_hi][None, :],
+            )
+            self._gather_plans[(w_lo, w_hi)] = plan
+        return plan
+
+    def _gather_with(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        col_off: np.ndarray,
+        col_wid: np.ndarray,
+        col_ptr: np.ndarray,
+    ) -> np.ndarray:
+        """Masked symmetric gather with precomputed column-side indices."""
         m, w = rows.shape[0], cols.shape[0]
         out = np.empty((m, w), dtype=np.float64)
         chunk = max(1, _GATHER_CHUNK_ELEMENTS // max(w, 1))
         ptr, off, wid = self._ptr, self._off, self._wid
-        col_off = off[cols][None, :]
-        col_wid = wid[cols][None, :]
-        col_ptr = ptr[cols][None, :]
         for a in range(0, m, chunk):
             b = min(a + chunk, m)
             sub = rows[a:b]
@@ -384,10 +469,23 @@ class BandedCorrelationStore(CorrelationStore):
             out[a:b] = val
         return out
 
+    def _gather_cols(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Masked symmetric gather of arbitrary rows × columns."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        return self._gather_with(
+            rows,
+            cols,
+            self._off[cols][None, :],
+            self._wid[cols][None, :],
+            self._ptr[cols][None, :],
+        )
+
     def gather(
         self, rows: np.ndarray, w_lo: int, w_hi: int, extra: bool = False
     ) -> np.ndarray:
-        return self._gather_cols(rows, np.arange(w_lo, w_hi, dtype=np.int64))
+        rows = np.asarray(rows, dtype=np.int64)
+        return self._gather_with(rows, *self._window_plan(int(w_lo), int(w_hi)))
 
     def write_level(self, level: int, w_lo: int, rows_block: np.ndarray) -> None:
         t_lo, t_hi = self._level_range(level)
@@ -428,22 +526,71 @@ class LowRankCorrelationStore(BandedCorrelationStore):
 
     def __init__(self, schedule: LevelSchedule, bandwidth: int, rank: int) -> None:
         super().__init__(schedule, bandwidth)
+        self._init_rank_geometry(rank)
         n = schedule.num_tasks
+        self._factor = np.zeros((n, self.extra_cols), dtype=np.float64)
+        self._factor[self._landmarks, np.arange(self.extra_cols)] = 1.0
+
+    def _init_rank_geometry(self, rank: int) -> None:
         if rank < 1:
             raise EstimationError("correlation rank must be >= 1")
+        n = self.schedule.num_tasks
         self.rank = int(min(rank, n)) if n else 0
         self._landmarks = _nested_landmarks(n, self.rank)
         self.extra_cols = self._landmarks.shape[0]
-        self._factor = np.zeros((n, self.extra_cols), dtype=np.float64)
-        self._factor[self._landmarks, np.arange(self.extra_cols)] = 1.0
         self._kernel_cache: Optional[np.ndarray] = None
+        # Cross-process kernel invalidation: when the factor lives in a
+        # shared segment, a worker cannot see the parent's
+        # ``_kernel_cache = None`` — so writers bump a shared epoch counter
+        # and ``_kernel()`` drops its cache whenever the counter moved.
+        self._epoch: Optional[np.ndarray] = None
+        self._kernel_epoch = -1
+
+    @classmethod
+    def attach(
+        cls,
+        schedule: LevelSchedule,
+        bandwidth: int,
+        rank: int,
+        arrays: Dict[str, np.ndarray],
+    ) -> "LowRankCorrelationStore":
+        store = cls.__new__(cls)
+        CorrelationStore.__init__(store, schedule)
+        store._init_band_geometry(bandwidth)
+        store._init_rank_geometry(rank)
+        store.bind_shared(arrays)
+        return store
+
+    def shared_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = {"band_data": self._data, "factor": self._factor}
+        if self._epoch is None:
+            arrays["epoch"] = np.zeros(1, dtype=np.int64)
+        else:
+            arrays["epoch"] = self._epoch
+        return arrays
+
+    def bind_shared(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._data = arrays["band_data"]
+        self._factor = arrays["factor"]
+        self._epoch = arrays["epoch"]
+        self._kernel_cache = None
+        self._kernel_epoch = -1
 
     @property
     def landmarks(self) -> np.ndarray:
         """The landmark rows (permuted indices), in nesting order."""
         return self._landmarks.copy()
 
+    def _invalidate_kernel(self) -> None:
+        self._kernel_cache = None
+        if self._epoch is not None:
+            self._epoch[0] += 1
+            self._kernel_epoch = int(self._epoch[0])
+
     def _kernel(self) -> np.ndarray:
+        if self._epoch is not None and int(self._epoch[0]) != self._kernel_epoch:
+            self._kernel_cache = None
+            self._kernel_epoch = int(self._epoch[0])
         if self._kernel_cache is None:
             a_s = self._factor[self._landmarks]
             sym = 0.5 * (a_s + a_s.T)
@@ -504,7 +651,7 @@ class LowRankCorrelationStore(BandedCorrelationStore):
             self._factor[off : off + wid, j] = self._data[ptr : ptr + wid]
             self._factor[self._landmarks, j] = self._factor[row, :]
             self._factor[row, j] = 1.0
-        self._kernel_cache = None
+        self._invalidate_kernel()
 
     def write_block(self, level: int, block: np.ndarray) -> None:
         super().write_block(level, block)
@@ -515,7 +662,7 @@ class LowRankCorrelationStore(BandedCorrelationStore):
             # tracked factor so it agrees with the band.
             for j in np.nonzero(inside)[0]:
                 self._factor[t_lo:t_hi, j] = block[:, self._landmarks[j] - t_lo]
-        self._kernel_cache = None
+        self._invalidate_kernel()
 
     @property
     def nbytes(self) -> int:
@@ -607,3 +754,27 @@ def make_correlation_store(
     if backend == "banded":
         return BandedCorrelationStore(schedule, resolved_bw)
     return LowRankCorrelationStore(schedule, resolved_bw, rank)
+
+
+def attach_correlation_store(
+    schedule: LevelSchedule,
+    backend: str,
+    *,
+    bandwidth: int,
+    rank: int,
+    arrays: Dict[str, np.ndarray],
+) -> CorrelationStore:
+    """A store bound to another process's :meth:`shared_arrays` payload.
+
+    The counterpart of :func:`make_correlation_store` for the ``processes``
+    execution backend: geometry is recomputed locally (cheap, deterministic
+    given ``schedule``/``bandwidth``/``rank``), the heavy data arrays are
+    zero-copy views of the creator's shared segment.  No memory guard runs
+    — the creating process already passed it.
+    """
+    backend = normalize_correlation_backend(backend)
+    if backend == "dense":
+        return DenseCorrelationStore.attach(schedule, arrays)
+    if backend == "banded":
+        return BandedCorrelationStore.attach(schedule, int(bandwidth), arrays)
+    return LowRankCorrelationStore.attach(schedule, int(bandwidth), rank, arrays)

@@ -106,6 +106,11 @@ class _ReductionNetwork:
         self._next_vertex = 0
         self.parallel_reductions = 0
         self.series_reductions = 0
+        #: Join candidates (in-degree >= 2) bucketed by topological level,
+        #: maintained incrementally by ``add_arc``/``remove_arc`` — the
+        #: duplication rounds query the deepest bucket instead of scanning
+        #: every vertex per round.
+        self._joins_by_level: Dict[int, set] = {}
 
     # -- construction ----------------------------------------------------
     def new_vertex(self, rank: int, level: int = 0) -> int:
@@ -124,11 +129,46 @@ class _ReductionNetwork:
             self.parallel_reductions += 1
         self.succ[tail][head] = law
         self.pred[head][tail] = law
+        self._update_join(head)
 
     def remove_arc(self, tail: int, head: int) -> DiscreteRV:
         law = self.succ[tail].pop(head)
         self.pred[head].pop(tail)
+        self._update_join(head)
         return law
+
+    def _update_join(self, head: int) -> None:
+        """Keep ``head``'s join-bucket membership in sync with its in-degree."""
+        level = self.level[head]
+        bucket = self._joins_by_level.get(level)
+        if len(self.pred[head]) >= 2:
+            if bucket is None:
+                bucket = set()
+                self._joins_by_level[level] = bucket
+            bucket.add(head)
+        elif bucket is not None:
+            bucket.discard(head)
+            if not bucket:
+                del self._joins_by_level[level]
+
+    def deepest_join_level(self, exclude=()) -> Optional[int]:
+        """The deepest level holding a join outside ``exclude`` (or ``None``).
+
+        O(number of non-empty buckets) — the per-round replacement of the
+        historical O(|V|) candidate scan.
+        """
+        best: Optional[int] = None
+        for level, bucket in self._joins_by_level.items():
+            if (best is None or level > best) and any(
+                v not in exclude for v in bucket
+            ):
+                best = level
+        return best
+
+    def joins_at_level(self, level: int, exclude=()) -> List[int]:
+        return [
+            v for v in self._joins_by_level.get(level, ()) if v not in exclude
+        ]
 
     # -- queries -----------------------------------------------------------
     def in_degree(self, v: int) -> int:
@@ -397,6 +437,7 @@ class DodinEstimator(MakespanEstimator):
         for (tail, head), chain in chains.items():
             network.succ[tail][head] = chain[0]
             network.pred[head][tail] = chain[0]
+            network._update_join(head)
 
     @staticmethod
     def _select_join_round(
@@ -404,11 +445,13 @@ class DodinEstimator(MakespanEstimator):
     ) -> List[Tuple[int, int]]:
         """The independent joins of one duplication round.
 
-        Joins are ranked by the historical duplication priority (largest
-        topological rank, then smallest out-degree, then vertex id); the
-        round takes the non-adjacent joins *tied at the deepest
-        topological level*.  The restrictions are what make a round equal
-        to duplicating its joins one at a time in selection order:
+        ``joins`` holds the candidates of one (the deepest) level bucket;
+        they are ranked by the historical duplication priority (largest
+        topological rank, then smallest out-degree, then vertex id) and
+        the round takes the non-adjacent ones.  Together with the
+        same-level restriction the bucket already enforces, this is what
+        makes a round equal to duplicating its joins one at a time in
+        selection order:
 
         * two selected joins must not be adjacent through a chosen tail —
           a duplication removes the arc ``tail -> join`` and copies the
@@ -425,17 +468,12 @@ class DodinEstimator(MakespanEstimator):
         """
         order = sorted(
             joins,
-            key=lambda u: (
-                network.level[u], network.rank[u], -network.out_degree(u), u
-            ),
+            key=lambda u: (network.rank[u], -network.out_degree(u), u),
             reverse=True,
         )
-        deepest = network.level[order[0]]
         selected: List[Tuple[int, int]] = []
         touched: set = set()
         for v in order:
-            if network.level[v] != deepest:
-                break
             if v in touched:
                 continue
             tail = max(network.pred[v], key=lambda u: (network.rank[u], u))
@@ -471,19 +509,23 @@ class DodinEstimator(MakespanEstimator):
                 self._reduce_series_round(network, selected, service)
                 rounds += 1
 
-            # Finished when only the source->sink arc remains.
-            remaining = [v for v in network.intermediate_vertices() if v not in (source, sink)]
-            if not remaining:
+            # Finished when only source and sink remain (vertex deletion
+            # never touches the terminals, so two survivors mean only the
+            # source->sink arc is left).
+            if len(network.succ) <= 2:
                 break
 
             # No series vertex available: duplicate one round of
-            # independent (non-adjacent) joins, deepest first.
-            joins = [v for v in remaining if network.in_degree(v) >= 2]
-            if not joins:
+            # independent (non-adjacent) joins, deepest first — pulled
+            # from the incrementally maintained level buckets instead of
+            # an O(|V|) candidate scan per round.
+            deepest = network.deepest_join_level(exclude=(source, sink))
+            if deepest is None:
                 raise EstimationError(
                     "Dodin reduction is stuck without a join vertex; "
                     "the input graph is malformed"
                 )
+            joins = network.joins_at_level(deepest, exclude=(source, sink))
             for v, tail in self._select_join_round(network, joins):
                 moved_law = network.remove_arc(tail, v)
                 copy = network.new_vertex(network.rank[v], network.level[v])

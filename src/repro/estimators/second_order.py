@@ -44,15 +44,34 @@ sums, ~1 ulp).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Literal, Optional, Tuple
 
 import numpy as np
 
 from ..core.graph import GraphIndex, TaskGraph
-from ..core.kernels import WavefrontKernel
+from ..core.kernels import (
+    WavefrontKernel,
+    schedule_arrays,
+    schedule_for,
+    schedule_from_arrays,
+)
 from ..core.paths import compute_path_metrics
 from ..exceptions import EstimationError
-from ..exec import ParallelService, resolve_workers
+from ..exec import (
+    ParallelService,
+    env_exec_backend,
+    resolve_exec_backend,
+    resolve_workers,
+)
+from ..exec.shm import (
+    REGISTRY,
+    SegmentLayout,
+    SharedSegment,
+    attach_segment,
+    content_key,
+    detach_segment,
+)
 from ..failures.models import ErrorModel
 from .base import EstimateResult, MakespanEstimator
 
@@ -99,6 +118,93 @@ class _PairSweepSlot:
         self.kernel_down = WavefrontKernel(index, direction="down", dtype=np.float64)
 
 
+@dataclass(frozen=True)
+class _PairSweepSpec:
+    """Picklable slot factory of the shared-memory pair sweep.
+
+    The two schedule segments come from the content-addressed registry
+    (the ``"up"`` one is the very segment the Monte Carlo and correlated
+    processes backends publish for the same DAG); the vector segment holds
+    the per-estimate probability/makespan inputs.  Workers rebuild their
+    private kernel pair from the attached schedules without recompiling.
+    """
+
+    up_name: str
+    up_layout: SegmentLayout
+    down_name: str
+    down_layout: SegmentLayout
+    vec_name: str
+    vec_layout: SegmentLayout
+    d_g: float
+
+    def __call__(self) -> "_SharedPairSweepSlot":
+        return _SharedPairSweepSlot(self)
+
+
+class _SharedPairSweepSlot:
+    """A pair-sweep slot attached zero-copy to the shared segments."""
+
+    def __init__(self, spec: _PairSweepSpec) -> None:
+        up = attach_segment(spec.up_name, spec.up_layout)
+        down = attach_segment(spec.down_name, spec.down_layout)
+        self.kernel_up = WavefrontKernel.from_schedule(
+            schedule_from_arrays(up.arrays), direction="up", dtype=np.float64
+        )
+        self.kernel_down = WavefrontKernel.from_schedule(
+            schedule_from_arrays(down.arrays), direction="down", dtype=np.float64
+        )
+        vectors = attach_segment(spec.vec_name, spec.vec_layout)
+        self.weights = vectors.arrays["weights"]
+        self.q = vectors.arrays["q"]
+        self.base = vectors.arrays["base"]
+        self.one_minus_q = vectors.arrays["one_minus_q"]
+        self.d_single = vectors.arrays["d_single"]
+        self.d_g = spec.d_g
+        self._names = (spec.vec_name, spec.up_name, spec.down_name)
+
+    def close(self) -> None:
+        # Parent-built (degradation) slots only; pool workers keep their
+        # cached attachments for the life of the process.
+        for name in self._names:
+            detach_segment(name)
+
+
+def _sweep_pair_chunk(
+    bounds: Tuple[int, int], slot: "_SharedPairSweepSlot", rng
+) -> Tuple[float, float, float]:
+    """One scenario chunk of the pair sweep against shared state.
+
+    The module-level, picklable counterpart of the in-process
+    ``sweep_chunk`` closure — identical arithmetic on the attached views,
+    so the folded partials are bit-identical to the threads backend.
+    """
+    start, stop = bounds
+    n = slot.weights.shape[0]
+    chunk = np.arange(start, stop)
+    scenario = np.broadcast_to(slot.weights, (chunk.size, n)).copy()
+    scenario[np.arange(chunk.size), chunk] *= 2.0
+    slot.kernel_up.load(scenario)
+    slot.kernel_up.propagate(chunk.size)
+    ups = slot.kernel_up.completion_matrix(chunk.size)  # (tasks, chunk)
+    slot.kernel_down.load(scenario)
+    slot.kernel_down.propagate(chunk.size)
+    downs = slot.kernel_down.completion_matrix(chunk.size)
+    through = ups + downs
+    contribution = 0.0
+    probability = 0.0
+    worst = slot.d_g
+    for offset, i in enumerate(chunk):
+        d_pair = np.maximum(slot.d_single[i], through[:, offset])
+        p_pair = slot.q[i] * slot.q * slot.base / slot.one_minus_q[i]
+        p_pair[i] = 0.0
+        d_pair[i] = 0.0
+        contribution += float(np.dot(p_pair, d_pair))
+        probability += float(p_pair.sum())
+        if d_pair.size:
+            worst = max(worst, float(d_pair.max()))
+    return contribution, probability, worst
+
+
 class SecondOrderEstimator(MakespanEstimator):
     """Expected makespan exact up to (and including) two simultaneous failures.
 
@@ -119,6 +225,14 @@ class SecondOrderEstimator(MakespanEstimator):
         ``REPRO_EST_WORKERS`` and falls back to 1).  A pure throughput
         knob: the per-chunk partials fold in chunk-index order, so the
         result is bit-identical at any worker count.
+    exec_backend:
+        Execution backend of the chunked sweeps: ``None`` (after the
+        ``REPRO_EXEC_BACKEND`` override) keeps the conventional mapping —
+        serial at ``workers=1``, threads otherwise; ``"processes"`` runs
+        the chunks in worker processes whose kernel pairs are rebuilt
+        zero-copy from the registry's shared schedule segments (no
+        per-worker recompilation).  Bit-identical to the threads backend
+        at any worker count.
     """
 
     name = "second-order"
@@ -128,6 +242,7 @@ class SecondOrderEstimator(MakespanEstimator):
         *,
         tail_handling: Literal["failure-free", "drop", "worst-pair"] = "failure-free",
         workers: Optional[int] = None,
+        exec_backend: Optional[str] = None,
         exec_retries: Optional[int] = None,
         exec_timeout: Optional[float] = None,
         exec_on_failure: Optional[str] = None,
@@ -138,6 +253,13 @@ class SecondOrderEstimator(MakespanEstimator):
             raise EstimationError(f"unknown tail handling {tail_handling!r}")
         self.tail_handling = tail_handling
         self.workers = resolve_workers(workers)
+        if exec_backend is None:
+            exec_backend = env_exec_backend()
+        self.exec_backend = (
+            resolve_exec_backend(exec_backend, self.workers)
+            if exec_backend is not None
+            else None
+        )
         self.exec_retries = exec_retries
         self.exec_timeout = exec_timeout
         self.exec_on_failure = exec_on_failure
@@ -211,15 +333,65 @@ class SecondOrderEstimator(MakespanEstimator):
 
             service = ParallelService(
                 workers=self.workers,
+                backend=self.exec_backend,
                 retries=self.exec_retries,
                 timeout=self.exec_timeout,
                 on_failure=self.exec_on_failure,
             )
-            slots = [
-                _PairSweepSlot(index)
-                for _ in range(min(self.workers, len(chunks)))
-            ]
-            partials = service.run(sweep_chunk, chunks, slots=slots)
+            shared = service.backend == "processes"
+            if shared:
+                csr = (
+                    index.pred_indptr,
+                    index.pred_indices,
+                    index.succ_indptr,
+                    index.succ_indices,
+                )
+                up_key = content_key("schedule", "up", *csr)
+                down_key = content_key("schedule", "down", *csr)
+                up_seg = REGISTRY.publish(
+                    up_key, lambda: schedule_arrays(schedule_for(index, "up"))
+                )
+                down_seg = REGISTRY.publish(
+                    down_key, lambda: schedule_arrays(schedule_for(index, "down"))
+                )
+                vectors = SharedSegment.create(
+                    {
+                        "weights": weights,
+                        "q": q,
+                        "base": base,
+                        "one_minus_q": one_minus_q,
+                        "d_single": d_single,
+                    }
+                )
+                spec = _PairSweepSpec(
+                    up_name=up_seg.name,
+                    up_layout=up_seg.layout,
+                    down_name=down_seg.name,
+                    down_layout=down_seg.layout,
+                    vec_name=vectors.name,
+                    vec_layout=vectors.layout,
+                    d_g=float(d_g),
+                )
+            try:
+                if shared:
+                    partials = service.run(
+                        _sweep_pair_chunk, chunks, slot_factory=spec
+                    )
+                else:
+                    slots = [
+                        _PairSweepSlot(index)
+                        for _ in range(min(self.workers, len(chunks)))
+                    ]
+                    partials = service.run(sweep_chunk, chunks, slots=slots)
+            finally:
+                service.close()
+                if shared:
+                    detach_segment(vectors.name)
+                    detach_segment(up_seg.name)
+                    detach_segment(down_seg.name)
+                    vectors.destroy()
+                    REGISTRY.release(up_key)
+                    REGISTRY.release(down_key)
             for contribution, probability, worst in partials:
                 pair_contribution += contribution
                 pair_probability += probability

@@ -10,7 +10,9 @@ determinism contract they all rely on, and its fault-tolerance contract
 (deterministic partition retry, soft deadlines, pool recovery, backend
 degradation) layered on top.  :mod:`repro.exec.faults` provides the
 declarative chaos-testing harness; :mod:`repro.exec.report` the
-machine-readable execution telemetry.
+machine-readable execution telemetry; :mod:`repro.exec.shm` the zero-copy
+shared-memory kernel plane the ``processes`` backend attaches its worker
+slots to.
 """
 
 from .faults import (
@@ -28,9 +30,21 @@ from .service import (
     ExecutionPolicy,
     ParallelService,
     env_estimator_workers,
+    env_exec_backend,
     partition_stream,
     resolve_exec_backend,
     resolve_workers,
+)
+from .shm import (
+    REGISTRY,
+    AttachedSegment,
+    SegmentRegistry,
+    SharedSegment,
+    attach_segment,
+    attach_shared_memory,
+    content_key,
+    detach_segment,
+    shm_enabled,
 )
 
 __all__ = [
@@ -38,6 +52,8 @@ __all__ = [
     "FAULT_KINDS",
     "MAX_POOL_REBUILDS",
     "ON_FAILURE_POLICIES",
+    "REGISTRY",
+    "AttachedSegment",
     "AttemptFailure",
     "Degradation",
     "ExecutionPolicy",
@@ -47,8 +63,16 @@ __all__ = [
     "InjectedFault",
     "ParallelService",
     "RandomFaults",
+    "SegmentRegistry",
+    "SharedSegment",
+    "attach_segment",
+    "attach_shared_memory",
+    "content_key",
+    "detach_segment",
     "env_estimator_workers",
+    "env_exec_backend",
     "partition_stream",
     "resolve_exec_backend",
     "resolve_workers",
+    "shm_enabled",
 ]

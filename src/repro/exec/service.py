@@ -107,6 +107,7 @@ from __future__ import annotations
 
 import os
 import time
+import weakref
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -134,6 +135,7 @@ __all__ = [
     "resolve_exec_backend",
     "resolve_workers",
     "env_estimator_workers",
+    "env_exec_backend",
 ]
 
 #: The available execution backends, in documentation order.
@@ -207,6 +209,18 @@ def resolve_exec_backend(name: Optional[str], workers: int) -> str:
             "use backend='threads' or 'processes' for workers > 1"
         )
     return resolved
+
+
+def env_exec_backend() -> Optional[str]:
+    """The ``REPRO_EXEC_BACKEND`` environment override (``None`` if unset).
+
+    The value is validated by :func:`resolve_exec_backend` at the point of
+    use, where the worker count is known.
+    """
+    env = os.environ.get("REPRO_EXEC_BACKEND")
+    if env is None or not env.strip():
+        return None
+    return env.strip().lower()
 
 
 def env_estimator_workers() -> Optional[int]:
@@ -390,6 +404,14 @@ def _process_pool_call(
     return fn(item, _PROCESS_SLOT, rng)
 
 
+def _shutdown_pool_quietly(pool: ProcessPoolExecutor) -> None:
+    """Finalizer for service-cached pools: release workers, never raise."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - interpreter-shutdown races
+        pass
+
+
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Best-effort hard stop: cancel queued work and kill the workers.
 
@@ -477,11 +499,74 @@ class ParallelService:
         #: path.  Threads idle between calls; the pool dies with the
         #: service (executor finalizer).
         self._thread_pool: Optional[ThreadPoolExecutor] = None
+        #: The process pool is cached the same way, keyed by the slot
+        #: factory that initialised its workers: the shared-memory clients
+        #: call run() hundreds of times per estimate against one factory,
+        #: and worker slots (attached segments, kernels) survive between
+        #: calls.  Rebuilt on worker loss / preemption, dropped by
+        #: :meth:`close` and by a finalizer when the service is collected.
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_pool_factory: Optional[Callable[[], object]] = None
+        self._process_pool_workers = 0
+        self._process_pool_finalizer = None
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._thread_pool is None:
             self._thread_pool = ThreadPoolExecutor(max_workers=self.workers)
         return self._thread_pool
+
+    def _acquire_process_pool(
+        self, k: int, slot_factory: Optional[Callable[[], object]]
+    ) -> ProcessPoolExecutor:
+        """The cached worker pool for ``slot_factory``, built on demand.
+
+        A cached pool is reused only when it was initialised by the *same*
+        factory object (worker slots are factory state) and is at least as
+        wide as requested; anything else is discarded and rebuilt.
+        """
+        if (
+            self._process_pool is not None
+            and self._process_pool_factory is slot_factory
+            and self._process_pool_workers >= k
+        ):
+            return self._process_pool
+        self._discard_process_pool()
+        pool = ProcessPoolExecutor(
+            max_workers=k,
+            initializer=_process_pool_init,
+            initargs=(slot_factory,),
+        )
+        self._process_pool = pool
+        self._process_pool_factory = slot_factory
+        self._process_pool_workers = k
+        self._process_pool_finalizer = weakref.finalize(
+            self, _shutdown_pool_quietly, pool
+        )
+        return pool
+
+    def _discard_process_pool(self) -> None:
+        """Terminate and forget the cached process pool (if any)."""
+        pool = self._process_pool
+        if pool is None:
+            return
+        if self._process_pool_finalizer is not None:
+            self._process_pool_finalizer.detach()
+            self._process_pool_finalizer = None
+        self._process_pool = None
+        self._process_pool_factory = None
+        self._process_pool_workers = 0
+        _terminate_pool(pool)
+
+    def close(self) -> None:
+        """Release the cached worker pools (idempotent).
+
+        Estimators call this when an estimate finishes; a service is
+        usable again afterwards (pools are rebuilt on demand).
+        """
+        self._discard_process_pool()
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=False, cancel_futures=True)
+            self._thread_pool = None
 
     # ------------------------------------------------------------------
     def run(
@@ -800,11 +885,7 @@ class _ServiceRun:
     # ------------------------------------------------------------------
     def _make_process_pool(self, k: int) -> ProcessPoolExecutor:
         try:
-            return ProcessPoolExecutor(
-                max_workers=k,
-                initializer=_process_pool_init,
-                initargs=(self.slot_factory,),
-            )
+            return self.service._acquire_process_pool(k, self.slot_factory)
         except Exception as exc:
             raise _BackendUnusable(f"process pool unavailable: {exc!r}", exc)
 
@@ -884,7 +965,7 @@ class _ServiceRun:
                 self._record_failure(index, attempt, "worker-lost", cause)
                 requeue(index)
             inflight.clear()
-            _terminate_pool(pool)
+            self.service._discard_process_pool()
             rebuilds += 1
             self.report.pool_rebuilds += 1
             if rebuilds > MAX_POOL_REBUILDS:
@@ -919,7 +1000,7 @@ class _ServiceRun:
                 self._refund_attempt(index)
                 queue.appendleft(index)
             inflight.clear()
-            _terminate_pool(pool)
+            self.service._discard_process_pool()
             # Preemption is deliberate: it does not consume the rebuild
             # budget (a hanging partition is bounded by its retry budget).
             self.report.pool_rebuilds += 1
@@ -992,9 +1073,17 @@ class _ServiceRun:
                 if broke is not None:
                     handle_pool_break(broke)
         finally:
-            if inflight and timeout is not None:
-                # Stragglers past an early stop would otherwise hold the
-                # shutdown hostage; the deadline licenses killing them.
-                _terminate_pool(pool)
-            else:
-                pool.shutdown(wait=True, cancel_futures=True)
+            # The pool stays warm on the service for the next run() —
+            # tearing down and re-initialising worker slots between the
+            # hundreds of calls of a level sweep is exactly the overhead
+            # the shared-memory plane removes.  It only needs to be
+            # quiescent: stragglers past an early stop are drained (their
+            # results are discarded), unless a deadline licenses killing
+            # them with the pool.
+            if inflight:
+                if timeout is not None:
+                    self.service._discard_process_pool()
+                else:
+                    for future in inflight:
+                        future.cancel()
+                    wait(set(inflight))

@@ -1,0 +1,312 @@
+"""Zero-copy shared-memory kernel plane for the processes backend.
+
+The processes backend historically shipped every worker a pickled graph
+payload and let it *rebuild* compiled kernels (level schedules, moment
+vectors, band CSR geometry) from scratch — an O(V + E) Python recompile
+per worker per pool, plus a full copy of every hot array in every worker's
+private heap.  This module removes both costs:
+
+``SharedSegment``
+    Packs a dict of named NumPy arrays into **one** POSIX shared-memory
+    block (``multiprocessing.shared_memory``) with a picklable layout
+    (name, dtype, shape, byte offset).  The parent creates and owns the
+    block (and is responsible for unlinking it); workers attach zero-copy
+    views by (segment name, layout) through the slot-factory protocol.
+
+``SegmentRegistry``
+    A process-global, content-addressed cache of published segments.
+    Keys are structural hashes (:func:`content_key`) of the arrays'
+    *sources* — e.g. the DAG's CSR arrays plus schedule parameters — so
+    repeated runs over the same graph re-use one warm segment instead of
+    republishing.  ``publish``/``release`` are refcounted; with
+    ``REPRO_EXEC_SHM`` disabled, segments are unlinked as soon as the last
+    user releases them, otherwise they stay warm until :meth:`clear`
+    (registered ``atexit``) so no ``/dev/shm`` entry ever outlives the
+    parent process.
+
+Determinism is unaffected by any of this: segments hold *read-only*
+inputs (schedules, moment vectors, band geometry) plus per-partition
+writeback slices that are disjoint by construction and folded by the
+parent strictly in partition-index order — the same contract the threads
+backend honours.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "AttachedSegment",
+    "REGISTRY",
+    "SegmentRegistry",
+    "SharedSegment",
+    "attach_segment",
+    "attach_shared_memory",
+    "content_key",
+    "detach_segment",
+    "shm_enabled",
+]
+
+#: Byte alignment of every array inside a segment (one cache line).
+_ALIGNMENT = 64
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off"}
+
+#: ``(name, dtype string, shape, byte offset)`` per array — picklable, so
+#: worker slot specs can carry it next to the segment name.
+SegmentLayout = Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+
+
+def shm_enabled(default: bool = True) -> bool:
+    """Whether published segments stay warm for re-use (``REPRO_EXEC_SHM``).
+
+    Disabling the knob does not turn shared memory off — the processes
+    backend still needs segments to exist while a run is in flight — it
+    makes the registry unlink each segment as soon as its last user
+    releases it instead of keeping it warm for the next run.
+    """
+    raw = os.environ.get("REPRO_EXEC_SHM")
+    if raw is None:
+        return default
+    text = raw.strip().lower()
+    if text in _TRUTHY:
+        return True
+    if text in _FALSY:
+        return False
+    return default
+
+
+def content_key(*parts: Union[np.ndarray, str, int, float, bool, None]) -> str:
+    """Structural hash of arrays and scalars, usable as a registry key.
+
+    Arrays contribute dtype, shape and raw bytes; everything else its
+    ``repr``.  Equal inputs therefore always map to the same key and the
+    registry can deduplicate publications across independent callers.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            arr = np.ascontiguousarray(part)
+            digest.update(str(arr.dtype).encode())
+            digest.update(repr(arr.shape).encode())
+            digest.update(arr.tobytes())
+        else:
+            digest.update(repr(part).encode())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def _pack_layout(arrays: Dict[str, np.ndarray]) -> Tuple[SegmentLayout, int]:
+    layout = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = -(-offset // _ALIGNMENT) * _ALIGNMENT
+        layout.append((name, array.dtype.str, tuple(array.shape), offset))
+        offset += array.nbytes
+    return tuple(layout), max(offset, 1)
+
+
+def _map_views(buf, layout: SegmentLayout) -> Dict[str, np.ndarray]:
+    views = {}
+    for name, dtype, shape, offset in layout:
+        views[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
+    return views
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Only the creating process may unlink a segment; attaching workers must
+    not register it with their ``resource_tracker`` or the segment would be
+    destroyed (with a warning) when the *worker* exits.  Python >= 3.13
+    exposes ``track=False`` for exactly this; older versions need the
+    registration suppressed manually.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedSegment:
+    """A parent-owned shared-memory block holding named array views.
+
+    The creating process is the owner: it must eventually :meth:`unlink`
+    the segment (removing its ``/dev/shm`` entry; live mappings keep
+    working until they are closed).  ``close`` is best-effort — NumPy
+    views handed out to callers can legitimately outlive the segment
+    object, in which case the mapping is released when they are collected.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, layout: SegmentLayout) -> None:
+        self._shm = shm
+        self.layout = layout
+        self.arrays = _map_views(shm.buf, layout)
+        self._unlinked = False
+
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedSegment":
+        layout, nbytes = _pack_layout(arrays)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        segment = cls(shm, layout)
+        for name, array in arrays.items():
+            segment.arrays[name][...] = array
+        return segment
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:
+            # Views exported from this mapping are still alive; the mmap is
+            # released when the last of them is garbage-collected.
+            pass
+
+    def unlink(self) -> None:
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def destroy(self) -> None:
+        """Unlink the name, then release this process's mapping."""
+        self.unlink()
+        self.close()
+
+
+class AttachedSegment:
+    """A read/write zero-copy view of a segment owned by another process."""
+
+    def __init__(self, name: str, layout: SegmentLayout) -> None:
+        self._shm = attach_shared_memory(name)
+        self.name = name
+        self.layout = layout
+        self.arrays = _map_views(self._shm.buf, layout)
+
+    def close(self) -> None:
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+
+#: Per-process attach cache: worker slots of one pool (and parent-side
+#: degradation slots) share a single mapping per segment name.
+_ATTACH_CACHE: Dict[str, AttachedSegment] = {}
+_ATTACH_LOCK = threading.Lock()
+
+
+def attach_segment(name: str, layout: SegmentLayout) -> AttachedSegment:
+    """Attach (or re-use this process's attachment of) a named segment."""
+    with _ATTACH_LOCK:
+        segment = _ATTACH_CACHE.get(name)
+        if segment is None:
+            segment = AttachedSegment(name, layout)
+            _ATTACH_CACHE[name] = segment
+        return segment
+
+
+def detach_segment(name: str) -> None:
+    """Drop this process's cached attachment of ``name`` (no-op if absent)."""
+    with _ATTACH_LOCK:
+        segment = _ATTACH_CACHE.pop(name, None)
+    if segment is not None:
+        segment.close()
+
+
+class SegmentRegistry:
+    """Process-global content-addressed cache of published segments.
+
+    ``publish(key, builder)`` returns the warm segment for ``key`` when one
+    exists (``hits``) and otherwise materialises the builder's arrays into
+    a fresh segment (``misses``).  Publications are refcounted via
+    ``release``; a segment whose refcount drops to zero is kept warm while
+    :func:`shm_enabled` holds and unlinked immediately otherwise.
+    :meth:`clear` (registered ``atexit``) unlinks everything, so normal
+    interpreter exit never leaks a ``/dev/shm`` entry.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, SharedSegment] = {}
+        self._refs: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def publish(
+        self,
+        key: str,
+        builder: Union[Dict[str, np.ndarray], Callable[[], Dict[str, np.ndarray]]],
+    ) -> SharedSegment:
+        with self._lock:
+            segment = self._segments.get(key)
+            if segment is not None:
+                self.hits += 1
+                self._refs[key] += 1
+                return segment
+            arrays = builder() if callable(builder) else builder
+            segment = SharedSegment.create(arrays)
+            self._segments[key] = segment
+            self._refs[key] = 1
+            self.misses += 1
+            return segment
+
+    def release(self, key: str) -> None:
+        with self._lock:
+            if key not in self._segments:
+                return
+            self._refs[key] -= 1
+            if self._refs[key] <= 0 and not shm_enabled():
+                segment = self._segments.pop(key)
+                del self._refs[key]
+            else:
+                segment = None
+        if segment is not None:
+            detach_segment(segment.name)
+            segment.destroy()
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._segments
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def clear(self) -> None:
+        """Unlink every published segment (idempotent; runs ``atexit``)."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._refs.clear()
+        for segment in segments:
+            detach_segment(segment.name)
+            segment.destroy()
+
+
+#: The process-global registry used by the estimators and MC backends.
+REGISTRY = SegmentRegistry()
+
+atexit.register(REGISTRY.clear)

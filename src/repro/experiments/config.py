@@ -33,9 +33,12 @@ __all__ = [
     "execution_retries",
     "execution_timeout",
     "execution_on_failure",
+    "execution_backend",
     "execution_options",
     "EXEC_ON_FAILURE",
+    "EXEC_BACKEND_CHOICES",
     "PARALLEL_ESTIMATORS",
+    "SHM_ESTIMATORS",
     "MC_DTYPES",
     "MC_BACKENDS",
     "CORR_BACKENDS",
@@ -243,6 +246,15 @@ PARALLEL_ESTIMATORS = (
     "dodin",
 )
 
+#: Estimators whose work partitions can run on the shared-memory
+#: ``processes`` execution backend (zero-copy segment attachment).
+SHM_ESTIMATORS = (
+    "normal-correlated",
+    "corlca",
+    "second-order",
+    "second_order",
+)
+
 
 def estimator_workers(default: Optional[int] = None) -> Optional[int]:
     """Resolve the analytical estimators' parallel worker count.
@@ -347,6 +359,34 @@ def execution_on_failure(default: Optional[str] = None) -> Optional[str]:
     return value
 
 
+#: The execution backends of the shared parallel service.
+EXEC_BACKEND_CHOICES = ("serial", "threads", "processes")
+
+
+def execution_backend(default: Optional[str] = None) -> Optional[str]:
+    """Resolve the analytical estimators' execution backend.
+
+    Priority: ``REPRO_EXEC_BACKEND`` environment variable, then the
+    explicit ``default`` argument, then ``None`` (the conventional
+    mapping — the serial reference path at one worker, the thread pool
+    otherwise).  ``"processes"`` runs the correlated level folds and the
+    second-order pair sweeps in worker processes attached zero-copy to
+    the shared-memory kernel plane; results are bit-identical to the
+    in-process backends at any worker count.
+    """
+    env = os.environ.get("REPRO_EXEC_BACKEND")
+    value = env if env is not None and env.strip() else default
+    if value is None:
+        return None
+    value = value.strip().lower()
+    if value not in EXEC_BACKEND_CHOICES:
+        raise ExperimentError(
+            f"execution backend must be one of {EXEC_BACKEND_CHOICES}, "
+            f"got {value!r}"
+        )
+    return value
+
+
 def execution_options(
     retries: Optional[int] = None,
     timeout: Optional[float] = None,
@@ -414,6 +454,7 @@ class FigureConfig:
     exec_retries: Optional[int] = None
     exec_timeout: Optional[float] = None
     exec_on_failure: Optional[str] = None
+    exec_backend: Optional[str] = None
     seed: int = 20160814  # date of the paper's HAL deposit, used as base seed
 
     def __post_init__(self) -> None:
@@ -436,7 +477,12 @@ class FigureConfig:
         _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
         if self.est_workers is not None and self.est_workers < 1:
             raise ExperimentError("est_workers must be >= 1")
-        _validate_exec_fields(self.exec_retries, self.exec_timeout, self.exec_on_failure)
+        _validate_exec_fields(
+            self.exec_retries,
+            self.exec_timeout,
+            self.exec_on_failure,
+            self.exec_backend,
+        )
 
     @property
     def trials(self) -> int:
@@ -508,6 +554,7 @@ class ScalabilityConfig:
     exec_retries: Optional[int] = None
     exec_timeout: Optional[float] = None
     exec_on_failure: Optional[str] = None
+    exec_backend: Optional[str] = None
     seed: int = 20160814
 
     def __post_init__(self) -> None:
@@ -528,7 +575,12 @@ class ScalabilityConfig:
         _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
         if self.est_workers is not None and self.est_workers < 1:
             raise ExperimentError("est_workers must be >= 1")
-        _validate_exec_fields(self.exec_retries, self.exec_timeout, self.exec_on_failure)
+        _validate_exec_fields(
+            self.exec_retries,
+            self.exec_timeout,
+            self.exec_on_failure,
+            self.exec_backend,
+        )
 
     @property
     def trials(self) -> int:
@@ -574,7 +626,10 @@ class ScalabilityConfig:
 
 
 def _validate_exec_fields(
-    retries: Optional[int], timeout: Optional[float], on_failure: Optional[str]
+    retries: Optional[int],
+    timeout: Optional[float],
+    on_failure: Optional[str],
+    backend: Optional[str] = None,
 ) -> None:
     if retries is not None and retries < 0:
         raise ExperimentError("exec_retries must be >= 0")
@@ -583,6 +638,10 @@ def _validate_exec_fields(
     if on_failure is not None and on_failure not in EXEC_ON_FAILURE:
         raise ExperimentError(
             f"exec_on_failure must be one of {EXEC_ON_FAILURE}, got {on_failure!r}"
+        )
+    if backend is not None and backend not in EXEC_BACKEND_CHOICES:
+        raise ExperimentError(
+            f"exec_backend must be one of {EXEC_BACKEND_CHOICES}, got {backend!r}"
         )
 
 
@@ -638,6 +697,10 @@ def estimator_options_for(
     key = name.strip().lower()
     if key in ("normal-correlated", "corlca"):
         options.update(config.correlated_options())
+    if key in SHM_ESTIMATORS:
+        backend = execution_backend(getattr(config, "exec_backend", None))
+        if backend is not None:
+            options["exec_backend"] = backend
     if key in PARALLEL_ESTIMATORS:
         options.update(config.exec_options())
         if est_workers is not None:

@@ -54,11 +54,12 @@ slot in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from ..exec import ParallelService, partition_stream, resolve_exec_backend
+from ..exec.shm import REGISTRY, attach_segment, attach_shared_memory, content_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from .engine import MonteCarloEngine
@@ -232,6 +233,11 @@ class _ProcessSpec:
     capacity: int
     shm_name: str
     total_trials: int
+    #: Shared-memory segment holding the parent's compiled level schedule
+    #: (see :mod:`repro.exec.shm`); ``None`` falls back to the historical
+    #: per-worker schedule compilation.
+    schedule_name: Optional[str] = None
+    schedule_layout: Optional[Tuple] = None
 
     def __call__(self) -> "_ProcessWorkerState":
         """Build one worker process's slot (the service's slot factory)."""
@@ -248,10 +254,20 @@ class _ProcessWorkerState:
     """
 
     def __init__(self, spec: _ProcessSpec) -> None:
+        from ..core.kernels import schedule_from_arrays, seed_schedule_cache
         from ..core.serialize import graph_from_dict
         from .engine import MonteCarloEngine
 
         graph = graph_from_dict(spec.graph_payload)
+        if spec.schedule_name is not None:
+            # Zero-copy kernel plane: attach the parent's published level
+            # schedule and pre-seed the index cache, so the engine below
+            # builds its wavefront kernel without recompiling the schedule
+            # from the CSR arrays (the expensive part of worker start-up).
+            segment = attach_segment(spec.schedule_name, spec.schedule_layout)
+            seed_schedule_cache(
+                graph.index(), "up", schedule_from_arrays(segment.arrays)
+            )
         # A one-slot serial engine: the kernel is compiled once per process,
         # the sampling buffers are allocated once at full batch capacity.
         self.engine = MonteCarloEngine(
@@ -281,35 +297,10 @@ class _ProcessWorkerState:
             pass
 
 
-def _attach_shared_memory(name: str):
-    """Attach to an existing shared-memory block without tracking it.
-
-    On Python >= 3.13 ``track=False`` prevents the attaching process's
-    resource tracker from adopting a segment it does not own.  On earlier
-    versions the attach registers the segment with the worker's resource
-    tracker, which is wrong either way the pool was started: under
-    ``spawn`` the worker owns a *private* tracker that "cleans up" (=
-    unlinks) the parent's live segment if the worker dies abnormally —
-    crash, OOM, preemption kill; under ``fork`` the tracker is *shared*,
-    so a child-side ``unregister`` would instead erase the owning
-    parent's registration (and make the parent's eventual ``unlink``
-    trip a tracker KeyError).  Suppressing the registration during the
-    attach is correct for both: the segment stays tracked exactly once,
-    by the parent that created it.
-    """
-    from multiprocessing import shared_memory
-
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # Python < 3.13: no track parameter
-        from multiprocessing import resource_tracker
-
-        original = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
-            return shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
+#: Untracked attach (the parent owns the segment); the implementation —
+#: including the pre-3.13 resource-tracker suppression and its rationale —
+#: lives with the rest of the shared-memory plane in :mod:`repro.exec.shm`.
+_attach_shared_memory = attach_shared_memory
 
 
 def _process_eval_batch(item, state: _ProcessWorkerState, rng) -> int:
@@ -341,6 +332,7 @@ class ProcessesBackend(ExecutorBackend):
     def run(self, consume: Consumer) -> None:
         from multiprocessing import shared_memory
 
+        from ..core.kernels import schedule_arrays, schedule_for
         from ..core.serialize import graph_to_dict
 
         engine = self.engine
@@ -350,7 +342,24 @@ class ProcessesBackend(ExecutorBackend):
             offsets.append(offsets[-1] + batch)
         total = offsets[-1]
 
+        # Publish the compiled level schedule through the content-addressed
+        # registry: repeated runs over the same DAG re-use one warm segment,
+        # and worker start-up attaches it instead of recompiling.
+        index = engine.graph.index()
+        schedule_key = content_key(
+            "schedule",
+            "up",
+            index.pred_indptr,
+            index.pred_indices,
+            index.succ_indptr,
+            index.succ_indices,
+        )
+        schedule_segment = REGISTRY.publish(
+            schedule_key, lambda: schedule_arrays(schedule_for(index, "up"))
+        )
+
         shm = shared_memory.SharedMemory(create=True, size=max(8, total * 8))
+        service = None
         try:
             view = np.ndarray((total,), dtype=np.float64, buffer=shm.buf)
             spec = _ProcessSpec(
@@ -362,6 +371,8 @@ class ProcessesBackend(ExecutorBackend):
                 capacity=engine._capacity,
                 shm_name=shm.name,
                 total_trials=total,
+                schedule_name=schedule_segment.name,
+                schedule_layout=schedule_segment.layout,
             )
             service = self._make_service(engine.workers, "processes")
             service.run(
@@ -374,8 +385,11 @@ class ProcessesBackend(ExecutorBackend):
                 ),
             )
         finally:
+            if service is not None:
+                service.close()
             shm.close()
             try:
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - tracker raced us
                 pass
+            REGISTRY.release(schedule_key)

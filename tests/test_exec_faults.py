@@ -405,10 +405,23 @@ class TestDegradation:
 # Process backend: kills, preemption, shared-memory lifecycle
 # ----------------------------------------------------------------------
 def _leaked_shm_segments():
+    """The ``/dev/shm`` segments nothing accounts for.
+
+    Segments held warm by the content-addressed registry are *owned*, not
+    leaked: the registry refcounts them and unlinks everything on clear()
+    / interpreter exit, so they are excluded from the leak census.
+    """
+    from repro.exec.shm import REGISTRY
+
     base = "/dev/shm"
     if not os.path.isdir(base):  # pragma: no cover - non-POSIX fallback
         return set()
-    return {name for name in os.listdir(base) if name.startswith("psm_")}
+    owned = {seg.name for seg in REGISTRY._segments.values()}
+    return {
+        name
+        for name in os.listdir(base)
+        if name.startswith("psm_") and name not in owned
+    }
 
 
 @pytest.mark.skipif(not HAS_PROCESSES, reason="process pools unavailable")
@@ -489,6 +502,125 @@ class TestProcessChaos:
         assert chaotic.mean == clean.mean and chaotic.std == clean.std
         assert chaotic.execution["pool_rebuilds"] >= 1
         assert not chaotic.execution["clean"]
+
+    def test_shm_fold_bit_identical_under_faults_any_worker_count(self):
+        # Hypothesis property over the shared-memory kernel plane: the
+        # correlated per-level fold on the ``processes`` backend — workers
+        # attached zero-copy to the estimate's segments — replays faulted
+        # partitions bit-identically to the serial and threads references,
+        # at any worker count, for raise *and* kill (pool-rebuild) plans.
+        from repro.estimators.correlated import CorrelatedNormalEstimator
+        from repro.failures.models import ExponentialErrorModel
+        from repro.workflows.registry import build_dag
+
+        graph = build_dag("cholesky", 5)
+        model = ExponentialErrorModel.for_graph(graph, 1e-3)
+
+        def estimate(env, **kwargs):
+            keys = ("REPRO_EXEC_FAULTS", "REPRO_EXEC_BACKOFF")
+            saved = {key: os.environ.pop(key, None) for key in keys}
+            os.environ["REPRO_EXEC_BACKOFF"] = "0"
+            for key, value in env.items():
+                os.environ[key] = value
+            try:
+                result = CorrelatedNormalEstimator(**kwargs).estimate(
+                    graph, model
+                )
+                return (
+                    result.expected_makespan,
+                    result.details["makespan_variance"],
+                )
+            finally:
+                for key in keys:
+                    os.environ.pop(key, None)
+                for key, value in saved.items():
+                    if value is not None:
+                        os.environ[key] = value
+
+        reference = estimate({}, workers=1)
+        assert estimate({}, workers=3, exec_backend="threads") == reference
+
+        @settings(max_examples=5, deadline=None)
+        @given(
+            workers=st.integers(1, 3),
+            plan=st.sampled_from(
+                ["raise@0", "raise@1#0; raise@1#1", "kill@0",
+                 "kill@2; raise@0"]
+            ),
+        )
+        def property_holds(workers, plan):
+            chaotic = estimate(
+                {"REPRO_EXEC_FAULTS": plan},
+                workers=workers,
+                exec_backend="processes",
+                exec_retries=2,
+            )
+            assert chaotic == reference
+
+        property_holds()
+
+    def test_shm_degrade_to_threads_bit_identical_and_leak_free(
+        self, monkeypatch
+    ):
+        # A dead process backend degrades to threads *within the run*: the
+        # parent builds slots through the same spec (attaching its own
+        # segments by name), folds bit-identically, and the teardown path
+        # still leaves /dev/shm clean.
+        import repro.exec.service as service_module
+        from repro.estimators.correlated import CorrelatedNormalEstimator
+        from repro.failures.models import ExponentialErrorModel
+        from repro.workflows.registry import build_dag
+
+        graph = build_dag("lu", 5)
+        model = ExponentialErrorModel.for_graph(graph, 1e-3)
+
+        def estimate(**kwargs):
+            result = CorrelatedNormalEstimator(
+                workers=2, **kwargs
+            ).estimate(graph, model)
+            return (
+                result.expected_makespan,
+                result.details["makespan_variance"],
+            )
+
+        threads = estimate(exec_backend="threads")
+        before = _leaked_shm_segments()
+        monkeypatch.setattr(service_module, "ProcessPoolExecutor", _BrokenPool)
+        degraded = estimate(
+            exec_backend="processes", exec_on_failure="degrade"
+        )
+        assert degraded == threads
+        assert _leaked_shm_segments() <= before
+
+    def test_shm_pool_rebuilds_leave_no_leak(self, monkeypatch):
+        # Regression: killed workers force pool rebuilds mid-estimate; the
+        # segments published for that estimate must all be reclaimed (the
+        # registry's warm schedule segment stays owned, not leaked).
+        from repro.estimators.correlated import CorrelatedNormalEstimator
+        from repro.estimators.second_order import SecondOrderEstimator
+        from repro.failures.models import ExponentialErrorModel
+        from repro.workflows.registry import build_dag
+
+        graph = build_dag("cholesky", 5)
+        model = ExponentialErrorModel.for_graph(graph, 1e-2)
+        monkeypatch.setenv("REPRO_EXEC_FAULTS", "kill@0")
+        monkeypatch.setenv("REPRO_EXEC_BACKOFF", "0")
+        before = _leaked_shm_segments()
+
+        correlated = CorrelatedNormalEstimator(
+            workers=2, exec_backend="processes", exec_retries=2
+        ).estimate(graph, model)
+        second = SecondOrderEstimator(
+            workers=2, exec_backend="processes", exec_retries=2
+        ).estimate(graph, model)
+
+        assert _leaked_shm_segments() <= before
+        assert correlated.details["execution"]["pool_rebuilds"] >= 1
+        monkeypatch.delenv("REPRO_EXEC_FAULTS")
+        clean = SecondOrderEstimator(
+            workers=2, exec_backend="processes"
+        ).estimate(graph, model)
+        assert second.expected_makespan == clean.expected_makespan
 
     def test_mc_degrades_processes_to_threads_bit_identical(self, monkeypatch):
         # End to end through the engine: a dead process backend falls back

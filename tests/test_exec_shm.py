@@ -1,0 +1,449 @@
+"""Tests of the zero-copy shared-memory kernel plane (``repro.exec.shm``).
+
+Three layers, mirroring the module's contract:
+
+* **segments** — a dict of arrays packs into one POSIX block with a
+  picklable, 64-byte-aligned layout, and attaches back to bit-identical
+  zero-copy views (same physical pages, so writes are visible both ways);
+* **registry** — publications are content-addressed, deduplicated and
+  refcounted; ``REPRO_EXEC_SHM`` picks warm-vs-eager unlinking, and
+  ``clear()`` always empties ``/dev/shm``;
+* **estimators** — correlated and second-order folds on the ``processes``
+  backend are bit-identical to serial/threads at any worker count, the MC
+  backend's workers build kernels from the warm segment without ever
+  recompiling the schedule, and no run leaks a segment.
+"""
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    WavefrontKernel,
+    schedule_arrays,
+    schedule_compilations,
+    schedule_for,
+    schedule_from_arrays,
+    seed_schedule_cache,
+)
+from repro.estimators.correlated import CorrelatedNormalEstimator
+from repro.estimators.second_order import SecondOrderEstimator
+from repro.exec.shm import (
+    REGISTRY,
+    AttachedSegment,
+    SegmentRegistry,
+    SharedSegment,
+    attach_segment,
+    content_key,
+    detach_segment,
+    shm_enabled,
+)
+from repro.failures.models import ExponentialErrorModel
+from repro.workflows.registry import build_dag
+
+
+def _processes_available() -> bool:
+    try:
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=multiprocessing.get_context()
+        ) as pool:
+            return pool.submit(int, 1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
+HAS_PROCESSES = _processes_available()
+
+needs_processes = pytest.mark.skipif(
+    not HAS_PROCESSES, reason="process pools unavailable"
+)
+
+
+def _shm_entries():
+    base = "/dev/shm"
+    if not os.path.isdir(base):  # pragma: no cover - non-POSIX fallback
+        return set()
+    return {name for name in os.listdir(base) if name.startswith("psm_")}
+
+
+# ----------------------------------------------------------------------
+# content_key
+# ----------------------------------------------------------------------
+class TestContentKey:
+    def test_equal_inputs_equal_keys(self):
+        a = np.arange(12, dtype=np.int64)
+        assert content_key("s", a, 3) == content_key("s", a.copy(), 3)
+
+    def test_dtype_shape_and_bytes_all_matter(self):
+        a = np.arange(12, dtype=np.int64)
+        base = content_key(a)
+        assert content_key(a.astype(np.int32)) != base
+        assert content_key(a.reshape(3, 4)) != base
+        tweaked = a.copy()
+        tweaked[5] += 1
+        assert content_key(tweaked) != base
+
+    def test_scalar_parts_distinguish(self):
+        assert content_key("schedule", "up") != content_key("schedule", "down")
+        assert content_key(1) != content_key("1")
+
+
+# ----------------------------------------------------------------------
+# SharedSegment / AttachedSegment
+# ----------------------------------------------------------------------
+class TestSharedSegment:
+    def test_pack_attach_round_trip(self):
+        arrays = {
+            "f": np.linspace(0.0, 1.0, 17),
+            "i": np.arange(40, dtype=np.int64).reshape(8, 5),
+            "b": np.array([True, False, True]),
+            "empty": np.empty(0, dtype=np.float64),
+        }
+        segment = SharedSegment.create(arrays)
+        try:
+            attached = AttachedSegment(segment.name, segment.layout)
+            try:
+                assert set(attached.arrays) == set(arrays)
+                for name, source in arrays.items():
+                    view = attached.arrays[name]
+                    assert view.dtype == source.dtype
+                    assert view.shape == source.shape
+                    np.testing.assert_array_equal(view, source)
+            finally:
+                attached.close()
+        finally:
+            segment.destroy()
+
+    def test_views_are_aligned_and_shared(self):
+        segment = SharedSegment.create(
+            {"a": np.zeros(3), "b": np.arange(5, dtype=np.int32)}
+        )
+        try:
+            for _name, _dtype, _shape, offset in segment.layout:
+                assert offset % 64 == 0
+            attached = AttachedSegment(segment.name, segment.layout)
+            try:
+                # Same physical pages: a write through the owner's view is
+                # visible through the attachment (and vice versa).
+                segment.arrays["a"][1] = 7.5
+                assert attached.arrays["a"][1] == 7.5
+                attached.arrays["b"][0] = -3
+                assert segment.arrays["b"][0] == -3
+            finally:
+                attached.close()
+        finally:
+            segment.destroy()
+
+    def test_layout_is_picklable(self):
+        import pickle
+
+        segment = SharedSegment.create({"x": np.arange(4)})
+        try:
+            layout = pickle.loads(pickle.dumps(segment.layout))
+            assert layout == segment.layout
+        finally:
+            segment.destroy()
+
+    def test_destroy_is_idempotent_and_unlinks(self):
+        segment = SharedSegment.create({"x": np.zeros(2)})
+        name = segment.name
+        segment.destroy()
+        segment.destroy()  # second unlink is a no-op, not an error
+        assert name not in _shm_entries()
+
+    def test_attach_cache_shares_one_mapping(self):
+        segment = SharedSegment.create({"x": np.arange(6)})
+        try:
+            first = attach_segment(segment.name, segment.layout)
+            again = attach_segment(segment.name, segment.layout)
+            assert again is first
+            detach_segment(segment.name)
+            detach_segment(segment.name)  # idempotent
+            fresh = attach_segment(segment.name, segment.layout)
+            assert fresh is not first
+            detach_segment(segment.name)
+        finally:
+            segment.destroy()
+
+
+# ----------------------------------------------------------------------
+# SegmentRegistry
+# ----------------------------------------------------------------------
+class TestSegmentRegistry:
+    def test_publish_deduplicates_by_key(self):
+        registry = SegmentRegistry()
+        built = []
+
+        def builder():
+            built.append(1)
+            return {"x": np.arange(8)}
+
+        try:
+            first = registry.publish("k", builder)
+            second = registry.publish("k", builder)
+            assert second is first
+            assert built == [1]  # builder ran on the miss only
+            assert (registry.hits, registry.misses) == (1, 1)
+            assert registry.contains("k") and len(registry) == 1
+        finally:
+            registry.clear()
+
+    def test_release_keeps_segment_warm_when_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM", "1")
+        registry = SegmentRegistry()
+        try:
+            segment = registry.publish("k", {"x": np.zeros(3)})
+            registry.release("k")
+            assert registry.contains("k")
+            assert segment.name in _shm_entries()
+            assert registry.publish("k", {"x": np.zeros(3)}) is segment
+            assert registry.hits == 1
+        finally:
+            registry.clear()
+
+    def test_release_unlinks_eagerly_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM", "0")
+        registry = SegmentRegistry()
+        segment = registry.publish("k", {"x": np.zeros(3)})
+        name = segment.name
+        registry.release("k")
+        assert not registry.contains("k") and len(registry) == 0
+        assert name not in _shm_entries()
+        registry.release("k")  # releasing an absent key is a no-op
+
+    def test_refcount_outlives_intermediate_releases(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM", "0")
+        registry = SegmentRegistry()
+        segment = registry.publish("k", {"x": np.zeros(3)})
+        registry.publish("k", {"x": np.zeros(3)})
+        registry.release("k")
+        assert segment.name in _shm_entries()  # one user still holds it
+        registry.release("k")
+        assert segment.name not in _shm_entries()
+
+    def test_clear_unlinks_everything(self):
+        registry = SegmentRegistry()
+        names = [
+            registry.publish(key, {"x": np.zeros(2)}).name for key in "abc"
+        ]
+        registry.clear()
+        assert len(registry) == 0
+        assert not (_shm_entries() & set(names))
+        registry.clear()  # idempotent
+
+    def test_shm_enabled_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_SHM", raising=False)
+        assert shm_enabled() and not shm_enabled(default=False)
+        for raw, expected in (
+            ("1", True), ("true", True), ("YES", True), (" on ", True),
+            ("0", False), ("false", False), ("No", False), ("off", False),
+        ):
+            monkeypatch.setenv("REPRO_EXEC_SHM", raw)
+            assert shm_enabled() is expected
+        monkeypatch.setenv("REPRO_EXEC_SHM", "banana")
+        assert shm_enabled() and not shm_enabled(default=False)
+
+
+# ----------------------------------------------------------------------
+# Schedule flattening: the zero-recompile path
+# ----------------------------------------------------------------------
+class TestScheduleSegments:
+    def test_round_trip_matches_compiled_schedule(self):
+        index = build_dag("lu", 6).index()
+        schedule = schedule_for(index, "up")
+        rebuilt = schedule_from_arrays(schedule_arrays(schedule))
+        assert rebuilt.num_tasks == schedule.num_tasks
+        assert rebuilt.max_group_rows == schedule.max_group_rows
+        assert rebuilt.max_edge_level_span == schedule.max_edge_level_span
+        for name in ("level_indptr", "level_order", "perm", "rank",
+                     "group_indptr", "task_level", "row_level"):
+            np.testing.assert_array_equal(
+                getattr(rebuilt, name), getattr(schedule, name)
+            )
+        assert len(rebuilt.groups) == len(schedule.groups)
+        for ours, theirs in zip(rebuilt.groups, schedule.groups):
+            assert (ours.start, ours.stop) == (theirs.start, theirs.stop)
+            np.testing.assert_array_equal(ours.preds, theirs.preds)
+
+    def test_rebuild_and_seed_never_recompile(self):
+        index = build_dag("cholesky", 5).index()
+        arrays = schedule_arrays(schedule_for(index, "up"))
+        before = schedule_compilations()
+        rebuilt = schedule_from_arrays(arrays)
+        # A fresh index (same DAG, empty cache) seeded with the rebuilt
+        # schedule serves every downstream consumer without compiling.
+        fresh = build_dag("cholesky", 5).index()
+        seed_schedule_cache(fresh, "up", rebuilt)
+        assert schedule_for(fresh, "up") is rebuilt
+        kernel = WavefrontKernel(fresh)
+        assert kernel.schedule is rebuilt
+        assert schedule_compilations() == before
+
+    def test_round_trip_through_a_real_segment(self):
+        index = build_dag("qr", 5).index()
+        schedule = schedule_for(index, "up")
+        segment = SharedSegment.create(schedule_arrays(schedule))
+        try:
+            attached = AttachedSegment(segment.name, segment.layout)
+            try:
+                before = schedule_compilations()
+                rebuilt = schedule_from_arrays(attached.arrays)
+                assert schedule_compilations() == before
+                kernel = WavefrontKernel.from_schedule(rebuilt, direction="up")
+                reference = WavefrontKernel(index)
+                weights = index.weights.astype(np.float64)
+                np.testing.assert_array_equal(
+                    kernel.run(weights[None, :]),
+                    reference.run(weights[None, :]),
+                )
+            finally:
+                attached.close()
+        finally:
+            segment.destroy()
+
+
+# ----------------------------------------------------------------------
+# MC processes backend: warm segments, zero worker rebuilds
+# ----------------------------------------------------------------------
+class TestMonteCarloWarmSegment:
+    def test_worker_state_skips_schedule_compilation(self):
+        # Build the worker-process slot *in this process* from the exact
+        # spec the backend ships, and watch the compile counter: a spec
+        # carrying a schedule segment must not recompile, the legacy spec
+        # (no segment) must.
+        from repro.core.serialize import graph_to_dict
+        from repro.sim.executors import _ProcessSpec, _ProcessWorkerState
+        from multiprocessing import shared_memory
+
+        graph = build_dag("cholesky", 4)
+        model = ExponentialErrorModel.for_graph(graph, 1e-2)
+        schedule_segment = SharedSegment.create(
+            schedule_arrays(schedule_for(graph.index(), "up"))
+        )
+        out = shared_memory.SharedMemory(create=True, size=256 * 8)
+
+        def spec(**extra):
+            return _ProcessSpec(
+                graph_payload=graph_to_dict(graph),
+                model=model,
+                mode="two-state",
+                reexecution_factor=2.0,
+                dtype="float64",
+                capacity=256,
+                shm_name=out.name,
+                total_trials=256,
+                **extra,
+            )
+
+        try:
+            before = schedule_compilations()
+            warm = _ProcessWorkerState(
+                spec(
+                    schedule_name=schedule_segment.name,
+                    schedule_layout=schedule_segment.layout,
+                )
+            )
+            warm.close()
+            assert schedule_compilations() == before  # zero rebuilds
+            cold = _ProcessWorkerState(spec())
+            cold.close()
+            assert schedule_compilations() > before  # legacy path recompiles
+        finally:
+            detach_segment(schedule_segment.name)
+            schedule_segment.destroy()
+            out.close()
+            out.unlink()
+
+    @needs_processes
+    def test_repeated_runs_reuse_one_warm_segment(self, monkeypatch):
+        from repro.sim.engine import MonteCarloEngine
+
+        monkeypatch.setenv("REPRO_EXEC_SHM", "1")
+        graph = build_dag("lu", 4)
+        model = ExponentialErrorModel.for_graph(graph, 1e-2)
+
+        def run():
+            return MonteCarloEngine(
+                graph, model, trials=2_000, batch_size=512, seed=3,
+                workers=2, backend="processes",
+            ).run()
+
+        first = run()
+        hits = REGISTRY.hits
+        size = len(REGISTRY)
+        second = run()
+        assert REGISTRY.hits > hits  # second run attached the warm segment
+        assert len(REGISTRY) == size  # ... instead of publishing a new one
+        assert second.mean == first.mean and second.std == first.std
+
+
+# ----------------------------------------------------------------------
+# Estimators on the processes backend: bit-identity and clean exits
+# ----------------------------------------------------------------------
+@needs_processes
+class TestEstimatorProcessParity:
+    @pytest.mark.parametrize("backend", ["dense", "banded", "lowrank"])
+    def test_correlated_processes_bit_identical(self, backend):
+        graph = build_dag("cholesky", 6)
+        model = ExponentialErrorModel.for_graph(graph, 1e-3)
+
+        def estimate(**kwargs):
+            result = CorrelatedNormalEstimator(
+                correlation_backend=backend, **kwargs
+            ).estimate(graph, model)
+            return (
+                result.expected_makespan,
+                result.details["makespan_variance"],
+            )
+
+        reference = estimate(workers=1)
+        assert estimate(workers=2, exec_backend="threads") == reference
+        for workers in (1, 2, 3):
+            assert (
+                estimate(workers=workers, exec_backend="processes")
+                == reference
+            )
+
+    def test_second_order_processes_bit_identical(self):
+        graph = build_dag("qr", 5)
+        model = ExponentialErrorModel.for_graph(graph, 1e-2)
+
+        def estimate(**kwargs):
+            return SecondOrderEstimator(**kwargs).estimate(
+                graph, model
+            ).expected_makespan
+
+        reference = estimate(workers=1)
+        assert estimate(workers=3, exec_backend="threads") == reference
+        for workers in (1, 2, 3):
+            assert (
+                estimate(workers=workers, exec_backend="processes")
+                == reference
+            )
+
+    def test_estimates_leave_no_unowned_segments(self):
+        graph = build_dag("lu", 5)
+        model = ExponentialErrorModel.for_graph(graph, 1e-3)
+        owned = lambda: {seg.name for seg in REGISTRY._segments.values()}
+        before = _shm_entries() - owned()
+        CorrelatedNormalEstimator(
+            workers=2, exec_backend="processes"
+        ).estimate(graph, model)
+        SecondOrderEstimator(
+            workers=2, exec_backend="processes"
+        ).estimate(graph, model)
+        after = _shm_entries() - owned()
+        assert after <= before
+
+    def test_registry_clear_reclaims_warm_schedule_segments(self):
+        graph = build_dag("cholesky", 5)
+        model = ExponentialErrorModel.for_graph(graph, 1e-2)
+        CorrelatedNormalEstimator(
+            workers=2, exec_backend="processes"
+        ).estimate(graph, model)
+        warm = {seg.name for seg in REGISTRY._segments.values()}
+        REGISTRY.clear()
+        assert not (_shm_entries() & warm)

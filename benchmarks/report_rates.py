@@ -14,9 +14,11 @@ violates a regression guard:
   Carlo backend entries (``benchmark = "mc_backends"``), parallel
   correlated-sweep entries (``benchmark = "correlated_parallel"``),
   shared-memory process-sweep entries (``benchmark =
-  "correlated_processes"``) and fault-tolerance entries (``benchmark = "exec_faults"``, where
+  "correlated_processes"``), fault-tolerance entries (``benchmark = "exec_faults"``, where
   ``speedup`` is the baseline/armed time ratio and the guard bounds the
-  zero-fault overhead of the policy machinery): the archived
+  zero-fault overhead of the policy machinery) and estimation-service
+  entries (``benchmark = "service"``, where ``speedup`` is the
+  warm-hit/cold-miss request-rate ratio): the archived
   ``guard_min`` per entry (``null`` when the guard did not apply at
   measurement time — small graph, or too few CPUs for the parallel
   comparisons).
@@ -51,6 +53,8 @@ def _entry_key(entry: dict) -> tuple:
         return ("corr-processes", entry["method"], entry["workflow"], entry["k"])
     if entry.get("benchmark") == "exec_faults":
         return ("exec-faults", entry["method"], entry["workflow"], entry["k"])
+    if entry.get("benchmark") == "service":
+        return ("service", entry["method"], entry["workflow"], entry["k"])
     return ("kernel", entry.get("dtype", "?"), entry.get("workflow", "?"), entry.get("k"))
 
 
@@ -58,7 +62,7 @@ def _entry_guard(entry: dict):
     """The minimal admissible speedup of one entry, or ``None``."""
     if entry.get("benchmark") in (
         "estimator_wavefront", "mc_backends", "correlated_parallel",
-        "correlated_processes", "exec_faults",
+        "correlated_processes", "exec_faults", "service",
     ):
         return entry.get("guard_min")
     if (
@@ -81,6 +85,8 @@ def _label(key: tuple) -> str:
         return f"corr-processes/{a:<13s} {b} k={k}"
     if kind == "exec-faults":
         return f"exec-faults/{a:<19s} {b} k={k}"
+    if kind == "service":
+        return f"service/{a:<12s} {b} k={k}"
     return f"kernel/{a:<13s} {b} k={k}"
 
 

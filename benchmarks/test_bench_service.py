@@ -1,0 +1,190 @@
+"""Estimation-service throughput: sustained requests/s over a socket.
+
+Runs an in-process :class:`repro.service.EstimationServer` and drives it
+with concurrent clients over real TCP connections on a mixed workload —
+a configurable fraction of requests repeat one DAG (content-addressed
+cache hits: the compiled schedule, warm shared-memory segment and pooled
+execution service are all reused) while the rest carry fresh DAGs
+(weight-perturbed, so every one is a distinct content key that must
+compile, publish and — under a budget — evict.)
+
+Regression guard (self-arming):
+
+* cache hits must make requests at least :data:`GUARD_SPEEDUP` x faster
+  than cold misses — armed only on DAGs with >=
+  :data:`GUARD_MIN_TASKS` tasks (cholesky k >= 24, where the schedule
+  compilation the cache elides dominates the per-request cost).  Below
+  that the rates are still measured and archived with ``guard_min =
+  null``.
+
+The measurements are archived (appended) to
+``benchmarks/results/kernel_rates.json`` with ``benchmark = "service"``
+so ``benchmarks/report_rates.py`` can track the trend PR-over-PR.
+
+Knobs: ``REPRO_BENCH_SIZES`` restricts the tile counts (default ``12``;
+``24`` arms the guard), ``REPRO_SERVICE_BENCH_REQUESTS`` the number of
+requests per phase (default 60) and ``REPRO_SERVICE_BENCH_CLIENTS`` the
+number of concurrent client threads (default 4).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.core.serialize import graph_from_dict, graph_to_dict
+from repro.service import EstimationServer, ServiceClient
+from repro.workflows.registry import build_dag
+
+from _common import archive_rates, throughput_bench_sizes
+
+DEFAULT_SIZES = (12,)
+
+GUARD_MIN_TASKS = 2_600  # cholesky k=24 has 2,600 tasks
+GUARD_SPEEDUP = 1.3
+METHOD = "normal"
+REPEAT_FRACTION = 0.5
+
+
+def _requests() -> int:
+    return int(os.environ.get("REPRO_SERVICE_BENCH_REQUESTS", "60"))
+
+
+def _clients() -> int:
+    return int(os.environ.get("REPRO_SERVICE_BENCH_CLIENTS", "4"))
+
+
+def _payloads(k: int, count: int):
+    """``count`` structurally identical DAGs with distinct content keys."""
+    base = graph_to_dict(build_dag("cholesky", k))
+    fresh = []
+    for tag in range(count):
+        payload = dict(base)
+        payload["tasks"] = [
+            dict(task, weight=task["weight"] * (1.0 + (tag + 1) * 1e-9))
+            for task in base["tasks"]
+        ]
+        fresh.append(payload)
+    return base, fresh
+
+
+def _drive(port: int, payloads, clients: int):
+    """Fire ``payloads`` from ``clients`` threads; return (seconds, responses)."""
+    lock = threading.Lock()
+    cursor = [0]
+    responses = []
+    errors = []
+
+    def worker():
+        with ServiceClient(port=port) as client:
+            while True:
+                with lock:
+                    if cursor[0] >= len(payloads):
+                        return
+                    payload = payloads[cursor[0]]
+                    cursor[0] += 1
+                try:
+                    response = client.estimate(payload, methods=[METHOD])
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+                with lock:
+                    responses.append(response)
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors[0]
+    return elapsed, responses
+
+
+def _entry(method, k, n, req, seconds, cold_rate, rate, clients, guard_min):
+    return {
+        "benchmark": "service",
+        "workflow": "cholesky",
+        "method": method,
+        "k": k,
+        "tasks": n,
+        "requests": req,
+        "clients": clients,
+        "seconds": round(seconds, 6),
+        "requests_per_second": round(req / seconds, 2),
+        "speedup": round(rate / cold_rate, 3) if cold_rate else None,
+        "guard_min": guard_min,
+    }
+
+
+def test_service_sustained_request_rate():
+    entries = []
+    clients = _clients()
+    requests = _requests()
+    print()
+    for k in throughput_bench_sizes(DEFAULT_SIZES):
+        base, fresh = _payloads(k, requests)
+        n = graph_from_dict(base).num_tasks
+        guarded = n >= GUARD_MIN_TASKS
+        with EstimationServer(workers=clients) as server:
+            # Cold: every request is a new content key (compile + publish).
+            cold_time, cold = _drive(server.port, fresh[:requests], clients)
+            assert all(not r["cached"] for r in cold)
+            cold_rate = requests / cold_time
+
+            # Warm: every request repeats the base DAG; after the first
+            # miss all of them are cache hits.
+            warm_time, warm = _drive(
+                server.port, [base] * requests, clients
+            )
+            assert sum(1 for r in warm if not r["cached"]) == 1
+            warm_rate = requests / warm_time
+
+            # Mixed: the headline sustained rate.  Interleave repeats of
+            # the base DAG with fresh keys, REPEAT_FRACTION repeated.
+            mixed_payloads = [
+                base if i % 2 == 0 else fresh[i % len(fresh)]
+                for i in range(requests)
+            ]
+            mixed_time, mixed = _drive(server.port, mixed_payloads, clients)
+            mixed_rate = requests / mixed_time
+            values = {r["estimates"][0]["expected_makespan"] for r in mixed}
+
+        # Every response of the mixed phase saw one of two DAG families;
+        # the repeated half must agree exactly with the warm phase.
+        warm_values = {r["estimates"][0]["expected_makespan"] for r in warm}
+        assert len(warm_values) == 1
+        assert warm_values <= values
+
+        guard = GUARD_SPEEDUP if guarded else None
+        entries.append(
+            _entry("cold", k, n, requests, cold_time, cold_rate,
+                   cold_rate, clients, None)
+        )
+        entries.append(
+            _entry("warm", k, n, requests, warm_time, cold_rate,
+                   warm_rate, clients, guard)
+        )
+        entries.append(
+            _entry("mixed", k, n, requests, mixed_time, cold_rate,
+                   mixed_rate, clients, None)
+        )
+        print(
+            f"  service k={k:3d} ({n:5d} tasks, {clients} clients): "
+            f"cold={cold_rate:7.1f} req/s  warm={warm_rate:7.1f} req/s  "
+            f"mixed={mixed_rate:7.1f} req/s  "
+            f"(warm/cold {warm_rate / cold_rate:5.2f}x)"
+        )
+        if guarded:
+            assert warm_rate / cold_rate >= GUARD_SPEEDUP, (
+                f"cache hits are only {warm_rate / cold_rate:.2f}x faster "
+                f"than misses (need {GUARD_SPEEDUP}x at {n} tasks)"
+            )
+
+    archive_rates(entries)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_service_sustained_request_rate()

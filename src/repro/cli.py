@@ -20,6 +20,9 @@ The CLI exposes the common workflows of the package without writing Python:
     # Schedule a DAG on a finite platform and simulate it under failures
     python -m repro schedule --workflow cholesky --size 8 --processors 4 \
         --pfail 0.01 --priority expected-first-order
+
+    # Run the long-lived estimation service (JSON lines over TCP)
+    python -m repro serve --port 8642 --cache-bytes 268435456
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -178,6 +182,22 @@ def build_parser() -> argparse.ArgumentParser:
                            "(also via REPRO_EST_WORKERS)")
     allp.add_argument("--output-dir", default=None, help="directory for CSV archives")
 
+    # serve --------------------------------------------------------------
+    srv = sub.add_parser(
+        "serve",
+        help="run the long-lived estimation service (JSON lines over TCP)",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="bind port (0 picks a free port; default 8642)")
+    srv.add_argument("--cache-bytes", type=int, default=None,
+                     help="byte budget of the schedule cache and the shared-"
+                          "memory segment registry (also via "
+                          "REPRO_SERVICE_CACHE_BYTES; default unbounded)")
+    srv.add_argument("--service-workers", type=int, default=None,
+                     help="concurrent estimation threads (also via "
+                          "REPRO_SERVICE_WORKERS; default 4)")
+
     # schedule -----------------------------------------------------------
     sch = sub.add_parser("schedule", help="CP-schedule a DAG and simulate it under failures")
     sch.add_argument("--workflow", required=True, choices=available_workflows())
@@ -322,6 +342,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the asyncio front end only loads when serving.
+    from .service.server import EstimationServer
+
+    server = EstimationServer(
+        args.host,
+        args.port,
+        cache_bytes=args.cache_bytes,
+        workers=args.service_workers,
+    )
+    # Bind before announcing, so `--port 0` reports the port it drew.
+    server.start()
+    print(
+        f"estimation service on {args.host}:{server.port} — "
+        f"{server.workers} workers, cache "
+        f"{server.cache_bytes if server.cache_bytes is not None else 'unbounded'}"
+        f"{' bytes' if server.cache_bytes is not None else ''} "
+        "(Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("estimation service stopped", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     graph = build_dag(args.workflow, args.size)
     model = ExponentialErrorModel.for_graph(graph, args.pfail)
@@ -350,6 +399,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_estimate(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "schedule":
         return _cmd_schedule(args)
     parser.error(f"unknown command {args.command!r}")

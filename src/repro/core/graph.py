@@ -253,6 +253,7 @@ class TaskGraph:
         self._pred: Dict[TaskId, Dict[TaskId, Dict[str, Any]]] = {}
         self._num_edges = 0
         self._index_cache: Optional[GraphIndex] = None
+        self._pos_cache: Optional[Dict[TaskId, int]] = None
 
     # ------------------------------------------------------------------
     # Basic construction / mutation
@@ -369,6 +370,13 @@ class TaskGraph:
 
     def _invalidate(self) -> None:
         self._index_cache = None
+        self._pos_cache = None
+
+    def _positions(self) -> Dict[TaskId, int]:
+        """Task-id -> insertion position, the canonical neighbour order."""
+        if self._pos_cache is None:
+            self._pos_cache = {tid: i for i, tid in enumerate(self._tasks)}
+        return self._pos_cache
 
     # ------------------------------------------------------------------
     # Queries
@@ -443,16 +451,24 @@ class TaskGraph:
         return src in self._succ and dst in self._succ[src]
 
     def successors(self, task_id: TaskId) -> List[TaskId]:
-        """Successor identifiers of a task (``Succ(i)`` in the paper)."""
+        """Successor identifiers of a task (``Succ(i)`` in the paper).
+
+        Returned in canonical (task-insertion) order, matching the CSR
+        rows of :meth:`index` — edge-insertion order is an accident of
+        construction and must not leak into evaluation order.
+        """
         if task_id not in self._tasks:
             raise UnknownTaskError(task_id)
-        return list(self._succ[task_id])
+        return sorted(self._succ[task_id], key=self._positions().__getitem__)
 
     def predecessors(self, task_id: TaskId) -> List[TaskId]:
-        """Predecessor identifiers of a task (``Pred(i)`` in the paper)."""
+        """Predecessor identifiers of a task (``Pred(i)`` in the paper).
+
+        Returned in canonical (task-insertion) order; see :meth:`successors`.
+        """
         if task_id not in self._tasks:
             raise UnknownTaskError(task_id)
-        return list(self._pred[task_id])
+        return sorted(self._pred[task_id], key=self._positions().__getitem__)
 
     def in_degree(self, task_id: TaskId) -> int:
         """Number of predecessors."""
@@ -527,11 +543,9 @@ class TaskGraph:
         )
 
         # One flat pass per direction over the adjacency dictionaries yields
-        # each CSR index array already grouped by task (ascending index,
-        # dictionary insertion order within each segment — identical to the
-        # incremental construction); the pointer arrays follow from
-        # cumsum over the per-task counts.  No per-task Python loop fills
-        # array slices.
+        # each CSR index array already grouped by task (ascending index);
+        # the pointer arrays follow from cumsum over the per-task counts.
+        # No per-task Python loop fills array slices.
         m = self._num_edges
         succ_counts = np.fromiter(
             (len(succs) for succs in self._succ.values()), dtype=np.int64, count=n
@@ -549,6 +563,17 @@ class TaskGraph:
             dtype=np.int64,
             count=m,
         )
+        # Canonicalise neighbour order within each row.  Edge-insertion
+        # order is an accident of construction (a serialize round-trip
+        # regroups it), and both the content-addressed schedule keys and
+        # the floating-point reduction order in the kernels depend on
+        # these arrays — structurally identical graphs must index
+        # identically, bit for bit.
+        if m:
+            succ_rows = np.repeat(np.arange(n, dtype=np.int64), succ_counts)
+            succ_indices = succ_indices[np.lexsort((succ_indices, succ_rows))]
+            pred_rows = np.repeat(np.arange(n, dtype=np.int64), pred_counts)
+            pred_indices = pred_indices[np.lexsort((pred_indices, pred_rows))]
         succ_indptr = np.concatenate(([0], np.cumsum(succ_counts)))
         pred_indptr = np.concatenate(([0], np.cumsum(pred_counts)))
 

@@ -103,6 +103,7 @@ __all__ = [
     "schedule_arrays",
     "schedule_from_arrays",
     "schedule_compilations",
+    "schedule_nbytes",
     "seed_schedule_cache",
     "clark_max_moments_batched",
     "propagate_moments",
@@ -433,6 +434,29 @@ def schedule_arrays(schedule: LevelSchedule) -> Dict[str, np.ndarray]:
         "group_preds": group_preds,
         "scalars": scalars,
     }
+
+
+def schedule_nbytes(schedule: LevelSchedule) -> int:
+    """Resident bytes of a compiled schedule's arrays.
+
+    Counts the flat metadata vectors plus every group's predecessor block
+    — the same arrays :func:`schedule_arrays` would pack — without
+    materialising the flattened copies.  Cache layers (the estimation
+    service's :class:`~repro.service.cache.ScheduleCache`) use this for
+    their memory accounting.
+    """
+    total = (
+        schedule.level_indptr.nbytes
+        + schedule.level_order.nbytes
+        + schedule.perm.nbytes
+        + schedule.rank.nbytes
+        + schedule.group_indptr.nbytes
+        + schedule.task_level.nbytes
+        + schedule.row_level.nbytes
+    )
+    for group in schedule.groups:
+        total += group.preds.nbytes
+    return int(total)
 
 
 def schedule_from_arrays(arrays: Dict[str, np.ndarray]) -> LevelSchedule:

@@ -443,6 +443,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         exec_retries: Optional[int] = None,
         exec_timeout: Optional[float] = None,
         exec_on_failure: Optional[str] = None,
+        service_pool=None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -497,6 +498,36 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         self.exec_retries = exec_retries
         self.exec_timeout = exec_timeout
         self.exec_on_failure = exec_on_failure
+        #: Optional :class:`~repro.service.cache.ServicePool` (duck-typed:
+        #: ``lease``/``restore``).  When set, the per-estimate
+        #: ParallelService is leased with warm worker pools instead of
+        #: constructed, and restored instead of closed — the seam the
+        #: estimation server uses to amortise pool spin-up across
+        #: requests.  Purely an allocation concern: results are identical.
+        self.service_pool = service_pool
+
+    def _acquire_service(self) -> ParallelService:
+        if self.service_pool is not None:
+            return self.service_pool.lease(
+                workers=self.workers,
+                backend=self.exec_backend,
+                retries=self.exec_retries,
+                timeout=self.exec_timeout,
+                on_failure=self.exec_on_failure,
+            )
+        return ParallelService(
+            workers=self.workers,
+            backend=self.exec_backend,
+            retries=self.exec_retries,
+            timeout=self.exec_timeout,
+            on_failure=self.exec_on_failure,
+        )
+
+    def _release_service(self, service: ParallelService) -> None:
+        if self.service_pool is not None:
+            self.service_pool.restore(service)
+        else:
+            service.close()
 
     @staticmethod
     def _fold_partition(
@@ -754,13 +785,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         # The per-level fold partitions: whole groups on one worker (the
         # historical evaluation order), row chunks of the degree groups
         # when the service spreads a level over several workers.
-        service = ParallelService(
-            workers=self.workers,
-            backend=self.exec_backend,
-            retries=self.exec_retries,
-            timeout=self.exec_timeout,
-            on_failure=self.exec_on_failure,
-        )
+        service = self._acquire_service()
         shared = service.backend == "processes"
         state = static_key = spec = None
         if shared:
@@ -850,7 +875,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
                 mean[sink_rows], var[sink_rows], store.pair_matrix(sink_rows)
             )
         finally:
-            service.close()
+            self._release_service(service)
             if shared:
                 # Order matters for hygiene: drop this process's cached
                 # attachments (built by degradation slots, if any) before

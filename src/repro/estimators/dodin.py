@@ -238,6 +238,7 @@ class DodinEstimator(MakespanEstimator):
         exec_retries: Optional[int] = None,
         exec_timeout: Optional[float] = None,
         exec_on_failure: Optional[str] = None,
+        service_pool=None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -253,6 +254,31 @@ class DodinEstimator(MakespanEstimator):
         self.exec_retries = exec_retries
         self.exec_timeout = exec_timeout
         self.exec_on_failure = exec_on_failure
+        #: Optional lease/restore pool of ParallelService instances (the
+        #: estimation server's warm-pool seam); ``None`` keeps the
+        #: construct-per-estimate behaviour.  Results are identical.
+        self.service_pool = service_pool
+
+    def _acquire_service(self) -> ParallelService:
+        if self.service_pool is not None:
+            return self.service_pool.lease(
+                workers=self.workers,
+                retries=self.exec_retries,
+                timeout=self.exec_timeout,
+                on_failure=self.exec_on_failure,
+            )
+        return ParallelService(
+            workers=self.workers,
+            retries=self.exec_retries,
+            timeout=self.exec_timeout,
+            on_failure=self.exec_on_failure,
+        )
+
+    def _release_service(self, service: ParallelService) -> None:
+        if self.service_pool is not None:
+            self.service_pool.restore(service)
+        else:
+            service.close()
 
     # ------------------------------------------------------------------
     def _build_network(
@@ -489,56 +515,56 @@ class DodinEstimator(MakespanEstimator):
         cap = self.max_duplications
         if cap is None:
             cap = 50 * (graph.num_tasks + graph.num_edges + 10)
-        service = ParallelService(
-            workers=self.workers,
-            retries=self.exec_retries,
-            timeout=self.exec_timeout,
-            on_failure=self.exec_on_failure,
-        )
+        service = self._acquire_service()
 
         duplications = 0
         rounds = 0
         join_rounds = 0
-        while True:
-            # Exhaust series reductions in rounds of independent arc groups
-            # (the induced parallel merges happen at the end of each round).
+        try:
             while True:
-                selected = self._select_series_round(network, source, sink)
-                if not selected:
+                # Exhaust series reductions in rounds of independent arc
+                # groups (the induced parallel merges happen at the end of
+                # each round).
+                while True:
+                    selected = self._select_series_round(network, source, sink)
+                    if not selected:
+                        break
+                    self._reduce_series_round(network, selected, service)
+                    rounds += 1
+
+                # Finished when only source and sink remain (vertex deletion
+                # never touches the terminals, so two survivors mean only the
+                # source->sink arc is left).
+                if len(network.succ) <= 2:
                     break
-                self._reduce_series_round(network, selected, service)
-                rounds += 1
 
-            # Finished when only source and sink remain (vertex deletion
-            # never touches the terminals, so two survivors mean only the
-            # source->sink arc is left).
-            if len(network.succ) <= 2:
-                break
-
-            # No series vertex available: duplicate one round of
-            # independent (non-adjacent) joins, deepest first — pulled
-            # from the incrementally maintained level buckets instead of
-            # an O(|V|) candidate scan per round.
-            deepest = network.deepest_join_level(exclude=(source, sink))
-            if deepest is None:
-                raise EstimationError(
-                    "Dodin reduction is stuck without a join vertex; "
-                    "the input graph is malformed"
-                )
-            joins = network.joins_at_level(deepest, exclude=(source, sink))
-            for v, tail in self._select_join_round(network, joins):
-                moved_law = network.remove_arc(tail, v)
-                copy = network.new_vertex(network.rank[v], network.level[v])
-                network.add_arc(tail, copy, moved_law)
-                for head, law in list(network.succ[v].items()):
-                    network.add_arc(copy, head, law)
-                duplications += 1
-                if duplications > cap:
+                # No series vertex available: duplicate one round of
+                # independent (non-adjacent) joins, deepest first — pulled
+                # from the incrementally maintained level buckets instead of
+                # an O(|V|) candidate scan per round.
+                deepest = network.deepest_join_level(exclude=(source, sink))
+                if deepest is None:
                     raise EstimationError(
-                        f"Dodin node duplication exceeded the safety cap ({cap}); "
-                        "increase max_duplications or use another estimator"
+                        "Dodin reduction is stuck without a join vertex; "
+                        "the input graph is malformed"
                     )
-            join_rounds += 1
+                joins = network.joins_at_level(deepest, exclude=(source, sink))
+                for v, tail in self._select_join_round(network, joins):
+                    moved_law = network.remove_arc(tail, v)
+                    copy = network.new_vertex(network.rank[v], network.level[v])
+                    network.add_arc(tail, copy, moved_law)
+                    for head, law in list(network.succ[v].items()):
+                        network.add_arc(copy, head, law)
+                    duplications += 1
+                    if duplications > cap:
+                        raise EstimationError(
+                            f"Dodin node duplication exceeded the safety cap "
+                            f"({cap}); increase max_duplications or use "
+                            "another estimator"
+                        )
+                join_rounds += 1
+        finally:
+            self._release_service(service)
 
         final_law = network.succ[source].get(sink)
         if final_law is None:

@@ -246,6 +246,7 @@ class SecondOrderEstimator(MakespanEstimator):
         exec_retries: Optional[int] = None,
         exec_timeout: Optional[float] = None,
         exec_on_failure: Optional[str] = None,
+        service_pool=None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -263,6 +264,33 @@ class SecondOrderEstimator(MakespanEstimator):
         self.exec_retries = exec_retries
         self.exec_timeout = exec_timeout
         self.exec_on_failure = exec_on_failure
+        #: Optional lease/restore pool of ParallelService instances (the
+        #: estimation server's warm-pool seam); ``None`` keeps the
+        #: construct-per-estimate behaviour.  Results are identical.
+        self.service_pool = service_pool
+
+    def _acquire_service(self) -> ParallelService:
+        if self.service_pool is not None:
+            return self.service_pool.lease(
+                workers=self.workers,
+                backend=self.exec_backend,
+                retries=self.exec_retries,
+                timeout=self.exec_timeout,
+                on_failure=self.exec_on_failure,
+            )
+        return ParallelService(
+            workers=self.workers,
+            backend=self.exec_backend,
+            retries=self.exec_retries,
+            timeout=self.exec_timeout,
+            on_failure=self.exec_on_failure,
+        )
+
+    def _release_service(self, service: ParallelService) -> None:
+        if self.service_pool is not None:
+            self.service_pool.restore(service)
+        else:
+            service.close()
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         index = graph.index()
@@ -331,13 +359,7 @@ class SecondOrderEstimator(MakespanEstimator):
                         worst = max(worst, float(d_pair.max()))
                 return contribution, probability, worst
 
-            service = ParallelService(
-                workers=self.workers,
-                backend=self.exec_backend,
-                retries=self.exec_retries,
-                timeout=self.exec_timeout,
-                on_failure=self.exec_on_failure,
-            )
+            service = self._acquire_service()
             shared = service.backend == "processes"
             if shared:
                 csr = (
@@ -384,7 +406,7 @@ class SecondOrderEstimator(MakespanEstimator):
                     ]
                     partials = service.run(sweep_chunk, chunks, slots=slots)
             finally:
-                service.close()
+                self._release_service(service)
                 if shared:
                     detach_segment(vectors.name)
                     detach_segment(up_seg.name)

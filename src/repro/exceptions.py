@@ -22,6 +22,7 @@ __all__ = [
     "SchedulingError",
     "ExperimentError",
     "SerializationError",
+    "ServiceError",
 ]
 
 
@@ -120,3 +121,7 @@ class ExperimentError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when a task graph cannot be parsed from or written to disk."""
+
+
+class ServiceError(ReproError):
+    """Raised for malformed estimation-service requests or transport faults."""

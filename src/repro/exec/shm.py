@@ -37,8 +37,9 @@ import atexit
 import hashlib
 import os
 import threading
+import warnings
 from multiprocessing import resource_tracker, shared_memory
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -65,6 +66,11 @@ _FALSY = {"0", "false", "no", "off"}
 SegmentLayout = Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
 
 
+#: ``REPRO_EXEC_SHM`` spellings already warned about (warn once per value,
+#: not once per call — the knob is consulted on every registry release).
+_WARNED_SHM_VALUES: set = set()
+
+
 def shm_enabled(default: bool = True) -> bool:
     """Whether published segments stay warm for re-use (``REPRO_EXEC_SHM``).
 
@@ -72,6 +78,11 @@ def shm_enabled(default: bool = True) -> bool:
     backend still needs segments to exist while a run is in flight — it
     makes the registry unlink each segment as soon as its last user
     releases it instead of keeping it warm for the next run.
+
+    An unrecognised value falls back to ``default`` but warns once (per
+    value, per process), matching the loud-on-typo convention of the
+    ``resolve_exec_*`` knobs instead of silently swallowing e.g.
+    ``REPRO_EXEC_SHM=flase``.
     """
     raw = os.environ.get("REPRO_EXEC_SHM")
     if raw is None:
@@ -81,6 +92,15 @@ def shm_enabled(default: bool = True) -> bool:
         return True
     if text in _FALSY:
         return False
+    if raw not in _WARNED_SHM_VALUES:
+        _WARNED_SHM_VALUES.add(raw)
+        warnings.warn(
+            f"unrecognised REPRO_EXEC_SHM value {raw!r}; expected one of "
+            f"{'/'.join(sorted(_TRUTHY))} or {'/'.join(sorted(_FALSY))} — "
+            f"falling back to the default ({default})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return default
 
 
@@ -122,6 +142,15 @@ def _map_views(buf, layout: SegmentLayout) -> Dict[str, np.ndarray]:
     return views
 
 
+#: Serialises the pre-3.13 ``resource_tracker.register`` swap below: the
+#: monkeypatch is process-global state, and two threads attaching
+#: concurrently could otherwise interleave their save/restore and leave
+#: tracker registration suppressed (leak warnings lost forever) or
+#: re-enabled mid-attach (the worker "owns" — and later destroys — a
+#: segment it merely attached).
+_TRACKER_LOCK = threading.Lock()
+
+
 def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without resource-tracker ownership.
 
@@ -129,17 +158,19 @@ def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
     not register it with their ``resource_tracker`` or the segment would be
     destroyed (with a warning) when the *worker* exits.  Python >= 3.13
     exposes ``track=False`` for exactly this; older versions need the
-    registration suppressed manually.
+    registration suppressed manually — under :data:`_TRACKER_LOCK`, since
+    the suppression is a process-global monkeypatch.
     """
     try:
         return shared_memory.SharedMemory(name=name, track=False)
     except TypeError:
-        original = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
-            return shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
+        with _TRACKER_LOCK:
+            original = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                return shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
 
 
 class SharedSegment:
@@ -170,6 +201,11 @@ class SharedSegment:
     @property
     def name(self) -> str:
         return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the underlying block (the segment's resident footprint)."""
+        return int(self._shm.size)
 
     def close(self) -> None:
         self.arrays = {}
@@ -246,32 +282,133 @@ class SegmentRegistry:
     :func:`shm_enabled` holds and unlinked immediately otherwise.
     :meth:`clear` (registered ``atexit``) unlinks everything, so normal
     interpreter exit never leaks a ``/dev/shm`` entry.
+
+    **Concurrency.**  A miss materialises the builder's arrays *outside*
+    the registry lock — one large publication must not serialise every
+    concurrent publish/release/attach in the process (a multi-request
+    server publishes many independent DAGs at once).  Same-key publishers
+    still coalesce onto one build through a per-key in-flight latch:
+    late arrivals wait on the latch and then take the hit path, so the
+    builder runs at most once per key.
+
+    **Memory budget.**  Warm zero-reference segments historically lived
+    until :meth:`clear`; a workload of ever-fresh DAGs therefore grew
+    ``/dev/shm`` without bound.  :meth:`set_budget` arms LRU eviction:
+    whenever resident bytes exceed the budget, least-recently-used
+    segments *without* live references are unlinked (``evictions``).
+    Referenced segments are never evicted — the budget is a target, and
+    in-flight publications may transiently exceed it.  :meth:`evict`
+    force-unlinks one named warm segment (cache layers above the registry
+    use it to drop a key they no longer want regardless of the budget).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, budget: Optional[int] = None) -> None:
         self._segments: Dict[str, SharedSegment] = {}
         self._refs: Dict[str, int] = {}
+        self._pending: Dict[str, threading.Event] = {}
+        self._stamp: Dict[str, int] = {}
+        self._counter = 0
+        self._bytes = 0
+        self._budget = budget
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
+    # -- bookkeeping (all under self._lock) ----------------------------
+    def _touch(self, key: str) -> None:
+        self._counter += 1
+        self._stamp[key] = self._counter
+
+    def _pop_locked(self, key: str) -> SharedSegment:
+        segment = self._segments.pop(key)
+        del self._refs[key]
+        self._stamp.pop(key, None)
+        self._bytes -= segment.nbytes
+        return segment
+
+    def _trim_locked(self) -> List[SharedSegment]:
+        """Pop LRU zero-ref segments until resident bytes fit the budget."""
+        if self._budget is None:
+            return []
+        dropped = []
+        while self._bytes > self._budget:
+            idle = [k for k, refs in self._refs.items() if refs <= 0]
+            if not idle:
+                break
+            victim = min(idle, key=lambda k: self._stamp.get(k, 0))
+            dropped.append(self._pop_locked(victim))
+            self.evictions += 1
+        return dropped
+
+    @staticmethod
+    def _destroy(segments: List[SharedSegment]) -> None:
+        for segment in segments:
+            detach_segment(segment.name)
+            segment.destroy()
+
+    # -- budget --------------------------------------------------------
+    @property
+    def budget(self) -> Optional[int]:
+        """Resident-byte target of the LRU eviction (``None`` = unbounded)."""
+        with self._lock:
+            return self._budget
+
+    def set_budget(self, budget: Optional[int]) -> None:
+        """Arm (or disarm, with ``None``) the LRU memory budget."""
+        if budget is not None and budget < 0:
+            raise ValueError("registry budget must be >= 0 bytes (or None)")
+        with self._lock:
+            self._budget = budget
+            dropped = self._trim_locked()
+        self._destroy(dropped)
+
+    def resident_bytes(self) -> int:
+        """Total bytes of all published (referenced or warm) segments."""
+        with self._lock:
+            return self._bytes
+
+    # -- publish / release ---------------------------------------------
     def publish(
         self,
         key: str,
         builder: Union[Dict[str, np.ndarray], Callable[[], Dict[str, np.ndarray]]],
     ) -> SharedSegment:
-        with self._lock:
-            segment = self._segments.get(key)
-            if segment is not None:
-                self.hits += 1
-                self._refs[key] += 1
-                return segment
+        while True:
+            with self._lock:
+                segment = self._segments.get(key)
+                if segment is not None:
+                    self.hits += 1
+                    self._refs[key] += 1
+                    self._touch(key)
+                    return segment
+                latch = self._pending.get(key)
+                if latch is None:
+                    latch = threading.Event()
+                    self._pending[key] = latch
+                    break
+            # Another thread is materialising this key: wait for its latch
+            # and re-check (hit if it succeeded, claim the build if not).
+            latch.wait()
+        try:
             arrays = builder() if callable(builder) else builder
             segment = SharedSegment.create(arrays)
+        except BaseException:
+            with self._lock:
+                del self._pending[key]
+            latch.set()
+            raise
+        with self._lock:
+            del self._pending[key]
             self._segments[key] = segment
             self._refs[key] = 1
+            self._bytes += segment.nbytes
             self.misses += 1
-            return segment
+            self._touch(key)
+            dropped = self._trim_locked()
+        latch.set()
+        self._destroy(dropped)
+        return segment
 
     def release(self, key: str) -> None:
         with self._lock:
@@ -279,13 +416,26 @@ class SegmentRegistry:
                 return
             self._refs[key] -= 1
             if self._refs[key] <= 0 and not shm_enabled():
-                segment = self._segments.pop(key)
-                del self._refs[key]
+                dropped = [self._pop_locked(key)]
             else:
-                segment = None
-        if segment is not None:
-            detach_segment(segment.name)
-            segment.destroy()
+                dropped = self._trim_locked()
+        self._destroy(dropped)
+
+    def evict(self, key: str) -> bool:
+        """Unlink the warm segment of ``key`` now, regardless of budget.
+
+        Returns ``False`` (and leaves the segment alone) when the key is
+        unknown or still referenced — callers release their own reference
+        first; a concurrent holder's reference keeps the segment alive
+        until *it* releases, at which point the budget path reclaims it.
+        """
+        with self._lock:
+            if key not in self._segments or self._refs[key] > 0:
+                return False
+            segment = self._pop_locked(key)
+            self.evictions += 1
+        self._destroy([segment])
+        return True
 
     def contains(self, key: str) -> bool:
         with self._lock:
@@ -301,9 +451,9 @@ class SegmentRegistry:
             segments = list(self._segments.values())
             self._segments.clear()
             self._refs.clear()
-        for segment in segments:
-            detach_segment(segment.name)
-            segment.destroy()
+            self._stamp.clear()
+            self._bytes = 0
+        self._destroy(segments)
 
 
 #: The process-global registry used by the estimators and MC backends.

@@ -35,6 +35,8 @@ __all__ = [
     "execution_on_failure",
     "execution_backend",
     "execution_options",
+    "service_cache_bytes",
+    "service_workers",
     "EXEC_ON_FAILURE",
     "EXEC_BACKEND_CHOICES",
     "PARALLEL_ESTIMATORS",
@@ -408,6 +410,57 @@ def execution_options(
     if resolved_policy is not None:
         options["exec_on_failure"] = resolved_policy
     return options
+
+
+def service_cache_bytes(default: Optional[int] = None) -> Optional[int]:
+    """Resolve the estimation service's schedule-cache byte budget.
+
+    Priority: ``REPRO_SERVICE_CACHE_BYTES`` environment variable, then the
+    explicit ``default`` argument, then ``None`` (unbounded — the
+    single-tenant default).  The server applies the budget both to its
+    :class:`~repro.service.cache.ScheduleCache` and to the global segment
+    registry, so warm ``/dev/shm`` segments stay under it too.
+    """
+    env = os.environ.get("REPRO_SERVICE_CACHE_BYTES")
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"REPRO_SERVICE_CACHE_BYTES must be an integer, got {env!r}"
+            ) from exc
+    elif default is None:
+        return None
+    else:
+        value = int(default)
+    if value < 0:
+        raise ExperimentError("service cache budget must be >= 0 bytes")
+    return value
+
+
+def service_workers(default: Optional[int] = None) -> Optional[int]:
+    """Resolve the estimation service's concurrent-request thread count.
+
+    Priority: ``REPRO_SERVICE_WORKERS`` environment variable, then the
+    explicit ``default`` argument, then ``None`` (the server falls back to
+    its own default).  Estimator-level parallelism (``workers`` in a
+    request's method options) multiplies on top of this.
+    """
+    env = os.environ.get("REPRO_SERVICE_WORKERS")
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"REPRO_SERVICE_WORKERS must be an integer, got {env!r}"
+            ) from exc
+    elif default is None:
+        return None
+    else:
+        value = int(default)
+    if value < 1:
+        raise ExperimentError("service worker count must be >= 1")
+    return value
 
 
 def correlation_rank(default: Optional[int] = None) -> Optional[int]:

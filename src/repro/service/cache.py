@@ -1,0 +1,369 @@
+"""Content-addressed schedule cache and pooled execution services.
+
+The estimation server answers many requests over few distinct DAGs, so
+everything per-DAG and expensive is cached behind one content hash of the
+graph (CSR structure + weights, :func:`request_key`):
+
+* the built :class:`~repro.core.graph.TaskGraph` with its
+  :class:`~repro.core.kernels.LevelSchedule` compiled exactly once and
+  warm on the index cache (``schedule_for`` hits, never recompiles);
+* the schedule's shared-memory segment, published through the
+  content-addressed :data:`~repro.exec.shm.REGISTRY` under the *same*
+  static key the Monte Carlo processes backend and the correlated /
+  second-order estimators derive themselves — their publications become
+  registry hits against the cache's warm segment;
+* a :class:`ServicePool` of reusable
+  :class:`~repro.exec.ParallelService` instances, so repeated requests
+  re-use warm worker pools instead of spawning fresh ones.
+
+Concurrent requests for the same (not-yet-cached) DAG coalesce onto one
+entry build through a per-key in-flight latch — the same protocol as
+:meth:`SegmentRegistry.publish <repro.exec.shm.SegmentRegistry.publish>`
+— so N simultaneous identical requests cost exactly one schedule
+compilation.  Entries are LRU-evicted while the resident segment bytes
+exceed ``max_bytes`` (entries serving in-flight requests are pinned and
+never evicted).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.graph import TaskGraph
+from ..core.kernels import LevelSchedule, schedule_arrays, schedule_for
+from ..exec.report import ExecutionReport
+from ..exec.service import ParallelService
+from ..exec.shm import REGISTRY, SegmentRegistry, content_key
+
+__all__ = [
+    "CacheEntry",
+    "ScheduleCache",
+    "ServicePool",
+    "build_entry",
+    "request_key",
+    "schedule_segment_key",
+]
+
+
+def request_key(graph: TaskGraph) -> str:
+    """Content hash identifying a DAG for the estimation service.
+
+    Covers the CSR structure *and* the task weights: two graphs with this
+    key equal produce bit-identical estimates for every method (estimator
+    arithmetic sees only the index arrays), while graphs differing in any
+    weight or edge hash apart.  Task identifiers deliberately do not
+    contribute — renaming tasks changes no number.
+    """
+    index = graph.index()
+    return content_key(
+        "service",
+        index.pred_indptr,
+        index.pred_indices,
+        index.succ_indptr,
+        index.succ_indices,
+        index.weights,
+    )
+
+
+def schedule_segment_key(graph: TaskGraph) -> str:
+    """The registry key of the DAG's ``"up"`` schedule segment.
+
+    This is the exact key convention of the Monte Carlo processes backend
+    and the correlated/second-order estimators — pre-publishing under it
+    warms their shared-memory plane.
+    """
+    index = graph.index()
+    return content_key(
+        "schedule",
+        "up",
+        index.pred_indptr,
+        index.pred_indices,
+        index.succ_indptr,
+        index.succ_indices,
+    )
+
+
+class ServicePool:
+    """Reusable :class:`ParallelService` instances, keyed by their knobs.
+
+    ``lease`` hands out an idle service with the requested knob tuple
+    (building one on first use); ``restore`` returns it with its worker
+    pools still warm, so the next estimate over the same DAG skips pool
+    spin-up.  A leased service gets a fresh
+    :class:`~repro.exec.report.ExecutionReport` so per-estimate telemetry
+    keeps its meaning (reports otherwise accumulate over the service
+    lifetime).
+    """
+
+    def __init__(self) -> None:
+        self._idle: Dict[tuple, List[ParallelService]] = {}
+        self._keys: Dict[int, tuple] = {}
+        self._lock = threading.Lock()
+        self.created = 0
+        self.leases = 0
+
+    def lease(
+        self,
+        *,
+        workers: int = 1,
+        backend: Optional[str] = None,
+        retries: Optional[int] = None,
+        timeout: Optional[float] = None,
+        on_failure: Optional[str] = None,
+    ) -> ParallelService:
+        key = (workers, backend, retries, timeout, on_failure)
+        with self._lock:
+            self.leases += 1
+            stack = self._idle.get(key)
+            service = stack.pop() if stack else None
+            if service is None:
+                self.created += 1
+        if service is None:
+            service = ParallelService(
+                workers=workers,
+                backend=backend,
+                retries=retries,
+                timeout=timeout,
+                on_failure=on_failure,
+            )
+        with self._lock:
+            self._keys[id(service)] = key
+        service.report = ExecutionReport(
+            backend=service.backend, workers=service.workers
+        )
+        return service
+
+    def restore(self, service: ParallelService) -> None:
+        """Return a leased service to the pool, worker pools kept warm."""
+        with self._lock:
+            key = self._keys.pop(id(service), None)
+            if key is not None:
+                self._idle.setdefault(key, []).append(service)
+        if key is None:
+            # Not one of ours (or the pool was cleared meanwhile): the
+            # caller's close() semantics apply.
+            service.close()
+
+    def close_all(self) -> None:
+        """Close every idle pooled service (leased ones close on restore)."""
+        with self._lock:
+            services = [s for stack in self._idle.values() for s in stack]
+            self._idle.clear()
+            self._keys.clear()
+        for service in services:
+            service.close()
+
+
+@dataclass
+class CacheEntry:
+    """Everything the server caches per distinct DAG."""
+
+    key: str
+    graph: TaskGraph
+    schedule: LevelSchedule
+    segment_key: str
+    nbytes: int
+    pool: ServicePool = field(default_factory=ServicePool)
+    hits: int = 0
+
+    def dispose(self, registry: SegmentRegistry) -> None:
+        """Tear the entry down: pooled services and the warm segment."""
+        self.pool.close_all()
+        registry.release(self.segment_key)
+        # Our reference is gone; unless a concurrent estimator still holds
+        # one, the segment is unlinked now instead of idling warm.
+        registry.evict(self.segment_key)
+
+
+def build_entry(
+    graph: TaskGraph, registry: SegmentRegistry = REGISTRY
+) -> CacheEntry:
+    """Compile and publish one DAG's cached state.
+
+    Compiles only the ``"up"`` schedule — the one every estimator needs —
+    so building an entry costs exactly one schedule compilation; a
+    direction the odd method additionally wants (second-order's ``"down"``)
+    compiles lazily on the shared cached index and stays warm there too.
+    The flattened schedule is published to the segment registry under the
+    standard static key, where the Monte Carlo processes backend and the
+    shm estimators will find it warm.
+    """
+    key = request_key(graph)
+    schedule = schedule_for(graph, "up")
+    segment_key = schedule_segment_key(graph)
+    segment = registry.publish(segment_key, lambda: schedule_arrays(schedule))
+    return CacheEntry(
+        key=key,
+        graph=graph,
+        schedule=schedule,
+        segment_key=segment_key,
+        nbytes=segment.nbytes,
+    )
+
+
+class ScheduleCache:
+    """LRU cache of :class:`CacheEntry` objects under a byte budget.
+
+    ``get_or_build`` pins the returned entry (its DAG is serving a
+    request); callers must :meth:`release` it when done.  Eviction only
+    considers unpinned entries, ordered least-recently-used first, and
+    runs whenever resident bytes exceed ``max_bytes`` — so a sweep of
+    ever-fresh DAGs keeps the cache (and ``/dev/shm``) bounded while a
+    hot DAG mid-request is never torn down.
+    """
+
+    def __init__(
+        self,
+        max_bytes: Optional[int] = None,
+        registry: SegmentRegistry = REGISTRY,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("cache max_bytes must be >= 0 (or None)")
+        self.max_bytes = max_bytes
+        self.registry = registry
+        self._entries: Dict[str, CacheEntry] = {}
+        self._active: Dict[str, int] = {}
+        self._stamp: Dict[str, int] = {}
+        self._pending: Dict[str, threading.Event] = {}
+        self._counter = 0
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- bookkeeping (under self._lock) --------------------------------
+    def _touch(self, key: str) -> None:
+        self._counter += 1
+        self._stamp[key] = self._counter
+
+    def _trim_locked(self) -> List[CacheEntry]:
+        if self.max_bytes is None:
+            return []
+        dropped = []
+        while self._bytes > self.max_bytes:
+            idle = [k for k, active in self._active.items() if active <= 0]
+            if not idle:
+                break
+            victim = min(idle, key=lambda k: self._stamp.get(k, 0))
+            entry = self._entries.pop(victim)
+            del self._active[victim]
+            self._stamp.pop(victim, None)
+            self._bytes -= entry.nbytes
+            self.evictions += 1
+            dropped.append(entry)
+        return dropped
+
+    def _dispose(self, entries: List[CacheEntry]) -> None:
+        for entry in entries:
+            entry.dispose(self.registry)
+
+    # -- public API -----------------------------------------------------
+    def get_or_build(
+        self, key: str, builder: Callable[[], CacheEntry]
+    ) -> Tuple[CacheEntry, bool]:
+        """The pinned entry of ``key``, built (once) if absent.
+
+        Returns ``(entry, built)`` where ``built`` says whether *this*
+        call ran the builder.  Concurrent callers for one absent key
+        coalesce: exactly one runs the builder, the rest block on its
+        latch and then take the hit path.  A failed build releases the
+        latch and re-raises; waiters then race to claim the build.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self.hits += 1
+                    entry.hits += 1
+                    self._active[key] += 1
+                    self._touch(key)
+                    return entry, False
+                latch = self._pending.get(key)
+                if latch is None:
+                    latch = threading.Event()
+                    self._pending[key] = latch
+                    break
+            latch.wait()
+        try:
+            entry = builder()
+        except BaseException:
+            with self._lock:
+                del self._pending[key]
+            latch.set()
+            raise
+        with self._lock:
+            del self._pending[key]
+            self._entries[key] = entry
+            self._active[key] = 1
+            self._bytes += entry.nbytes
+            self.misses += 1
+            self._touch(key)
+            dropped = self._trim_locked()
+        latch.set()
+        self._dispose(dropped)
+        return entry, True
+
+    def acquire(self, key: str) -> Optional[CacheEntry]:
+        """The pinned entry of ``key`` if resident, else ``None``.
+
+        The hit half of :meth:`get_or_build`, for callers that can name
+        the key without materialising the graph (the server's payload
+        memo).  A hit must be released like any other.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self.hits += 1
+            entry.hits += 1
+            self._active[key] += 1
+            self._touch(key)
+            return entry
+
+    def release(self, entry: CacheEntry) -> None:
+        """Unpin an entry returned by :meth:`get_or_build`."""
+        with self._lock:
+            if entry.key not in self._entries:
+                return
+            self._active[entry.key] -= 1
+            dropped = self._trim_locked()
+        self._dispose(dropped)
+
+    def resident_bytes(self) -> int:
+        """Total schedule-segment bytes of all cached entries."""
+        with self._lock:
+            return self._bytes
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """Counters of the cache (for the server's ``stats`` op)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "resident_bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "pinned": sum(1 for a in self._active.values() if a > 0),
+            }
+
+    def clear(self) -> None:
+        """Dispose every entry (including pinned ones — shutdown only)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._active.clear()
+            self._stamp.clear()
+            self._bytes = 0
+        self._dispose(entries)

@@ -1,0 +1,274 @@
+"""Wire protocol of the estimation service: JSON lines over a socket.
+
+One request or response per line — a UTF-8 JSON object terminated by
+``"\\n"`` (JSON with default separators never emits raw newlines, so the
+framing is unambiguous).  The format is deliberately transport-thin:
+anything that can open a TCP connection and speak JSON can talk to the
+server, including ``nc``/``socat`` one-liners.
+
+Request object::
+
+    {"op": "estimate",                     # default; or "stats"
+     "id": <any JSON value, echoed back>,  # optional correlation id
+     "graph": {...},                       # repro-taskgraph payload ...
+     "workflow": "cholesky", "size": 8,    # ... or a named generator
+     "pfail": 1e-3,                        # per-average-weight-task p_fail
+     "methods": ["first-order", ...],      # estimator registry names
+     "options": {"monte-carlo": {"trials": 10000, "seed": 0}, ...}}
+
+Response object::
+
+    {"id": ..., "ok": true,
+     "key": "<dag content hash>", "cached": true,  # schedule-cache outcome
+     "num_tasks": 209, "error_rate": ...,
+     "estimates": [{"method": ..., "expected_makespan": ...,
+                    "failure_free_makespan": ..., "wall_time": ...}, ...]}
+
+or ``{"id": ..., "ok": false, "error": "<message>"}``.
+
+**Determinism.**  Floats cross the wire through ``repr`` round-tripping
+(Python's ``json`` both ways), which is exact for IEEE doubles — the
+``expected_makespan`` a client reads is bit-identical to the one the
+estimator produced, so the service's cross-request determinism contract
+can be asserted with ``==`` against a single-shot run.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..exceptions import ServiceError
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "MAX_MESSAGE_BYTES",
+    "EstimationRequest",
+    "ServiceClient",
+    "decode_message",
+    "encode_message",
+]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Upper bound on one framed message (requests carry whole DAG payloads;
+#: a million-task graph serialises to well under this).
+MAX_MESSAGE_BYTES = 256 * 1024 * 1024
+
+#: Operations the server understands.
+OPS = ("estimate", "stats")
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """Frame one message: compact JSON + newline terminator."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: Union[bytes, str]) -> Dict[str, Any]:
+    """Parse one framed message into a dict (:class:`ServiceError` on junk)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ServiceError(f"malformed service message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"service messages must be JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class EstimationRequest:
+    """One parsed estimation request.
+
+    Exactly one graph source must be given: an inline ``graph`` payload
+    (the ``repro-taskgraph`` JSON format of :mod:`repro.core.serialize`)
+    or a named ``workflow`` + ``size`` pair resolved through the workflow
+    registry.
+    """
+
+    op: str = "estimate"
+    request_id: Any = None
+    graph: Optional[Dict[str, Any]] = None
+    workflow: Optional[str] = None
+    size: Optional[int] = None
+    pfail: float = 1e-3
+    methods: Tuple[str, ...] = ("first-order",)
+    options: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EstimationRequest":
+        op = payload.get("op", "estimate")
+        if op not in OPS:
+            raise ServiceError(f"unknown op {op!r}; expected one of {OPS}")
+        request_id = payload.get("id")
+        if op == "stats":
+            return cls(op="stats", request_id=request_id)
+
+        graph = payload.get("graph")
+        workflow = payload.get("workflow")
+        size = payload.get("size")
+        if graph is not None and workflow is not None:
+            raise ServiceError("give either 'graph' or 'workflow'/'size', not both")
+        if graph is None and workflow is None:
+            raise ServiceError("an estimate request needs 'graph' or 'workflow'/'size'")
+        if graph is not None and not isinstance(graph, dict):
+            raise ServiceError("'graph' must be a repro-taskgraph JSON object")
+        if workflow is not None:
+            if size is None:
+                raise ServiceError("'workflow' requests need an integer 'size'")
+            try:
+                size = int(size)
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(f"'size' must be an integer, got {size!r}") from exc
+
+        try:
+            pfail = float(payload.get("pfail", 1e-3))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"'pfail' must be a number, got {payload.get('pfail')!r}"
+            ) from exc
+        if not (0.0 < pfail < 1.0):
+            raise ServiceError(f"'pfail' must be in (0, 1), got {pfail}")
+
+        methods = payload.get("methods", ["first-order"])
+        if isinstance(methods, str):
+            methods = [methods]
+        if not isinstance(methods, (list, tuple)) or not methods or not all(
+            isinstance(m, str) and m.strip() for m in methods
+        ):
+            raise ServiceError("'methods' must be a non-empty list of estimator names")
+
+        options = payload.get("options") or {}
+        if not isinstance(options, dict) or not all(
+            isinstance(v, dict) for v in options.values()
+        ):
+            raise ServiceError("'options' must map method names to kwargs objects")
+
+        return cls(
+            op="estimate",
+            request_id=request_id,
+            graph=graph,
+            workflow=workflow,
+            size=size,
+            pfail=pfail,
+            methods=tuple(methods),
+            options={str(k): dict(v) for k, v in options.items()},
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": self.op}
+        if self.request_id is not None:
+            payload["id"] = self.request_id
+        if self.op != "estimate":
+            return payload
+        if self.graph is not None:
+            payload["graph"] = self.graph
+        else:
+            payload["workflow"] = self.workflow
+            payload["size"] = self.size
+        payload["pfail"] = self.pfail
+        payload["methods"] = list(self.methods)
+        if self.options:
+            payload["options"] = self.options
+        return payload
+
+
+class ServiceClient:
+    """Blocking JSON-lines client of one estimation server.
+
+    One in-flight request per client — callers that want concurrency open
+    one client per thread (connections are cheap; the server multiplexes).
+    Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach estimation service at {host}:{port}: {exc}"
+            ) from exc
+        self._reader = self._sock.makefile("rb")
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw request object and return the response object."""
+        try:
+            self._sock.sendall(encode_message(payload))
+            line = self._reader.readline(MAX_MESSAGE_BYTES)
+        except OSError as exc:
+            raise ServiceError(f"service connection failed: {exc}") from exc
+        if not line:
+            raise ServiceError("service closed the connection mid-request")
+        return decode_message(line)
+
+    def estimate(
+        self,
+        graph=None,
+        *,
+        workflow: Optional[str] = None,
+        size: Optional[int] = None,
+        pfail: float = 1e-3,
+        methods=("first-order",),
+        options: Optional[Dict[str, Dict[str, Any]]] = None,
+        request_id: Any = None,
+    ) -> Dict[str, Any]:
+        """Estimate a DAG's expected makespan on the server.
+
+        ``graph`` may be a :class:`~repro.core.graph.TaskGraph` (serialised
+        on the way out) or an already-encoded payload dict; alternatively
+        pass ``workflow``/``size``.  Raises :class:`ServiceError` when the
+        server reports a failure.
+        """
+        if graph is not None and not isinstance(graph, dict):
+            from ..core.serialize import graph_to_dict
+
+            graph = graph_to_dict(graph)
+        request = EstimationRequest(
+            request_id=request_id,
+            graph=graph,
+            workflow=workflow,
+            size=size,
+            pfail=pfail,
+            methods=tuple([methods] if isinstance(methods, str) else methods),
+            options=dict(options or {}),
+        )
+        response = self.request(request.to_dict())
+        if not response.get("ok"):
+            raise ServiceError(
+                f"estimation failed on the server: {response.get('error')}"
+            )
+        return response
+
+    def stats(self) -> Dict[str, Any]:
+        """Cache / registry statistics of the server."""
+        response = self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise ServiceError(f"stats failed on the server: {response.get('error')}")
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

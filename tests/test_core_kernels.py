@@ -316,7 +316,10 @@ class TestVectorisedIndexBuild:
         assert int(idx.pred_indptr[-1]) == idx.num_edges
         assert int(idx.succ_indptr[-1]) == idx.num_edges
 
-    def test_succ_segments_preserve_insertion_order(self):
+    def test_segments_are_canonical_regardless_of_edge_insertion_order(self):
+        # Neighbour order must not depend on the order edges were added:
+        # the content-addressed schedule keys and the kernels' reduction
+        # order both read these arrays.
         g = TaskGraph()
         for t in ("a", "b", "c", "d"):
             g.add_task(t, 1.0)
@@ -324,7 +327,16 @@ class TestVectorisedIndexBuild:
         g.add_edge("a", "b")
         g.add_edge("a", "c")
         idx = g.index()
-        assert [idx.task_ids[j] for j in idx.successors(0)] == ["d", "b", "c"]
+        assert [idx.task_ids[j] for j in idx.successors(0)] == ["b", "c", "d"]
+        assert g.successors("a") == ["b", "c", "d"]
+
+        h = TaskGraph()
+        for t in ("a", "b", "c", "d"):
+            h.add_task(t, 1.0)
+        for dst in ("c", "b", "d"):
+            h.add_edge("a", dst)
+        assert np.array_equal(h.index().succ_indices, idx.succ_indices)
+        assert np.array_equal(h.index().pred_indices, idx.pred_indices)
 
 
 class TestScheduleMetadata:

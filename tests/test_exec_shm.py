@@ -16,6 +16,8 @@ Three layers, mirroring the module's contract:
 
 import multiprocessing
 import os
+import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -244,7 +246,316 @@ class TestSegmentRegistry:
             monkeypatch.setenv("REPRO_EXEC_SHM", raw)
             assert shm_enabled() is expected
         monkeypatch.setenv("REPRO_EXEC_SHM", "banana")
-        assert shm_enabled() and not shm_enabled(default=False)
+        with warnings.catch_warnings():
+            # Unrecognised values warn (once) — covered below; this test
+            # only cares about the fallback value.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert shm_enabled() and not shm_enabled(default=False)
+
+    def test_shm_enabled_warns_once_per_unrecognised_value(self, monkeypatch):
+        import repro.exec.shm as shm_mod
+
+        monkeypatch.setattr(shm_mod, "_WARNED_SHM_VALUES", set())
+        monkeypatch.setenv("REPRO_EXEC_SHM", "flase")
+        with pytest.warns(RuntimeWarning, match="unrecognised REPRO_EXEC_SHM"):
+            assert shm_enabled() is True
+        # Same value again: silent (the knob is consulted on every release,
+        # so one typo must not spam a warning per registry operation).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert shm_enabled() is True
+        # A different typo warns again.
+        monkeypatch.setenv("REPRO_EXEC_SHM", "treu")
+        with pytest.warns(RuntimeWarning, match="'treu'"):
+            assert shm_enabled(default=False) is False
+
+
+# ----------------------------------------------------------------------
+# SegmentRegistry under contention (the estimation-server workload)
+# ----------------------------------------------------------------------
+class TestSegmentRegistryConcurrency:
+    def test_same_key_publishers_coalesce_onto_one_build(self):
+        registry = SegmentRegistry()
+        built = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def builder():
+            built.append(1)
+            return {"x": np.arange(16)}
+
+        def publish():
+            barrier.wait()
+            results.append(registry.publish("k", builder))
+
+        try:
+            threads = [threading.Thread(target=publish) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert built == [1]  # the latch coalesced every publisher
+            assert len({id(seg) for seg in results}) == 1
+            assert registry.misses == 1 and registry.hits == 7
+            assert registry._refs["k"] == 8
+        finally:
+            registry.clear()
+
+    def test_builder_runs_outside_the_registry_lock(self):
+        """A slow publication of key A must not serialise key B's publish."""
+        registry = SegmentRegistry()
+        a_building = threading.Event()
+        a_release = threading.Event()
+        b_done = threading.Event()
+
+        def slow_builder():
+            a_building.set()
+            assert a_release.wait(timeout=10)
+            return {"x": np.zeros(4)}
+
+        def publish_a():
+            registry.publish("a", slow_builder)
+
+        try:
+            thread = threading.Thread(target=publish_a)
+            thread.start()
+            assert a_building.wait(timeout=10)
+            # Key A's builder is mid-flight.  With materialisation under
+            # the lock this publish would block until A finishes; built
+            # outside it, B completes immediately.
+            def publish_b():
+                registry.publish("b", {"x": np.zeros(2)})
+                b_done.set()
+
+            helper = threading.Thread(target=publish_b)
+            helper.start()
+            assert b_done.wait(timeout=5), "publish('b') blocked behind key A's build"
+            helper.join()
+            a_release.set()
+            thread.join()
+            assert registry.contains("a") and registry.contains("b")
+        finally:
+            a_release.set()
+            registry.clear()
+
+    def test_failed_build_releases_waiters_to_retry(self):
+        registry = SegmentRegistry()
+        attempts = []
+        barrier = threading.Barrier(2)
+        outcomes = []
+
+        def flaky_builder():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("first build dies")
+            return {"x": np.ones(8)}
+
+        def publish():
+            barrier.wait()
+            try:
+                outcomes.append(registry.publish("k", flaky_builder))
+            except RuntimeError:
+                outcomes.append(None)
+
+        try:
+            threads = [threading.Thread(target=publish) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # One publisher saw the failure, the waiter claimed the build
+            # and succeeded — the latch never wedges the key.
+            assert outcomes.count(None) == 1
+            assert registry.contains("k")
+            assert len(attempts) == 2
+        finally:
+            registry.clear()
+
+    def test_hammer_publish_release_attach_refcounts_exact(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM", "1")
+        registry = SegmentRegistry()
+        keys = [f"hammer-{i}" for i in range(4)]
+        errors = []
+        before = _shm_entries()
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for step in range(50):
+                    key = keys[int(rng.integers(len(keys)))]
+                    segment = registry.publish(
+                        key, lambda: {"x": np.arange(32, dtype=np.int64)}
+                    )
+                    attached = attach_segment(segment.name, segment.layout)
+                    assert int(attached.arrays["x"][7]) == 7
+                    registry.release(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads), "registry deadlocked"
+        assert errors == []
+        # Balanced publish/release: every key warm with exactly zero refs.
+        assert all(registry._refs[key] == 0 for key in registry._refs)
+        registry.clear()
+        assert len(registry) == 0 and registry.resident_bytes() == 0
+        assert _shm_entries() - before == set()
+
+    def test_hammer_with_concurrent_clears_leaves_shm_empty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM", "1")
+        registry = SegmentRegistry()
+        stop = threading.Event()
+        errors = []
+        before = _shm_entries()
+
+        def churn(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for step in range(40):
+                    key = f"churn-{int(rng.integers(3))}"
+                    registry.publish(key, {"x": np.zeros(16)})
+                    registry.release(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def clearer():
+            while not stop.is_set():
+                registry.clear()
+
+        threads = [threading.Thread(target=churn, args=(s,)) for s in range(8)]
+        sweeper = threading.Thread(target=clearer)
+        for t in threads:
+            t.start()
+        sweeper.start()
+        for t in threads:
+            t.join(timeout=60)
+        stop.set()
+        sweeper.join(timeout=60)
+        assert not sweeper.is_alive() and not any(t.is_alive() for t in threads)
+        assert errors == []
+        registry.clear()
+        assert _shm_entries() - before == set()
+
+    def test_tracker_monkeypatch_is_locked_and_restored(self, monkeypatch):
+        """The pre-3.13 attach fallback must leave ``register`` intact."""
+        import repro.exec.shm as shm_mod
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        real_cls = shm_mod.shared_memory.SharedMemory
+
+        def legacy_shared_memory(*args, **kwargs):
+            if "track" in kwargs:
+                raise TypeError("unexpected keyword argument 'track'")
+            return real_cls(*args, **kwargs)
+
+        monkeypatch.setattr(
+            shm_mod.shared_memory, "SharedMemory", legacy_shared_memory
+        )
+        segment = SharedSegment.create({"x": np.arange(8)})
+        errors = []
+
+        def attach_loop():
+            try:
+                for _ in range(20):
+                    shm = shm_mod.attach_shared_memory(segment.name)
+                    shm.close()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=attach_loop) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert errors == []
+            # Interleaved save/restore without the lock can leave the
+            # no-op lambda installed for good; with it, the original
+            # tracker hook always survives the storm.
+            assert resource_tracker.register is original_register
+        finally:
+            segment.destroy()
+
+
+# ----------------------------------------------------------------------
+# SegmentRegistry memory budget
+# ----------------------------------------------------------------------
+class TestSegmentRegistryBudget:
+    def test_budget_trims_lru_zero_ref_segments(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM", "1")
+        registry = SegmentRegistry()
+        try:
+            names = {}
+            for key in "abcd":
+                names[key] = registry.publish(
+                    key, {"x": np.zeros(1024)}
+                ).name
+                registry.release(key)
+            per_segment = registry.resident_bytes() // 4
+            registry.set_budget(int(2.5 * per_segment))
+            # LRU order is publication order here: a and b go, c and d stay.
+            assert not registry.contains("a") and not registry.contains("b")
+            assert registry.contains("c") and registry.contains("d")
+            assert registry.evictions == 2
+            assert registry.resident_bytes() <= registry.budget
+            assert names["a"] not in _shm_entries()
+            assert names["d"] in _shm_entries()
+        finally:
+            registry.clear()
+
+    def test_publish_over_budget_evicts_the_coldest(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM", "1")
+        registry = SegmentRegistry()
+        try:
+            registry.publish("old", {"x": np.zeros(1024)})
+            registry.release("old")
+            per_segment = registry.resident_bytes()
+            registry.set_budget(int(1.5 * per_segment))
+            registry.publish("new", {"x": np.zeros(1024)})
+            assert not registry.contains("old")
+            assert registry.contains("new")
+            assert registry.resident_bytes() <= registry.budget + per_segment
+        finally:
+            registry.clear()
+
+    def test_referenced_segments_are_never_evicted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM", "1")
+        registry = SegmentRegistry(budget=0)
+        try:
+            segment = registry.publish("k", {"x": np.zeros(64)})
+            # Over budget but referenced: pinned.
+            assert registry.contains("k")
+            assert registry.resident_bytes() == segment.nbytes
+            registry.release("k")
+            # The release lets the budget path reclaim it.
+            assert not registry.contains("k")
+            assert registry.resident_bytes() == 0
+        finally:
+            registry.clear()
+
+    def test_evict_force_unlinks_warm_segments_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM", "1")
+        registry = SegmentRegistry()
+        try:
+            name = registry.publish("k", {"x": np.zeros(32)}).name
+            assert registry.evict("k") is False  # still referenced
+            registry.release("k")
+            assert registry.evict("k") is True
+            assert registry.evict("k") is False  # unknown now
+            assert name not in _shm_entries()
+            assert registry.resident_bytes() == 0
+        finally:
+            registry.clear()
+
+    def test_set_budget_rejects_negative(self):
+        registry = SegmentRegistry()
+        with pytest.raises(ValueError):
+            registry.set_budget(-1)
 
 
 # ----------------------------------------------------------------------

@@ -18,10 +18,20 @@ violates a regression guard:
   ``speedup`` is the baseline/armed time ratio and the guard bounds the
   zero-fault overhead of the policy machinery) and estimation-service
   entries (``benchmark = "service"``, where ``speedup`` is the
-  warm-hit/cold-miss request-rate ratio): the archived
+  warm-hit/cold-miss request-rate ratio) and compiled-kernel backend
+  entries (``benchmark = "kernel_backends"``, where ``speedup`` is the
+  NumPy-reference/backend time ratio and the guard self-arms only when
+  the accelerator was importable at measurement time): the archived
   ``guard_min`` per entry (``null`` when the guard did not apply at
-  measurement time — small graph, or too few CPUs for the parallel
-  comparisons).
+  measurement time — small graph, too few CPUs for the parallel
+  comparisons, or no accelerator installed).  Dtype error-floor entries
+  (``benchmark = "dtype_error_floor"``) are characterisation-only and
+  never gate.
+
+For ``kernel_backends`` entries the report additionally prints the
+backend families side by side: per op/workflow/k group, the throughput
+of each backend next to its NumPy reference, taken from the most recent
+record in which that group appears.
 
 Stdlib-only so it can run as a bare CI step: ``python
 benchmarks/report_rates.py [path/to/kernel_rates.json]``.
@@ -55,6 +65,20 @@ def _entry_key(entry: dict) -> tuple:
         return ("exec-faults", entry["method"], entry["workflow"], entry["k"])
     if entry.get("benchmark") == "service":
         return ("service", entry["method"], entry["workflow"], entry["k"])
+    if entry.get("benchmark") == "kernel_backends":
+        return (
+            "kernel-backends",
+            f"{entry['op']}/{entry['kernel_backend']}",
+            entry["workflow"],
+            entry["k"],
+        )
+    if entry.get("benchmark") == "dtype_error_floor":
+        return (
+            "dtype-floor",
+            f"trials={entry.get('trials', '?')}",
+            entry["workflow"],
+            entry["k"],
+        )
     return ("kernel", entry.get("dtype", "?"), entry.get("workflow", "?"), entry.get("k"))
 
 
@@ -63,6 +87,7 @@ def _entry_guard(entry: dict):
     if entry.get("benchmark") in (
         "estimator_wavefront", "mc_backends", "correlated_parallel",
         "correlated_processes", "exec_faults", "service",
+        "kernel_backends", "dtype_error_floor",
     ):
         return entry.get("guard_min")
     if (
@@ -87,6 +112,10 @@ def _label(key: tuple) -> str:
         return f"exec-faults/{a:<19s} {b} k={k}"
     if kind == "service":
         return f"service/{a:<12s} {b} k={k}"
+    if kind == "kernel-backends":
+        return f"kernel-backends/{a:<20s} {b} k={k}"
+    if kind == "dtype-floor":
+        return f"dtype-floor/{a:<14s} {b} k={k}"
     return f"kernel/{a:<13s} {b} k={k}"
 
 
@@ -125,8 +154,39 @@ def main(argv=None) -> int:
         print(f"  {_label(key)}: {line}")
     print()
 
-    # Guards: only the latest record is gated (earlier records are history).
+    # Side-by-side backend families: each archive_rates call appends its
+    # own record, so every (op, workflow, k) group is taken from the most
+    # recent record in which it appears.
     latest = history[-1]
+    families: dict = {}
+    for record in reversed(history):
+        record_groups: dict = {}
+        for entry in record.get("entries", []):
+            if entry.get("benchmark") != "kernel_backends":
+                continue
+            group = (entry.get("op"), entry.get("workflow"), entry.get("k"))
+            record_groups.setdefault(group, []).append(entry)
+        for group, members in record_groups.items():
+            families.setdefault(group, members)
+    if families:
+        print("compiled-kernel backends, side by side (latest records):")
+        for (op, workflow, k), members in sorted(families.items()):
+            print(f"  {op} {workflow} k={k}:")
+            for entry in members:
+                rate = entry.get(
+                    "task_trials_per_second", entry.get("tasks_per_second")
+                )
+                accel = entry.get("accelerated")
+                note = "" if accel in (None, True) else " (numpy fallback)"
+                print(
+                    f"    {entry.get('kernel_backend', '?'):<6s} "
+                    f"{entry.get('seconds', float('nan')):10.4f} s  "
+                    f"{rate:14,.0f} /s  "
+                    f"{entry.get('speedup', float('nan')):6.2f}x{note}"
+                )
+        print()
+
+    # Guards: only the latest record is gated (earlier records are history).
     violations = []
     for entry in latest.get("entries", []):
         guard = _entry_guard(entry)

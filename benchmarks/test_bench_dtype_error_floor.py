@@ -1,0 +1,112 @@
+"""float32 vs float64 Monte Carlo error floor.
+
+The Monte Carlo kernel's ``float32`` mode halves the memory traffic of
+the longest-path sweep, at the price of ~1e-7 relative rounding per
+accumulation chain.  This benchmark quantifies where that rounding floor
+sits relative to the *statistical* error at increasing trial counts: the
+two runs share one seed — and therefore one RNG stream — so the float32
+mean differs from the float64 mean by rounding alone, while the Monte
+Carlo standard error shrinks as ``1/sqrt(trials)``.
+
+The exploratory-run recommendation in the README rests on the measured
+gap: the dtype rounding stays orders of magnitude below the standard
+error at every practical trial count (the paper's own 300,000-trial
+references included), so ``float32`` is free accuracy-wise whenever the
+Monte Carlo noise — not the kernel rounding — is the limiting factor.
+
+Assertions (loose by design, this is a characterisation benchmark):
+
+* the float32/float64 relative gap stays below ``1e-4`` at every swept
+  trial count;
+* at the largest trial count the gap is still smaller than the float64
+  run's standard error (i.e. the statistical floor is the binding one).
+
+Archived to ``benchmarks/results/kernel_rates.json`` with
+``benchmark = "dtype_error_floor"`` (no regression guard — the entries
+track the measured floors PR-over-PR).
+
+Knobs: ``REPRO_DTYPE_BENCH_TRIALS`` — comma-separated trial counts
+(default ``1000,4000,16000``); ``REPRO_DTYPE_BENCH_K`` — cholesky tile
+count (default 8).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.failures.models import ExponentialErrorModel
+from repro.sim.engine import MonteCarloEngine
+from repro.workflows.registry import build_dag
+
+from _common import BENCH_SEED, archive_rates
+
+PFAIL = 1e-3
+MAX_RELATIVE_GAP = 1e-4
+
+
+def _trial_sweep():
+    env = os.environ.get("REPRO_DTYPE_BENCH_TRIALS", "1000,4000,16000")
+    return tuple(int(part) for part in env.split(",") if part.strip())
+
+
+def _tile_count() -> int:
+    return int(os.environ.get("REPRO_DTYPE_BENCH_K", "8"))
+
+
+def test_dtype_error_floor():
+    k = _tile_count()
+    graph = build_dag("cholesky", k)
+    n = graph.num_tasks
+    model = ExponentialErrorModel.for_graph(graph, PFAIL)
+    entries = []
+    print()
+    last_gap = last_stderr = None
+    for trials in _trial_sweep():
+
+        def run(dtype):
+            engine = MonteCarloEngine(
+                graph,
+                model,
+                trials=trials,
+                batch_size=min(trials, 1_024),
+                seed=BENCH_SEED,
+                dtype=dtype,
+            )
+            result = engine.run()
+            return result.mean, result.standard_error
+
+        mean64, stderr64 = run("float64")
+        mean32, _ = run("float32")
+        gap = abs(mean32 - mean64) / abs(mean64)
+        entries.append(
+            {
+                "benchmark": "dtype_error_floor",
+                "workflow": "cholesky",
+                "k": k,
+                "tasks": n,
+                "trials": trials,
+                "mean_float64": mean64,
+                "mean_float32": mean32,
+                "relative_gap": gap,
+                "relative_stderr": stderr64 / abs(mean64),
+                "guard_min": None,
+            }
+        )
+        print(
+            f"  k={k} trials={trials:6d}: dtype gap {gap:.3e}  vs  "
+            f"stderr {stderr64 / abs(mean64):.3e}"
+        )
+        assert gap <= MAX_RELATIVE_GAP, (
+            f"float32 rounding floor unexpectedly high: {gap:.3e} at "
+            f"{trials} trials"
+        )
+        last_gap, last_stderr = gap, stderr64 / abs(mean64)
+
+    # The statistical error, not the dtype rounding, must be the binding
+    # floor even at the largest swept trial count.
+    assert last_gap < last_stderr, (
+        f"float32 rounding ({last_gap:.3e}) exceeds the Monte Carlo "
+        f"standard error ({last_stderr:.3e}) — the exploratory float32 "
+        f"default is no longer safe at these trial counts"
+    )
+    archive_rates(entries)

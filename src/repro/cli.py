@@ -37,7 +37,12 @@ from typing import List, Optional
 from . import estimate_expected_makespan
 from .core.serialize import save_dot, save_json
 from .estimators.registry import available_estimators
-from .experiments.config import PAPER_FIGURES, PARALLEL_ESTIMATORS, SHM_ESTIMATORS
+from .experiments.config import (
+    KERNEL_ESTIMATORS,
+    PAPER_FIGURES,
+    PARALLEL_ESTIMATORS,
+    SHM_ESTIMATORS,
+)
 from .experiments.error_vs_size import run_figure
 from .experiments.reporting import figure_ascii_plot, figure_table, scalability_table
 from .experiments.runner import run_everything
@@ -88,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--streaming", action="store_true", default=None,
                      help="streaming statistics: mean/std/CI/quantiles in O(batch) "
                           "memory, no materialised sample")
+    est.add_argument("--kernel-backend", choices=["numpy", "numba", "cupy"],
+                     default=None,
+                     help="compiled-kernel backend of the hot numerical loops "
+                          "(default numpy, the bit-reference; numba JIT-compiles "
+                          "the fused band gathers and level recurrences, cupy "
+                          "runs the Monte Carlo sweep on a CUDA device; "
+                          "unported/unavailable backends fall back per function; "
+                          "also via REPRO_KERNEL_BACKEND)")
     est.add_argument("--est-workers", type=int, default=None,
                      help="parallel workers of the analytical estimators "
                           "(normal-correlated fold, second-order sweeps, dodin "
@@ -143,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Monte Carlo execution backend")
     fig.add_argument("--streaming", action="store_true", default=None,
                      help="Monte Carlo streaming statistics (O(batch) memory)")
+    fig.add_argument("--kernel-backend", choices=["numpy", "numba", "cupy"],
+                     default=None,
+                     help="compiled-kernel backend of the hot numerical loops "
+                          "(also via REPRO_KERNEL_BACKEND)")
     fig.add_argument("--est-workers", type=int, default=None,
                      help="parallel workers of the analytical estimators "
                           "(also via REPRO_EST_WORKERS)")
@@ -161,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Monte Carlo execution backend")
     tab.add_argument("--streaming", action="store_true", default=None,
                      help="Monte Carlo streaming statistics (O(batch) memory)")
+    tab.add_argument("--kernel-backend", choices=["numpy", "numba", "cupy"],
+                     default=None,
+                     help="compiled-kernel backend of the hot numerical loops "
+                          "(also via REPRO_KERNEL_BACKEND)")
     tab.add_argument("--est-workers", type=int, default=None,
                      help="parallel workers of the analytical estimators "
                           "(also via REPRO_EST_WORKERS)")
@@ -177,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="Monte Carlo execution backend")
     allp.add_argument("--streaming", action="store_true", default=None,
                       help="Monte Carlo streaming statistics (O(batch) memory)")
+    allp.add_argument("--kernel-backend", choices=["numpy", "numba", "cupy"],
+                      default=None,
+                      help="compiled-kernel backend of the hot numerical loops "
+                           "(also via REPRO_KERNEL_BACKEND)")
     allp.add_argument("--est-workers", type=int, default=None,
                       help="parallel workers of the analytical estimators "
                            "(also via REPRO_EST_WORKERS)")
@@ -250,6 +275,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 kwargs["bandwidth"] = args.corr_bandwidth
             if args.corr_rank is not None:
                 kwargs["rank"] = args.corr_rank
+        if method in KERNEL_ESTIMATORS and args.kernel_backend is not None:
+            kwargs["kernel_backend"] = args.kernel_backend
         if method in PARALLEL_ESTIMATORS and args.est_workers is not None:
             kwargs["workers"] = args.est_workers
         if method in SHM_ESTIMATORS and args.exec_backend is not None:
@@ -296,6 +323,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             mc_workers=args.workers,
             mc_backend=args.backend,
             mc_streaming=args.streaming,
+            kernel_backend=args.kernel_backend,
             est_workers=args.est_workers,
             seed=args.seed,
             progress=progress,
@@ -316,6 +344,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             mc_workers=args.workers,
             mc_backend=args.backend,
             mc_streaming=args.streaming,
+            kernel_backend=args.kernel_backend,
             est_workers=args.est_workers,
             seed=args.seed,
             progress=progress,
@@ -329,6 +358,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         mc_workers=args.workers,
         mc_backend=args.backend,
         mc_streaming=args.streaming,
+        kernel_backend=args.kernel_backend,
         est_workers=args.est_workers,
         table1_size=args.table1_size,
         seed=args.seed,

@@ -1,0 +1,504 @@
+"""Pluggable compiled-kernel backends for the hot loops.
+
+Every performance-critical inner loop of the reproduction — the Monte
+Carlo two-state weight sampling + level recurrence
+(:mod:`repro.core.kernels` / :mod:`repro.sim.engine`), the banded
+correlation store's masked symmetric gathers
+(:mod:`repro.estimators.correlation`) and the Clark moment-propagation
+fold (:func:`repro.core.kernels.propagate_moments`) — bottoms out in
+NumPy dispatch over many small per-level or per-window arrays.  This
+module is the seam that lets those loops run as *fused compiled kernels*
+instead, without changing any caller-visible semantics:
+
+``numpy``
+    The reference implementation that lives at each call site.  Always
+    available, always the bit-reference of the differential tests.  The
+    registry returns no callable for it — callers simply keep their
+    vectorised NumPy path.
+
+``numba``
+    JIT-compiled fused loops (lazy ``@njit``, compiled on first use).
+    The fused gather and the fused MC level kernel perform *exactly* the
+    same floating-point operations in the same order as the NumPy
+    reference — including float32's double-rounding through float64
+    intermediates — so they are bit-identical.  The JIT Clark fold uses
+    ``math.erfc`` where the batched reference uses ``scipy.special.erfc``
+    and therefore matches to ulp-level rounding (≤ 1e-9 in the
+    differential tests), exactly like the scalar reference it mirrors.
+
+``cupy``
+    Optional device backend.  Only the fused MC level kernel is ported
+    (the one loop whose arithmetic intensity survives host/device
+    transfers); every other operation falls back to NumPy per function.
+    Probed for both an importable ``cupy`` *and* a visible device.
+
+Selection precedence (mirrors the other knobs of the package)::
+
+    explicit argument  >  REPRO_KERNEL_BACKEND  >  "numpy"
+
+Unrecognised ``REPRO_KERNEL_BACKEND`` values warn **once** per process
+and fall back to ``numpy`` — a misspelt environment variable must not
+kill a long batch job mid-run.  Explicit arguments are validated
+strictly (a typo in code is a bug).
+
+Graceful per-function fallback: :func:`get_kernel` returns ``None``
+whenever a backend cannot serve an operation — backend not installed, no
+device, compilation failed — after warning once per ``(backend, op)``
+pair.  Callers treat ``None`` (and any runtime failure of a returned
+kernel) as "use the NumPy reference", so a missing accelerator degrades
+to exactly the behaviour the tier-1 suite tests.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import warnings
+from typing import Callable, Dict, Optional, Tuple
+
+from ..exceptions import GraphError
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "DEFAULT_KERNEL_BACKEND",
+    "normalize_kernel_backend",
+    "env_kernel_backend",
+    "resolve_kernel_backend",
+    "backend_available",
+    "kernel_backend_status",
+    "get_kernel",
+]
+
+#: The compiled-kernel backends of the hot loops.
+KERNEL_BACKENDS = ("numpy", "numba", "cupy")
+
+#: The always-available reference backend.
+DEFAULT_KERNEL_BACKEND = "numpy"
+
+#: Operations a backend may serve (callers fall back per function).
+KERNEL_OPS = ("band_gather", "propagate", "mc_two_state", "moment_fold")
+
+#: Environment values of ``REPRO_KERNEL_BACKEND`` already warned about
+#: (one warning per unrecognised value per process).
+_WARNED_ENV_VALUES: set = set()
+
+#: ``(backend, op)`` pairs already warned about falling back to NumPy.
+_WARNED_FALLBACKS: set = set()
+
+#: Cached availability probes, keyed by backend name.
+_AVAILABLE: Dict[str, bool] = {}
+
+#: Cached per-``(backend, op)`` compiled callables (``None`` = fallback).
+_OPS: Dict[Tuple[str, str], Optional[Callable]] = {}
+
+#: Cached op tables built by the per-backend builders.
+_TABLES: Dict[str, Optional[Dict[str, Callable]]] = {}
+
+_SQRT2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def normalize_kernel_backend(name) -> str:
+    """Validate a kernel-backend name (strict: typos in code are bugs)."""
+    value = str(name).strip().lower()
+    if value not in KERNEL_BACKENDS:
+        raise GraphError(
+            f"kernel backend must be one of {KERNEL_BACKENDS}, got {name!r}"
+        )
+    return value
+
+
+def env_kernel_backend(default: Optional[str] = None) -> Optional[str]:
+    """The ``REPRO_KERNEL_BACKEND`` override (``None`` if unset).
+
+    Unrecognised values warn once per process and fall back to
+    ``default`` instead of raising: a misspelt environment variable in a
+    batch submission script must not abort a long run at first estimate.
+    """
+    raw = os.environ.get("REPRO_KERNEL_BACKEND")
+    if raw is None:
+        return default
+    text = raw.strip().lower()
+    if text in KERNEL_BACKENDS:
+        return text
+    if raw not in _WARNED_ENV_VALUES:
+        _WARNED_ENV_VALUES.add(raw)
+        warnings.warn(
+            f"unrecognised REPRO_KERNEL_BACKEND value {raw!r}; expected one "
+            f"of {KERNEL_BACKENDS}; falling back to "
+            f"{default or DEFAULT_KERNEL_BACKEND!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return default
+
+
+def resolve_kernel_backend(name: Optional[str] = None) -> str:
+    """Resolve the backend knob: explicit arg > environment > ``numpy``."""
+    if name is not None:
+        return normalize_kernel_backend(name)
+    env = env_kernel_backend()
+    return DEFAULT_KERNEL_BACKEND if env is None else env
+
+
+# ----------------------------------------------------------------------
+# Capability probing
+# ----------------------------------------------------------------------
+
+def _probe(name: str) -> bool:
+    if name == "numpy":
+        return True
+    if name == "numba":
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            return False
+        return True
+    if name == "cupy":
+        try:
+            import cupy
+
+            return int(cupy.cuda.runtime.getDeviceCount()) > 0
+        except Exception:
+            return False
+    return False
+
+
+def backend_available(name: str) -> bool:
+    """Whether a backend's runtime requirements are met (cached probe)."""
+    name = normalize_kernel_backend(name)
+    cached = _AVAILABLE.get(name)
+    if cached is None:
+        cached = _probe(name)
+        _AVAILABLE[name] = cached
+    return cached
+
+
+def kernel_backend_status() -> Dict[str, bool]:
+    """Availability of every registered backend (probing as needed)."""
+    return {name: backend_available(name) for name in KERNEL_BACKENDS}
+
+
+def _reset_backend_state() -> None:
+    """Drop every cached probe/compile/warn record (test hook)."""
+    _AVAILABLE.clear()
+    _OPS.clear()
+    _TABLES.clear()
+    _WARNED_ENV_VALUES.clear()
+    _WARNED_FALLBACKS.clear()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def _warn_fallback(backend: str, op: str, reason: str) -> None:
+    key = (backend, op)
+    if key in _WARNED_FALLBACKS:
+        return
+    _WARNED_FALLBACKS.add(key)
+    warnings.warn(
+        f"kernel backend {backend!r} cannot serve {op!r} ({reason}); "
+        f"falling back to the NumPy reference",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _table_for(backend: str) -> Optional[Dict[str, Callable]]:
+    if backend in _TABLES:
+        return _TABLES[backend]
+    table: Optional[Dict[str, Callable]] = None
+    try:
+        if backend == "numba":
+            table = _build_numba_ops()
+        elif backend == "cupy":
+            table = _build_cupy_ops()
+    except Exception:
+        table = None
+    _TABLES[backend] = table
+    return table
+
+
+def get_kernel(op: str, backend: Optional[str] = None) -> Optional[Callable]:
+    """The compiled kernel of one operation, or ``None`` to use NumPy.
+
+    ``backend=None`` resolves through :func:`resolve_kernel_backend`.
+    A ``None`` return means the caller should run its NumPy reference:
+    the backend is ``numpy`` itself, is not installed, has no device, or
+    does not implement the operation — each non-``numpy`` miss warns
+    once per ``(backend, op)`` pair.
+    """
+    if op not in KERNEL_OPS:
+        raise GraphError(f"unknown kernel op {op!r}; expected one of {KERNEL_OPS}")
+    resolved = resolve_kernel_backend(backend)
+    if resolved == "numpy":
+        return None
+    key = (resolved, op)
+    if key in _OPS:
+        return _OPS[key]
+    fn: Optional[Callable] = None
+    if not backend_available(resolved):
+        _warn_fallback(resolved, op, "backend unavailable")
+    else:
+        table = _table_for(resolved)
+        if table is None:
+            _warn_fallback(resolved, op, "backend failed to initialise")
+        else:
+            fn = table.get(op)
+            if fn is None:
+                _warn_fallback(resolved, op, "operation not ported")
+    _OPS[key] = fn
+    return fn
+
+
+# ----------------------------------------------------------------------
+# numba backend
+# ----------------------------------------------------------------------
+#
+# Bit-identity notes (load-bearing — the differential tests pin these):
+#
+# * ``band_gather`` is pure data movement and therefore bit-identical to
+#   the chunked NumPy gather by construction.
+# * ``mc_two_state``'s weight fill replicates NumPy's mixed-dtype ufunc
+#   semantics for float32 buffers: ``np.multiply(mask, extra_f64,
+#   out=f32)`` rounds the float64 product to float32 on store, and the
+#   subsequent ``view += w_f64`` promotes the float32 value back to
+#   float64, adds, and rounds again.  The compiled loop performs the
+#   same two-step rounding by storing the masked extra first and then
+#   adding the float64 weight to the read-back value.
+# * the level recurrence runs max/add in the buffer dtype, exactly like
+#   ``np.take``/``np.maximum``/``np.add`` on the buffer-dtype scratch.
+# * ``moment_fold`` mirrors the scalar Clark fold; ``math.erfc`` and
+#   ``scipy.special.erfc`` agree to ulp-level rounding, hence the ≤1e-9
+#   (not bit-exact) contract for this op.
+
+
+def _build_numba_ops() -> Dict[str, Callable]:
+    import numba
+
+    njit = numba.njit(cache=False, fastmath=False, nogil=True)
+
+    sqrt2 = _SQRT2
+    inv_sqrt_2pi = _INV_SQRT_2PI
+
+    @njit
+    def band_gather(
+        out,
+        miss,
+        data,
+        rows,
+        cols,
+        col_off,
+        col_wid,
+        col_ptr,
+        row_off,
+        row_wid,
+        row_ptr,
+        track_miss,
+    ):
+        m, w = out.shape
+        any_miss = False
+        for i in range(m):
+            r = rows[i]
+            off_r = row_off[r]
+            wid_r = row_wid[r]
+            ptr_r = row_ptr[r]
+            for j in range(w):
+                rel_r = cols[j] - off_r
+                if 0 <= rel_r < wid_r:
+                    out[i, j] = data[ptr_r + rel_r]
+                    if track_miss:
+                        miss[i, j] = False
+                else:
+                    rel_c = r - col_off[j]
+                    if 0 <= rel_c < col_wid[j]:
+                        out[i, j] = data[col_ptr[j] + rel_c]
+                        if track_miss:
+                            miss[i, j] = False
+                    else:
+                        out[i, j] = 0.0
+                        any_miss = True
+                        if track_miss:
+                            miss[i, j] = True
+        return any_miss
+
+    @njit
+    def propagate(
+        buffer,
+        trials,
+        group_start,
+        group_stop,
+        group_width,
+        group_ptr,
+        group_preds,
+        scratch,
+    ):
+        for g in range(group_start.shape[0]):
+            start = group_start[g]
+            stop = group_stop[g]
+            width = group_width[g]
+            base = group_ptr[g]
+            for i in range(stop - start):
+                r = start + i
+                row_base = base + i * width
+                p0 = group_preds[row_base]
+                for t in range(trials):
+                    scratch[t] = buffer[p0, t]
+                for j in range(1, width):
+                    pj = group_preds[row_base + j]
+                    for t in range(trials):
+                        v = buffer[pj, t]
+                        if v > scratch[t]:
+                            scratch[t] = v
+                for t in range(trials):
+                    buffer[r, t] = buffer[r, t] + scratch[t]
+
+    @njit
+    def mc_two_state(
+        buffer,
+        trials,
+        uniform,
+        perm,
+        q,
+        w_perm,
+        extra_perm,
+        group_start,
+        group_stop,
+        group_width,
+        group_ptr,
+        group_preds,
+        scratch,
+    ):
+        n = buffer.shape[0]
+        for r in range(n):
+            p = perm[r]
+            q_p = q[p]
+            extra = extra_perm[r]
+            weight = w_perm[r]
+            for t in range(trials):
+                # Two stores: the first rounds the float64 extra to the
+                # buffer dtype, the second re-promotes for the float64
+                # add — NumPy's exact mixed-dtype rounding sequence.
+                if uniform[t, p] < q_p:
+                    buffer[r, t] = extra
+                else:
+                    buffer[r, t] = 0.0
+                buffer[r, t] = buffer[r, t] + weight
+        propagate(
+            buffer,
+            trials,
+            group_start,
+            group_stop,
+            group_width,
+            group_ptr,
+            group_preds,
+            scratch,
+        )
+
+    @njit
+    def clark_max(mean1, var1, mean2, var2):
+        a = math.sqrt(max(var1 + var2, 0.0))
+        if a == 0.0:
+            if mean1 >= mean2:
+                return mean1, var1
+            return mean2, var2
+        alpha = (mean1 - mean2) / a
+        phi = inv_sqrt_2pi * math.exp(-0.5 * alpha * alpha)
+        cdf_pos = 0.5 * math.erfc(-alpha / sqrt2)
+        cdf_neg = 0.5 * math.erfc(alpha / sqrt2)
+        first = mean1 * cdf_pos + mean2 * cdf_neg + a * phi
+        second = (
+            (mean1 * mean1 + var1) * cdf_pos
+            + (mean2 * mean2 + var2) * cdf_neg
+            + (mean1 + mean2) * a * phi
+        )
+        variance = max(0.0, second - first * first)
+        return first, variance
+
+    @njit
+    def moment_fold(
+        mean_buf,
+        var_buf,
+        group_start,
+        group_stop,
+        group_width,
+        group_ptr,
+        group_preds,
+    ):
+        for g in range(group_start.shape[0]):
+            start = group_start[g]
+            stop = group_stop[g]
+            width = group_width[g]
+            base = group_ptr[g]
+            for i in range(stop - start):
+                r = start + i
+                row_base = base + i * width
+                p0 = group_preds[row_base]
+                mean = mean_buf[p0]
+                var = var_buf[p0]
+                for j in range(1, width):
+                    pj = group_preds[row_base + j]
+                    mean, var = clark_max(mean, var, mean_buf[pj], var_buf[pj])
+                mean_buf[r] = mean_buf[r] + mean
+                var_buf[r] = var_buf[r] + var
+
+    return {
+        "band_gather": band_gather,
+        "propagate": propagate,
+        "mc_two_state": mc_two_state,
+        "moment_fold": moment_fold,
+    }
+
+
+# ----------------------------------------------------------------------
+# cupy backend (optional device)
+# ----------------------------------------------------------------------
+
+
+def _build_cupy_ops() -> Dict[str, Callable]:
+    import cupy as cp
+
+    def mc_two_state(
+        buffer,
+        trials,
+        uniform,
+        perm,
+        q,
+        w_perm,
+        extra_perm,
+        group_start,
+        group_stop,
+        group_width,
+        group_ptr,
+        group_preds,
+        scratch,
+    ):
+        # The RNG draw stays on the host (stream bit-identity); the fused
+        # sampling + recurrence runs on the device, and the propagated
+        # buffer is copied back once per batch.
+        d_uniform = cp.asarray(uniform[:trials])
+        d_perm = cp.asarray(perm)
+        d_q = cp.asarray(q)[d_perm][:, None]
+        d_w = cp.asarray(w_perm)[:, None]
+        d_extra = cp.asarray(extra_perm)[:, None]
+        mask = d_uniform.T[d_perm] < d_q
+        # Same two-step rounding as the NumPy reference for float32.
+        d_buf = cp.where(mask, d_extra, 0.0).astype(buffer.dtype)
+        d_buf = (d_buf + d_w).astype(buffer.dtype)
+        d_preds = cp.asarray(group_preds)
+        for g in range(group_start.shape[0]):
+            start = int(group_start[g])
+            stop = int(group_stop[g])
+            width = int(group_width[g])
+            base = int(group_ptr[g])
+            block = d_preds[base : base + (stop - start) * width].reshape(
+                stop - start, width
+            )
+            ready = d_buf[block[:, 0]]
+            for j in range(1, width):
+                cp.maximum(ready, d_buf[block[:, j]], out=ready)
+            d_buf[start:stop] += ready
+        buffer[:, :trials] = cp.asnumpy(d_buf)
+
+    return {"mc_two_state": mc_two_state}

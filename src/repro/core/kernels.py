@@ -90,6 +90,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from ..exceptions import GraphError
+from .backends import get_kernel, resolve_kernel_backend
 from .graph import GraphIndex, TaskGraph, compute_level_structure
 
 __all__ = [
@@ -101,6 +102,7 @@ __all__ = [
     "wavefront_kernel",
     "schedule_for",
     "schedule_arrays",
+    "schedule_flat_groups",
     "schedule_from_arrays",
     "schedule_compilations",
     "schedule_nbytes",
@@ -390,17 +392,10 @@ def seed_schedule_cache(
     _index_cache(_as_index(graph))[("schedule", direction)] = schedule
 
 
-def schedule_arrays(schedule: LevelSchedule) -> Dict[str, np.ndarray]:
-    """Flatten a :class:`LevelSchedule` into named contiguous arrays.
-
-    The dict is suitable for publication as one shared-memory segment
-    (:class:`repro.exec.shm.SharedSegment`); the inverse is
-    :func:`schedule_from_arrays`, which reconstructs an equivalent
-    schedule from (possibly attached, zero-copy) views *without* running
-    :func:`_compile_schedule` again.  Group predecessor blocks are
-    concatenated row-major into one flat array indexed by ``group_ptr``.
-    """
-    groups = schedule.groups
+def _flatten_groups(
+    groups: Tuple[LevelGroup, ...]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten the degree groups into ``(start, stop, width, ptr, preds)``."""
     num_groups = len(groups)
     group_start = np.fromiter((g.start for g in groups), dtype=np.int64, count=num_groups)
     group_stop = np.fromiter((g.stop for g in groups), dtype=np.int64, count=num_groups)
@@ -411,10 +406,45 @@ def schedule_arrays(schedule: LevelSchedule) -> Dict[str, np.ndarray]:
     group_ptr = np.zeros(num_groups + 1, dtype=np.int64)
     np.cumsum(sizes, out=group_ptr[1:])
     group_preds = (
-        np.concatenate([g.preds.ravel() for g in groups])
+        np.concatenate([np.ascontiguousarray(g.preds).ravel() for g in groups])
         if num_groups
         else np.empty(0, dtype=np.int64)
     ).astype(np.int64, copy=False)
+    return group_start, group_stop, group_width, group_ptr, group_preds
+
+
+def schedule_flat_groups(
+    schedule: LevelSchedule,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The (cached) flattened degree groups of a compiled schedule.
+
+    The compiled kernel backends (:mod:`repro.core.backends`) iterate the
+    level recurrence over these five contiguous arrays — ``(group_start,
+    group_stop, group_width, group_ptr, group_preds)`` — instead of the
+    Python-object ``groups`` tuple.  Cached on the schedule, so every
+    kernel over the same schedule (including worker-side attached
+    schedules) shares one flattening.
+    """
+    flat = schedule.__dict__.get("_flat_groups")
+    if flat is None:
+        flat = _flatten_groups(schedule.groups)
+        object.__setattr__(schedule, "_flat_groups", flat)
+    return flat
+
+
+def schedule_arrays(schedule: LevelSchedule) -> Dict[str, np.ndarray]:
+    """Flatten a :class:`LevelSchedule` into named contiguous arrays.
+
+    The dict is suitable for publication as one shared-memory segment
+    (:class:`repro.exec.shm.SharedSegment`); the inverse is
+    :func:`schedule_from_arrays`, which reconstructs an equivalent
+    schedule from (possibly attached, zero-copy) views *without* running
+    :func:`_compile_schedule` again.  Group predecessor blocks are
+    concatenated row-major into one flat array indexed by ``group_ptr``.
+    """
+    group_start, group_stop, group_width, group_ptr, group_preds = (
+        schedule_flat_groups(schedule)
+    )
     scalars = np.array(
         [schedule.num_tasks, schedule.max_group_rows, schedule.max_edge_level_span],
         dtype=np.int64,
@@ -527,6 +557,7 @@ class WavefrontKernel:
         *,
         direction: str = "up",
         dtype: Union[str, np.dtype, type, None] = np.float64,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if direction not in _DIRECTIONS:
             raise GraphError(
@@ -535,7 +566,9 @@ class WavefrontKernel:
         self.index = _as_index(graph)
         self.direction = direction
         self.dtype = normalize_dtype(dtype)
+        self.kernel_backend = resolve_kernel_backend(kernel_backend)
         self.schedule = _schedule_for(self.index, direction)
+        self._propagate_fn = get_kernel("propagate", self.kernel_backend)
         self._buffer: Optional[np.ndarray] = None
         self._scratch_a: Optional[np.ndarray] = None
         self._scratch_b: Optional[np.ndarray] = None
@@ -548,6 +581,7 @@ class WavefrontKernel:
         *,
         direction: str = "up",
         dtype: Union[str, np.dtype, type, None] = np.float64,
+        kernel_backend: Optional[str] = None,
     ) -> "WavefrontKernel":
         """Build a kernel directly over an existing compiled schedule.
 
@@ -564,7 +598,9 @@ class WavefrontKernel:
         kernel.index = None
         kernel.direction = direction
         kernel.dtype = normalize_dtype(dtype)
+        kernel.kernel_backend = resolve_kernel_backend(kernel_backend)
         kernel.schedule = schedule
+        kernel._propagate_fn = get_kernel("propagate", kernel.kernel_backend)
         kernel._buffer = None
         kernel._scratch_a = None
         kernel._scratch_b = None
@@ -668,6 +704,23 @@ class WavefrontKernel:
             return
         if trials > self._capacity:
             raise GraphError("propagate() called beyond the loaded capacity")
+        if not self.schedule.groups:
+            return
+        fn = self._propagate_fn
+        if fn is not None:
+            try:
+                fn(
+                    self._buffer,
+                    trials,
+                    *schedule_flat_groups(self.schedule),
+                    self._scratch_a[0],
+                )
+                return
+            except Exception:
+                # Graceful per-function fallback: an unsupported
+                # dtype/shape disables the compiled path for this kernel
+                # and the NumPy reference takes over.
+                self._propagate_fn = None
         buffer = self._buffer[:, :trials]
         for group in self.schedule.groups:
             rows = group.stop - group.start
@@ -739,6 +792,7 @@ def wavefront_kernel(
     *,
     direction: str = "up",
     dtype: Union[str, np.dtype, type, None] = np.float64,
+    kernel_backend: Optional[str] = None,
 ) -> WavefrontKernel:
     """Return the shared, cached kernel of a graph for one direction/dtype.
 
@@ -751,11 +805,14 @@ def wavefront_kernel(
     """
     index = _as_index(graph)
     resolved = normalize_dtype(dtype)
+    backend = resolve_kernel_backend(kernel_backend)
     cache = _index_cache(index)
-    key = ("kernel", direction, resolved.name)
+    key = ("kernel", direction, resolved.name, backend)
     kernel = cache.get(key)
     if kernel is None:
-        kernel = WavefrontKernel(index, direction=direction, dtype=resolved)
+        kernel = WavefrontKernel(
+            index, direction=direction, dtype=resolved, kernel_backend=backend
+        )
         cache[key] = kernel
     return kernel
 
@@ -876,6 +933,7 @@ def propagate_moments(
     *,
     direction: str = "up",
     reduce: str = "fold",
+    kernel_backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Normal (Sculli) moment propagation over the compiled level schedule.
 
@@ -890,6 +948,12 @@ def propagate_moments(
     ``reduce="fold"`` (default) matches the sequential per-task CSR fold to
     floating-point rounding; ``reduce="tree"`` is the faster pairwise
     approximation (see module docstring).
+
+    ``kernel_backend`` selects a compiled fold (``"numba"``): the JIT
+    fold mirrors the scalar Clark recurrence with ``math.erfc`` and
+    agrees with the batched reference to ≤1e-9 (the two ``erfc``
+    implementations differ at ulp level).  It only applies to
+    ``reduce="fold"``; unavailable backends fall back to NumPy.
     """
     if reduce not in ("fold", "tree"):
         raise GraphError(f"unknown reduce mode {reduce!r}; choose 'fold' or 'tree'")
@@ -908,6 +972,17 @@ def propagate_moments(
     perm = schedule.perm
     mean_buf = task_mean[perm].copy()
     var_buf = task_var[perm].copy()
+    if reduce == "fold" and schedule.groups:
+        fn = get_kernel("moment_fold", kernel_backend)
+        if fn is not None:
+            try:
+                fn(mean_buf, var_buf, *schedule_flat_groups(schedule))
+            except Exception:
+                pass  # graceful fallback: rerun on the NumPy reference
+            else:
+                return mean_buf[schedule.rank], var_buf[schedule.rank]
+            mean_buf = task_mean[perm].copy()
+            var_buf = task_var[perm].copy()
     for group in schedule.groups:
         ready_mean, ready_var = _reduce_group_moments(
             group.preds, mean_buf, var_buf, reduce

@@ -77,6 +77,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..core.backends import resolve_kernel_backend
 from ..core.graph import TaskGraph
 from ..core.kernels import (
     clark_max_moments_batched,
@@ -295,6 +296,10 @@ class _CorrelatedFoldSpec:
     backend: str
     bandwidth: int
     rank: int
+    #: Compiled-kernel backend of the store's fused gathers; workers
+    #: resolve the same backend as the parent (with the same graceful
+    #: per-function fallback when the accelerator is absent there).
+    kernel_backend: str = "numpy"
 
     def __call__(self) -> "_CorrelatedFoldSlot":
         return _CorrelatedFoldSlot(self)
@@ -328,6 +333,7 @@ class _CorrelatedFoldSlot:
             spec.backend,
             bandwidth=spec.bandwidth,
             rank=spec.rank,
+            kernel_backend=spec.kernel_backend,
             arrays={
                 name[len("store_"):]: view
                 for name, view in arrays.items()
@@ -426,6 +432,13 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         registry, moments/store/writeback through a per-estimate
         segment).  Bit-identical to the threads backend at any worker
         count for every store.
+    kernel_backend:
+        Compiled-kernel backend of the banded store's fused masked
+        symmetric gathers: ``"numpy"`` (reference) or ``"numba"``
+        (bit-identical fused JIT gather).  ``None`` (default) resolves
+        ``REPRO_KERNEL_BACKEND`` and falls back to ``"numpy"``; shm
+        ``processes`` workers resolve the same backend as the parent
+        (see :mod:`repro.core.backends`).
     """
 
     name = "normal-correlated"
@@ -443,6 +456,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         exec_retries: Optional[int] = None,
         exec_timeout: Optional[float] = None,
         exec_on_failure: Optional[str] = None,
+        kernel_backend: Optional[str] = None,
         service_pool=None,
         validate: bool = True,
     ) -> None:
@@ -450,6 +464,10 @@ class CorrelatedNormalEstimator(MakespanEstimator):
         if reexecution_factor < 1.0:
             raise EstimationError("re-execution factor must be >= 1")
         self.reexecution_factor = reexecution_factor
+        try:
+            self.kernel_backend = resolve_kernel_backend(kernel_backend)
+        except Exception as exc:
+            raise EstimationError(str(exc)) from None
         explicit_bandwidth = bandwidth is not None
         explicit_rank = rank is not None
         if correlation_backend is None:
@@ -743,6 +761,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
             backend=store.backend,
             bandwidth=int(getattr(store, "bandwidth", 0)),
             rank=int(getattr(store, "rank", 1)),
+            kernel_backend=self.kernel_backend,
         )
         return state, static_key, spec, arrays
 
@@ -767,6 +786,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
             rank=self.rank,
             sink_rows=sink_rows,
             max_bytes=self.max_matrix_bytes,
+            kernel_backend=self.kernel_backend,
         )
 
         # Permuted-space state: row r describes task perm[r].
@@ -894,6 +914,7 @@ class CorrelatedNormalEstimator(MakespanEstimator):
             "reexecution_factor": self.reexecution_factor,
             "correlation_backend": store.backend,
             "correlation_store_bytes": store.nbytes,
+            "kernel_backend": self.kernel_backend,
             "fold_workers": self.workers,
             "execution": service.report.as_dict(),
         }

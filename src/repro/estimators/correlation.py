@@ -51,8 +51,9 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core.backends import get_kernel, resolve_kernel_backend
 from ..core.kernels import LevelSchedule
-from ..exceptions import EstimationError
+from ..exceptions import EstimationError, GraphError
 
 __all__ = [
     "CORRELATION_BACKENDS",
@@ -81,6 +82,10 @@ DEFAULT_CORRELATION_RANK = 32
 #: the integer index temporaries of one gather below ~256 MiB even on
 #: paper-scale levels.
 _GATHER_CHUNK_ELEMENTS = 1 << 24
+
+#: Placeholder miss-mask for fused gathers that do not track misses (the
+#: banded store reads out-of-band entries as zero, so no mask is needed).
+_NO_MISS = np.empty((0, 0), dtype=bool)
 
 
 def normalize_correlation_backend(name: str) -> str:
@@ -345,17 +350,36 @@ class BandedCorrelationStore(CorrelationStore):
 
     backend = "banded"
 
-    def __init__(self, schedule: LevelSchedule, bandwidth: int) -> None:
+    #: Whether out-of-band reads need a miss mask for :meth:`_fallback`
+    #: (the banded store reads misses as zero; lowrank overrides).
+    _tracks_miss = False
+
+    def __init__(
+        self,
+        schedule: LevelSchedule,
+        bandwidth: int,
+        *,
+        kernel_backend: Optional[str] = None,
+    ) -> None:
         super().__init__(schedule)
-        self._init_band_geometry(bandwidth)
+        self._init_band_geometry(bandwidth, kernel_backend=kernel_backend)
         self._data = np.zeros(int(self._ptr[-1]), dtype=np.float64)
         rows = np.arange(schedule.num_tasks, dtype=np.int64)
         self._data[self._ptr[rows] + rows - self._off] = 1.0
 
-    def _init_band_geometry(self, bandwidth: int) -> None:
+    def _init_band_geometry(
+        self, bandwidth: int, *, kernel_backend: Optional[str] = None
+    ) -> None:
         """Band CSR geometry — cheap vectorised O(n), shared by attach()."""
         if bandwidth < 0:
             raise EstimationError("correlation bandwidth must be >= 0")
+        try:
+            self.kernel_backend = resolve_kernel_backend(kernel_backend)
+        except GraphError as exc:
+            raise EstimationError(str(exc)) from None
+        #: Fused masked-symmetric gather of the compiled backend
+        #: (``None`` = run the chunked NumPy reference).
+        self._gather_fn = get_kernel("band_gather", self.kernel_backend)
         schedule = self.schedule
         self.bandwidth = int(bandwidth)
         indptr = schedule.level_indptr
@@ -387,7 +411,12 @@ class BandedCorrelationStore(CorrelationStore):
 
     @classmethod
     def attach(
-        cls, schedule: LevelSchedule, bandwidth: int, arrays: Dict[str, np.ndarray]
+        cls,
+        schedule: LevelSchedule,
+        bandwidth: int,
+        arrays: Dict[str, np.ndarray],
+        *,
+        kernel_backend: Optional[str] = None,
     ) -> "BandedCorrelationStore":
         """A store over an existing (attached) band-data view.
 
@@ -397,7 +426,7 @@ class BandedCorrelationStore(CorrelationStore):
         """
         store = cls.__new__(cls)
         CorrelationStore.__init__(store, schedule)
-        store._init_band_geometry(bandwidth)
+        store._init_band_geometry(bandwidth, kernel_backend=kernel_backend)
         store._data = arrays["band_data"]
         return store
 
@@ -446,6 +475,40 @@ class BandedCorrelationStore(CorrelationStore):
     ) -> np.ndarray:
         """Masked symmetric gather with precomputed column-side indices."""
         m, w = rows.shape[0], cols.shape[0]
+        fn = self._gather_fn
+        if fn is not None and m and w:
+            # One fused pass over the output: no per-window index/mask
+            # temporaries, no chunking (the compiled loop allocates only
+            # the result and — for stores with a far-field fallback —
+            # one boolean miss mask).  Bit-identical to the chunked
+            # reference: pure data movement.
+            out = np.empty((m, w), dtype=np.float64)
+            miss = np.empty((m, w), dtype=bool) if self._tracks_miss else _NO_MISS
+            try:
+                any_miss = fn(
+                    out,
+                    miss,
+                    self._data,
+                    rows,
+                    cols,
+                    np.ravel(col_off),
+                    np.ravel(col_wid),
+                    np.ravel(col_ptr),
+                    self._off,
+                    self._wid,
+                    self._ptr,
+                    self._tracks_miss,
+                )
+            except Exception:
+                # Graceful per-function fallback for unsupported
+                # dtypes/shapes: disable the fused path for this store.
+                self._gather_fn = None
+            else:
+                if self._tracks_miss and any_miss:
+                    fallback = self._fallback(rows, cols)
+                    if fallback is not None:
+                        np.copyto(out, fallback, where=miss)
+                return out
         out = np.empty((m, w), dtype=np.float64)
         chunk = max(1, _GATHER_CHUNK_ELEMENTS // max(w, 1))
         ptr, off, wid = self._ptr, self._off, self._wid
@@ -524,8 +587,17 @@ class LowRankCorrelationStore(BandedCorrelationStore):
 
     backend = "lowrank"
 
-    def __init__(self, schedule: LevelSchedule, bandwidth: int, rank: int) -> None:
-        super().__init__(schedule, bandwidth)
+    _tracks_miss = True
+
+    def __init__(
+        self,
+        schedule: LevelSchedule,
+        bandwidth: int,
+        rank: int,
+        *,
+        kernel_backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(schedule, bandwidth, kernel_backend=kernel_backend)
         self._init_rank_geometry(rank)
         n = schedule.num_tasks
         self._factor = np.zeros((n, self.extra_cols), dtype=np.float64)
@@ -553,10 +625,12 @@ class LowRankCorrelationStore(BandedCorrelationStore):
         bandwidth: int,
         rank: int,
         arrays: Dict[str, np.ndarray],
+        *,
+        kernel_backend: Optional[str] = None,
     ) -> "LowRankCorrelationStore":
         store = cls.__new__(cls)
         CorrelationStore.__init__(store, schedule)
-        store._init_band_geometry(bandwidth)
+        store._init_band_geometry(bandwidth, kernel_backend=kernel_backend)
         store._init_rank_geometry(rank)
         store.bind_shared(arrays)
         return store
@@ -706,6 +780,7 @@ def make_correlation_store(
     rank: int,
     sink_rows: np.ndarray,
     max_bytes: int,
+    kernel_backend: Optional[str] = None,
 ) -> CorrelationStore:
     """Build a store, refusing — with a clear error — when it cannot fit.
 
@@ -752,8 +827,12 @@ def make_correlation_store(
     if backend == "dense":
         return DenseCorrelationStore(schedule)
     if backend == "banded":
-        return BandedCorrelationStore(schedule, resolved_bw)
-    return LowRankCorrelationStore(schedule, resolved_bw, rank)
+        return BandedCorrelationStore(
+            schedule, resolved_bw, kernel_backend=kernel_backend
+        )
+    return LowRankCorrelationStore(
+        schedule, resolved_bw, rank, kernel_backend=kernel_backend
+    )
 
 
 def attach_correlation_store(
@@ -763,6 +842,7 @@ def attach_correlation_store(
     bandwidth: int,
     rank: int,
     arrays: Dict[str, np.ndarray],
+    kernel_backend: Optional[str] = None,
 ) -> CorrelationStore:
     """A store bound to another process's :meth:`shared_arrays` payload.
 
@@ -776,5 +856,9 @@ def attach_correlation_store(
     if backend == "dense":
         return DenseCorrelationStore.attach(schedule, arrays)
     if backend == "banded":
-        return BandedCorrelationStore.attach(schedule, int(bandwidth), arrays)
-    return LowRankCorrelationStore.attach(schedule, int(bandwidth), rank, arrays)
+        return BandedCorrelationStore.attach(
+            schedule, int(bandwidth), arrays, kernel_backend=kernel_backend
+        )
+    return LowRankCorrelationStore.attach(
+        schedule, int(bandwidth), rank, arrays, kernel_backend=kernel_backend
+    )

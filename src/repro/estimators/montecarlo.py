@@ -54,6 +54,11 @@ class MonteCarloEstimator(MakespanEstimator):
         from ``REPRO_EXEC_*``); the resulting
         :class:`~repro.exec.ExecutionReport` lands in
         ``details["execution"]``.
+    kernel_backend:
+        Compiled-kernel backend of the fused sampling + level recurrence
+        (``"numpy"``, ``"numba"`` or ``"cupy"``; ``None`` resolves
+        ``REPRO_KERNEL_BACKEND``).  The numba path is bit-identical to
+        the NumPy pipeline; see :mod:`repro.core.backends`.
     batch_size, keep_samples, target_relative_half_width:
         Forwarded to :class:`repro.sim.MonteCarloEngine`.
     """
@@ -77,6 +82,7 @@ class MonteCarloEstimator(MakespanEstimator):
         exec_retries: Optional[int] = None,
         exec_timeout: Optional[float] = None,
         exec_on_failure: Optional[str] = None,
+        kernel_backend: Optional[str] = None,
         validate: bool = True,
     ) -> None:
         super().__init__(validate=validate)
@@ -94,6 +100,7 @@ class MonteCarloEstimator(MakespanEstimator):
         self.exec_retries = exec_retries
         self.exec_timeout = exec_timeout
         self.exec_on_failure = exec_on_failure
+        self.kernel_backend = kernel_backend
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         engine = MonteCarloEngine(
@@ -113,6 +120,7 @@ class MonteCarloEstimator(MakespanEstimator):
             exec_retries=self.exec_retries,
             exec_timeout=self.exec_timeout,
             exec_on_failure=self.exec_on_failure,
+            kernel_backend=self.kernel_backend,
         )
         result = engine.run()
         details = {
@@ -125,6 +133,7 @@ class MonteCarloEstimator(MakespanEstimator):
             "dtype": result.dtype,
             "workers": result.workers,
             "backend": result.backend,
+            "kernel_backend": engine.kernel_backend,
             "streaming": result.streaming,
         }
         if result.execution is not None:

@@ -27,7 +27,7 @@ differential tests and benchmarks) to floating-point rounding.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -95,15 +95,28 @@ class SculliEstimator(MakespanEstimator):
     reexecution_factor:
         Execution-time multiplier of a failed task (2 = full re-execution,
         as in the paper).
+    kernel_backend:
+        Compiled-kernel backend of the moment-propagation fold
+        (``"numpy"`` reference or the JIT ``"numba"`` fold, which agrees
+        to ≤1e-9 — the two ``erfc`` implementations differ at ulp
+        level).  ``None`` resolves ``REPRO_KERNEL_BACKEND``; see
+        :mod:`repro.core.backends`.
     """
 
     name = "normal"
 
-    def __init__(self, *, reexecution_factor: float = 2.0, validate: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        reexecution_factor: float = 2.0,
+        kernel_backend: Optional[str] = None,
+        validate: bool = True,
+    ) -> None:
         super().__init__(validate=validate)
         if reexecution_factor < 1.0:
             raise EstimationError("re-execution factor must be >= 1")
         self.reexecution_factor = reexecution_factor
+        self.kernel_backend = kernel_backend
 
     def _completion_moments(
         self, index: GraphIndex, model: ErrorModel
@@ -111,7 +124,13 @@ class SculliEstimator(MakespanEstimator):
         task_mean, task_var = two_state_moment_vectors(
             index.weights, model, reexecution_factor=self.reexecution_factor
         )
-        return propagate_moments(index, task_mean, task_var, direction="up")
+        return propagate_moments(
+            index,
+            task_mean,
+            task_var,
+            direction="up",
+            kernel_backend=self.kernel_backend,
+        )
 
     def _estimate(self, graph: TaskGraph, model: ErrorModel) -> EstimateResult:
         index = graph.index()

@@ -44,6 +44,9 @@ __all__ = [
     "MC_DTYPES",
     "MC_BACKENDS",
     "CORR_BACKENDS",
+    "KERNEL_BACKENDS",
+    "KERNEL_ESTIMATORS",
+    "kernel_backend",
     "PAPER_MC_TRIALS",
 ]
 
@@ -235,6 +238,54 @@ def correlation_bandwidth(default: Optional[int] = None) -> Optional[int]:
         value = int(default)
     if value < 0:
         raise ExperimentError("correlation bandwidth must be >= 0")
+    return value
+
+
+#: Compiled-kernel backends of the hot numerical loops (mirrors
+#: :data:`repro.core.backends.KERNEL_BACKENDS` without importing the
+#: numerical stack at module import time).
+KERNEL_BACKENDS = ("numpy", "numba", "cupy")
+
+#: Estimators whose constructors take the ``kernel_backend`` knob
+#: (registry names plus their aliases).
+KERNEL_ESTIMATORS = (
+    "monte-carlo",
+    "mc",
+    "montecarlo",
+    "monte_carlo",
+    "normal",
+    "sculli",
+    "normal-correlated",
+    "corlca",
+)
+
+
+def kernel_backend(default: Optional[str] = None) -> Optional[str]:
+    """Resolve the compiled-kernel backend of the hot numerical loops.
+
+    Priority: ``REPRO_KERNEL_BACKEND`` environment variable, then the
+    explicit ``default`` argument, then ``None`` (the estimators pick
+    ``"numpy"``, the pure-NumPy bit-reference).  An unrecognised
+    *environment* value warns once and falls back (mirroring
+    ``REPRO_SHM_ENABLED``); an unrecognised explicit ``default`` raises
+    :class:`ExperimentError`.
+    """
+    env = os.environ.get("REPRO_KERNEL_BACKEND")
+    if env is not None:
+        # Delegate to the core resolver so the warn-once bookkeeping is
+        # shared with estimators that read the environment directly.
+        from ..core.backends import env_kernel_backend
+
+        resolved = env_kernel_backend(default=None)
+        if resolved is not None:
+            return resolved
+    if default is None:
+        return None
+    value = default.strip().lower()
+    if value not in KERNEL_BACKENDS:
+        raise ExperimentError(
+            f"kernel backend must be one of {KERNEL_BACKENDS}, got {value!r}"
+        )
     return value
 
 
@@ -500,6 +551,7 @@ class FigureConfig:
     mc_workers: Optional[int] = None
     mc_backend: Optional[str] = None
     mc_streaming: Optional[bool] = None
+    kernel_backend: Optional[str] = None
     corr_backend: Optional[str] = None
     corr_bandwidth: Optional[int] = None
     corr_rank: Optional[int] = None
@@ -527,6 +579,7 @@ class FigureConfig:
             raise ExperimentError(
                 f"mc_backend must be one of {MC_BACKENDS}, got {self.mc_backend!r}"
             )
+        _validate_kernel_backend(self.kernel_backend)
         _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
         if self.est_workers is not None and self.est_workers < 1:
             raise ExperimentError("est_workers must be >= 1")
@@ -561,6 +614,11 @@ class FigureConfig:
     def streaming(self) -> bool:
         """Monte Carlo streaming mode after the environment override."""
         return monte_carlo_streaming(self.mc_streaming)
+
+    @property
+    def compiled_kernel_backend(self) -> Optional[str]:
+        """Compiled-kernel backend after the environment override."""
+        return kernel_backend(self.kernel_backend)
 
     @property
     def estimator_worker_count(self) -> Optional[int]:
@@ -600,6 +658,7 @@ class ScalabilityConfig:
     mc_workers: Optional[int] = None
     mc_backend: Optional[str] = None
     mc_streaming: Optional[bool] = None
+    kernel_backend: Optional[str] = None
     corr_backend: Optional[str] = None
     corr_bandwidth: Optional[int] = None
     corr_rank: Optional[int] = None
@@ -625,6 +684,7 @@ class ScalabilityConfig:
             raise ExperimentError(
                 f"mc_backend must be one of {MC_BACKENDS}, got {self.mc_backend!r}"
             )
+        _validate_kernel_backend(self.kernel_backend)
         _validate_corr_fields(self.corr_backend, self.corr_bandwidth, self.corr_rank)
         if self.est_workers is not None and self.est_workers < 1:
             raise ExperimentError("est_workers must be >= 1")
@@ -661,6 +721,11 @@ class ScalabilityConfig:
         return monte_carlo_streaming(self.mc_streaming)
 
     @property
+    def compiled_kernel_backend(self) -> Optional[str]:
+        """Compiled-kernel backend after the environment override."""
+        return kernel_backend(self.kernel_backend)
+
+    @property
     def estimator_worker_count(self) -> Optional[int]:
         """Analytical-estimator workers after the environment override."""
         return estimator_workers(self.est_workers)
@@ -675,6 +740,13 @@ class ScalabilityConfig:
         """Constructor kwargs of the execution knobs, env applied."""
         return execution_options(
             self.exec_retries, self.exec_timeout, self.exec_on_failure
+        )
+
+
+def _validate_kernel_backend(backend: Optional[str]) -> None:
+    if backend is not None and backend not in KERNEL_BACKENDS:
+        raise ExperimentError(
+            f"kernel_backend must be one of {KERNEL_BACKENDS}, got {backend!r}"
         )
 
 
@@ -733,6 +805,7 @@ def estimator_options_for(
     name: str,
     overrides: Optional[Dict[str, Dict]] = None,
     est_workers: Optional[int] = None,
+    kernel_backend_override: Optional[str] = None,
 ) -> Dict[str, object]:
     """Constructor kwargs of one estimator of an experiment run.
 
@@ -744,12 +817,24 @@ def estimator_options_for(
     config's ``est_workers`` field) plus the execution-service
     fault-tolerance knobs (``REPRO_EXEC_*``, then the config's ``exec_*``
     fields); explicit per-estimator ``overrides`` (the
-    ``estimator_options`` argument of the drivers) win over both.
+    ``estimator_options`` argument of the drivers) win over both.  Every
+    estimator with ported compiled kernels (:data:`KERNEL_ESTIMATORS`)
+    picks up the config's ``kernel_backend`` field (``REPRO_KERNEL_BACKEND``
+    winning).
     """
     options: Dict[str, object] = {}
     key = name.strip().lower()
     if key in ("normal-correlated", "corlca"):
         options.update(config.correlated_options())
+    if key in KERNEL_ESTIMATORS:
+        if kernel_backend_override is not None:
+            # An explicit driver/CLI argument wins over the environment.
+            _validate_kernel_backend(kernel_backend_override)
+            resolved_kernel: Optional[str] = kernel_backend_override
+        else:
+            resolved_kernel = kernel_backend(getattr(config, "kernel_backend", None))
+        if resolved_kernel is not None:
+            options["kernel_backend"] = resolved_kernel
     if key in SHM_ESTIMATORS:
         backend = execution_backend(getattr(config, "exec_backend", None))
         if backend is not None:

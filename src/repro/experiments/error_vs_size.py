@@ -22,7 +22,11 @@ from ..estimators.base import normalized_difference
 from ..estimators.registry import get_estimator
 from ..failures.models import ExponentialErrorModel
 from ..workflows.registry import build_dag
-from .config import FigureConfig, estimator_options_for as _estimator_options
+from .config import (
+    FigureConfig,
+    estimator_options_for as _estimator_options,
+    kernel_backend as _kernel_backend_option,
+)
 
 __all__ = ["ErrorPoint", "FigureResult", "run_error_vs_size", "run_figure"]
 
@@ -91,6 +95,7 @@ def run_error_vs_size(
     mc_workers: Optional[int] = None,
     mc_backend: Optional[str] = None,
     mc_streaming: Optional[bool] = None,
+    kernel_backend: Optional[str] = None,
     est_workers: Optional[int] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
@@ -120,6 +125,13 @@ def run_error_vs_size(
         Override of the Monte Carlo streaming-statistics switch (defaults
         to the config's value, itself overridable through
         ``REPRO_MC_STREAMING``).
+    kernel_backend:
+        Override of the compiled-kernel backend of the hot numerical
+        loops (``"numpy"`` / ``"numba"`` / ``"cupy"``; defaults to the
+        config's value, itself overridable through
+        ``REPRO_KERNEL_BACKEND``).  Applies to the Monte Carlo reference
+        and to the estimators of
+        :data:`repro.experiments.config.KERNEL_ESTIMATORS`.
     est_workers:
         Override of the analytical estimators' parallel worker count on
         the shared execution service (wins over ``REPRO_EST_WORKERS`` and
@@ -140,6 +152,11 @@ def run_error_vs_size(
     workers = mc_workers if mc_workers is not None else config.workers
     backend = mc_backend if mc_backend is not None else config.backend
     streaming = mc_streaming if mc_streaming is not None else config.streaming
+    kernels = (
+        kernel_backend
+        if kernel_backend is not None
+        else _kernel_backend_option(getattr(config, "kernel_backend", None))
+    )
     base_seed = seed if seed is not None else config.seed
     options = estimator_options or {}
     result = FigureResult(config=config)
@@ -156,6 +173,7 @@ def run_error_vs_size(
             workers=workers,
             backend=backend,
             streaming=streaming,
+            kernel_backend=kernels,
             **config.exec_options(),
         ).estimate(graph, model)
         if progress:
@@ -168,7 +186,13 @@ def run_error_vs_size(
         for name in config.estimators:
             estimator = get_estimator(
                 name,
-                **_estimator_options(config, name, options, est_workers=est_workers),
+                **_estimator_options(
+                    config,
+                    name,
+                    options,
+                    est_workers=est_workers,
+                    kernel_backend_override=kernel_backend,
+                ),
             )
             estimate = estimator.estimate(graph, model)
             point = ErrorPoint(

@@ -43,6 +43,7 @@ def run_all_figures(
     mc_workers: Optional[int] = None,
     mc_backend: Optional[str] = None,
     mc_streaming: Optional[bool] = None,
+    kernel_backend: Optional[str] = None,
     est_workers: Optional[int] = None,
     seed: Optional[int] = None,
     output_dir: Optional[Union[str, Path]] = None,
@@ -70,6 +71,7 @@ def run_all_figures(
             mc_workers=mc_workers,
             mc_backend=mc_backend,
             mc_streaming=mc_streaming,
+            kernel_backend=kernel_backend,
             est_workers=est_workers,
             seed=seed,
             progress=progress,
@@ -87,6 +89,7 @@ def run_everything(
     mc_workers: Optional[int] = None,
     mc_backend: Optional[str] = None,
     mc_streaming: Optional[bool] = None,
+    kernel_backend: Optional[str] = None,
     est_workers: Optional[int] = None,
     table1_trials: Optional[int] = None,
     table1_size: Optional[int] = None,
@@ -109,6 +112,9 @@ def run_everything(
         ``"processes"``).
     mc_streaming:
         Monte Carlo streaming-statistics switch (O(batch) memory).
+    kernel_backend:
+        Compiled-kernel backend of the hot numerical loops (``"numpy"`` /
+        ``"numba"`` / ``"cupy"``).
     est_workers:
         Analytical estimators' parallel worker count on the shared
         execution service (correlated fold, second-order sweeps, Dodin
@@ -132,6 +138,7 @@ def run_everything(
         mc_workers=mc_workers,
         mc_backend=mc_backend,
         mc_streaming=mc_streaming,
+        kernel_backend=kernel_backend,
         est_workers=est_workers,
         seed=seed,
         output_dir=output_dir,
@@ -147,6 +154,7 @@ def run_everything(
         mc_workers=mc_workers,
         mc_backend=mc_backend,
         mc_streaming=mc_streaming,
+        kernel_backend=kernel_backend,
         est_workers=est_workers,
         seed=seed,
         progress=progress,

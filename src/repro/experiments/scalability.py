@@ -20,7 +20,11 @@ from ..estimators.base import normalized_difference
 from ..estimators.registry import get_estimator
 from ..failures.models import ExponentialErrorModel
 from ..workflows.registry import build_dag
-from .config import ScalabilityConfig, estimator_options_for as _estimator_options
+from .config import (
+    ScalabilityConfig,
+    estimator_options_for as _estimator_options,
+    kernel_backend as _kernel_backend_option,
+)
 
 __all__ = ["ScalabilityRow", "ScalabilityResult", "run_scalability", "run_table1"]
 
@@ -74,6 +78,7 @@ def run_scalability(
     mc_workers: Optional[int] = None,
     mc_backend: Optional[str] = None,
     mc_streaming: Optional[bool] = None,
+    kernel_backend: Optional[str] = None,
     est_workers: Optional[int] = None,
     seed: Optional[int] = None,
     estimator_options: Optional[Dict[str, Dict]] = None,
@@ -85,6 +90,11 @@ def run_scalability(
     workers = mc_workers if mc_workers is not None else config.workers
     backend = mc_backend if mc_backend is not None else config.backend
     streaming = mc_streaming if mc_streaming is not None else config.streaming
+    kernels = (
+        kernel_backend
+        if kernel_backend is not None
+        else _kernel_backend_option(getattr(config, "kernel_backend", None))
+    )
     base_seed = seed if seed is not None else config.seed
     options = estimator_options or {}
 
@@ -99,6 +109,7 @@ def run_scalability(
         workers=workers,
         backend=backend,
         streaming=streaming,
+        kernel_backend=kernels,
         **config.exec_options(),
     ).estimate(graph, model)
     if progress:
@@ -118,7 +129,14 @@ def run_scalability(
     )
     for name in config.estimators:
         estimator = get_estimator(
-            name, **_estimator_options(config, name, options, est_workers=est_workers)
+            name,
+            **_estimator_options(
+                config,
+                name,
+                options,
+                est_workers=est_workers,
+                kernel_backend_override=kernel_backend,
+            ),
         )
         estimate = estimator.estimate(graph, model)
         row = ScalabilityRow(

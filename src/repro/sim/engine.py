@@ -61,8 +61,14 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core.backends import get_kernel, resolve_kernel_backend
 from ..core.graph import GraphIndex, TaskGraph
-from ..core.kernels import WavefrontKernel, normalize_dtype, schedule_for
+from ..core.kernels import (
+    WavefrontKernel,
+    normalize_dtype,
+    schedule_flat_groups,
+    schedule_for,
+)
 from ..exceptions import EstimationError, GraphError
 from ..failures.models import ErrorModel
 from ..rv.empirical import EmpiricalDistribution, RunningMoments
@@ -160,9 +166,19 @@ class _BatchWorker:
     ) -> None:
         self.rng = rng
         self.kernel = WavefrontKernel(
-            engine.index, direction="up", dtype=engine.dtype
+            engine.index,
+            direction="up",
+            dtype=engine.dtype,
+            kernel_backend=engine.kernel_backend,
         )
         self.engine = engine
+        #: Fused two-state sampling + level recurrence of the compiled
+        #: backend (``None`` = run the NumPy reference pipeline).
+        self._fused_two_state = (
+            get_kernel("mc_two_state", engine.kernel_backend)
+            if engine.mode == "two-state"
+            else None
+        )
         n = engine.index.num_tasks
         capacity = engine._capacity
         if n:
@@ -195,6 +211,30 @@ class _BatchWorker:
         if engine.mode == "two-state":
             uniform = self.uniform[:batch]
             rng.random(out=uniform)
+            fused = self._fused_two_state
+            if fused is not None:
+                # One compiled sweep: the two-state weight fill and the
+                # level recurrence, straight on the kernel buffer (the
+                # RNG draw above stays in NumPy for stream bit-identity).
+                try:
+                    fused(
+                        kernel._buffer,
+                        batch,
+                        self.uniform,
+                        perm,
+                        engine._q,
+                        engine._w,
+                        engine._extra,
+                        *schedule_flat_groups(kernel.schedule),
+                        kernel._scratch_a[0]
+                        if kernel._scratch_a.shape[0]
+                        else np.empty(0, dtype=engine.dtype),
+                    )
+                    return kernel.makespans(batch)
+                except Exception:
+                    # Graceful per-function fallback: disable the fused
+                    # path for this slot and continue on NumPy.
+                    self._fused_two_state = None
             mask = self.mask[:, :batch]
             np.less(uniform.T, engine._q_rows, out=mask)
             # Fused two-state weights, written straight into the kernel
@@ -274,6 +314,14 @@ class MonteCarloEngine:
         from the ``REPRO_EXEC_*`` environment — see
         :class:`repro.exec.ExecutionPolicy`.  Retries replay the failed
         batch's RNG stream, so results stay bit-identical under faults.
+    kernel_backend:
+        Compiled-kernel backend of the hot loops: ``"numpy"`` (the
+        reference), ``"numba"`` (fused JIT sampling + recurrence,
+        bit-identical to the reference) or ``"cupy"`` (optional device
+        backend).  ``None`` (default) resolves ``REPRO_KERNEL_BACKEND``
+        and falls back to ``"numpy"``; an unavailable accelerator
+        degrades per function to the NumPy pipeline (see
+        :mod:`repro.core.backends`).
     """
 
     def __init__(
@@ -298,6 +346,7 @@ class MonteCarloEngine:
         exec_retries: Optional[int] = None,
         exec_timeout: Optional[float] = None,
         exec_on_failure: Optional[str] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if trials <= 0:
             raise EstimationError("number of trials must be positive")
@@ -343,6 +392,7 @@ class MonteCarloEngine:
         self.last_execution_report = None
         try:
             self.dtype = normalize_dtype(dtype)
+            self.kernel_backend = resolve_kernel_backend(kernel_backend)
         except GraphError as exc:
             # Constructor-argument problems consistently raise EstimationError.
             raise EstimationError(str(exc)) from None
@@ -357,10 +407,14 @@ class MonteCarloEngine:
         # Column vectors in the kernel's (permuted) row order, ready to
         # broadcast over the batch axis of the task-major buffer.
         perm = schedule_for(self.index, "up").perm
-        self._w_rows = weights[perm][:, None]
+        self._w = np.ascontiguousarray(weights[perm], dtype=np.float64)
+        self._w_rows = self._w[:, None]
         self._q_rows = self._q[:, None]  # task order: compared against rng rows
         if mode == "two-state":
-            self._extra_rows = ((reexecution_factor - 1.0) * weights)[perm][:, None]
+            self._extra = np.ascontiguousarray(
+                ((reexecution_factor - 1.0) * weights)[perm], dtype=np.float64
+            )
+            self._extra_rows = self._extra[:, None]
         else:
             self._success = 1.0 - self._q
             if np.any(self._success <= 0.0):
@@ -516,6 +570,7 @@ def simulate_expected_makespan(
     workers: int = 1,
     backend: Optional[str] = None,
     streaming: bool = False,
+    kernel_backend: Optional[str] = None,
 ) -> float:
     """Functional shortcut returning only the Monte Carlo mean."""
     engine = MonteCarloEngine(
@@ -528,5 +583,6 @@ def simulate_expected_makespan(
         workers=workers,
         backend=backend,
         streaming=streaming,
+        kernel_backend=kernel_backend,
     )
     return engine.run().mean

@@ -238,6 +238,10 @@ class _ProcessSpec:
     #: per-worker schedule compilation.
     schedule_name: Optional[str] = None
     schedule_layout: Optional[Tuple] = None
+    #: Compiled-kernel backend the workers must resolve — the parent's
+    #: resolved choice, so a fleet of processes runs the same fused (or
+    #: reference) kernels regardless of per-process environments.
+    kernel_backend: str = "numpy"
 
     def __call__(self) -> "_ProcessWorkerState":
         """Build one worker process's slot (the service's slot factory)."""
@@ -279,6 +283,7 @@ class _ProcessWorkerState:
             reexecution_factor=spec.reexecution_factor,
             dtype=spec.dtype,
             backend="serial",
+            kernel_backend=spec.kernel_backend,
         )
         self.shm = _attach_shared_memory(spec.shm_name)
         self.out = np.ndarray(
@@ -373,6 +378,7 @@ class ProcessesBackend(ExecutorBackend):
                 total_trials=total,
                 schedule_name=schedule_segment.name,
                 schedule_layout=schedule_segment.layout,
+                kernel_backend=engine.kernel_backend,
             )
             service = self._make_service(engine.workers, "processes")
             service.run(

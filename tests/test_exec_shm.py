@@ -758,3 +758,108 @@ class TestEstimatorProcessParity:
         warm = {seg.name for seg in REGISTRY._segments.values()}
         REGISTRY.clear()
         assert not (_shm_entries() & warm)
+
+
+# ----------------------------------------------------------------------
+# Compiled-kernel backends across execution backends
+# ----------------------------------------------------------------------
+def _have_numba() -> bool:
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+_KERNEL_BACKENDS = ["numpy"] + (["numba"] if _have_numba() else [])
+
+
+@needs_processes
+class TestKernelBackendProcessParity:
+    """Workers must resolve the parent's *resolved* kernel backend.
+
+    The specs shipped to worker processes carry the backend name
+    explicitly, so a per-process environment difference can never make a
+    worker disagree with the parent — and because every ported kernel is
+    bit-identical to the NumPy reference, results match serial/threads
+    at any worker count for every backend (including an unavailable one,
+    which degrades to NumPy on both sides).
+    """
+
+    @pytest.mark.parametrize("kernel_backend", _KERNEL_BACKENDS)
+    @pytest.mark.parametrize("corr_backend", ["banded", "lowrank"])
+    def test_correlated_fold_bit_identical(self, corr_backend, kernel_backend):
+        graph = build_dag("cholesky", 6)
+        model = ExponentialErrorModel.for_graph(graph, 1e-3)
+
+        def estimate(**kwargs):
+            result = CorrelatedNormalEstimator(
+                correlation_backend=corr_backend,
+                kernel_backend=kernel_backend,
+                **kwargs,
+            ).estimate(graph, model)
+            return (
+                result.expected_makespan,
+                result.details["makespan_variance"],
+            )
+
+        reference = estimate(workers=1)
+        assert estimate(workers=2, exec_backend="threads") == reference
+        for workers in (1, 2, 3):
+            assert (
+                estimate(workers=workers, exec_backend="processes")
+                == reference
+            )
+
+    @pytest.mark.parametrize("kernel_backend", _KERNEL_BACKENDS)
+    def test_monte_carlo_processes_bit_identical(self, kernel_backend):
+        from repro.sim.engine import MonteCarloEngine
+
+        graph = build_dag("lu", 5)
+        model = ExponentialErrorModel.for_graph(graph, 1e-2)
+
+        def mean(**kwargs):
+            return MonteCarloEngine(
+                graph,
+                model,
+                trials=2_048,
+                batch_size=512,
+                seed=77,
+                kernel_backend=kernel_backend,
+                **kwargs,
+            ).run().mean
+
+        # threads/processes share the per-batch RNG stream derivation, so
+        # they agree with each other at any worker count (serial uses the
+        # historical sequential stream and is compared elsewhere).
+        reference = mean(workers=2, backend="threads")
+        for workers in (1, 2, 3):
+            assert mean(workers=workers, backend="processes") == reference
+
+    def test_unavailable_backend_degrades_identically_everywhere(self):
+        # "numba" requested but (possibly) not installed: every execution
+        # backend must degrade to the same NumPy-reference results.
+        graph = build_dag("cholesky", 5)
+        model = ExponentialErrorModel.for_graph(graph, 1e-3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            reference = CorrelatedNormalEstimator(
+                correlation_backend="banded", kernel_backend="numpy"
+            ).estimate(graph, model)
+            requested = CorrelatedNormalEstimator(
+                correlation_backend="banded",
+                kernel_backend="numba",
+                workers=2,
+                exec_backend="processes",
+            ).estimate(graph, model)
+        assert requested.expected_makespan == reference.expected_makespan
+        assert requested.details["kernel_backend"] == "numba"
+
+    def test_process_spec_carries_resolved_backend(self, monkeypatch):
+        # The spec pins the parent's resolution; a worker-side environment
+        # variable must not change it.
+        from repro.estimators.correlated import _CorrelatedFoldSpec
+        from repro.sim.executors import _ProcessSpec
+
+        assert _CorrelatedFoldSpec.__dataclass_fields__["kernel_backend"]
+        assert _ProcessSpec.__dataclass_fields__["kernel_backend"]
